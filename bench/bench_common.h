@@ -1,0 +1,144 @@
+// Shared helpers for the experiment-reproduction benches.
+#ifndef SEMCC_BENCH_BENCH_COMMON_H_
+#define SEMCC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/orderentry/workload.h"
+#include "core/database.h"
+
+namespace semcc {
+namespace bench {
+
+struct ProtocolConfig {
+  std::string name;
+  ProtocolOptions options;
+  /// Use the parameter-refined Figure 2 matrix (paper §3: compatibility may
+  /// take "into account the actual input parameters of operations";
+  /// ShipOrder/ShipOrder and PayOrder/PayOrder commute on different orders).
+  bool refined_matrix = false;
+};
+
+inline std::vector<ProtocolConfig> AllProtocols() {
+  std::vector<ProtocolConfig> out;
+  {
+    ProtocolConfig c;
+    c.name = "semantic-param";  // parameter-refined matrix (paper §3)
+    c.refined_matrix = true;
+    out.push_back(c);
+  }
+  {
+    ProtocolConfig c;
+    c.name = "semantic-fig2";  // the literal state-independent Figure 2
+    out.push_back(c);
+  }
+  {
+    ProtocolConfig c;
+    c.name = "closed-nested";
+    c.options.protocol = Protocol::kClosedNested;
+    out.push_back(c);
+  }
+  {
+    ProtocolConfig c;
+    c.name = "2pl-object";
+    c.options.protocol = Protocol::kFlat2PL;
+    c.options.granularity = LockGranularity::kObject;
+    out.push_back(c);
+  }
+  {
+    ProtocolConfig c;
+    c.name = "2pl-record";
+    c.options.protocol = Protocol::kFlat2PL;
+    c.options.granularity = LockGranularity::kRecord;
+    out.push_back(c);
+  }
+  {
+    ProtocolConfig c;
+    c.name = "2pl-page";
+    c.options.protocol = Protocol::kFlat2PL;
+    c.options.granularity = LockGranularity::kPage;
+    out.push_back(c);
+  }
+  return out;
+}
+
+struct RunSummary {
+  std::string protocol;
+  int threads = 0;
+  double tps = 0;
+  uint64_t committed = 0;
+  uint64_t failed = 0;
+  uint64_t blocked = 0;
+  uint64_t root_waits = 0;
+  uint64_t case1 = 0;
+  uint64_t case2 = 0;
+  uint64_t deadlocks = 0;
+  uint64_t retries = 0;
+  uint64_t wait_p95_us = 0;
+};
+
+/// Build a fresh database + workload for one configuration and run it.
+inline RunSummary RunWorkload(const ProtocolConfig& proto,
+                              orderentry::WorkloadOptions wopts, int threads,
+                              int txns_per_thread) {
+  DatabaseOptions dopts;
+  dopts.protocol = proto.options;
+  dopts.record_history = false;  // perf run: do not accumulate trees
+  Database db(dopts);
+  orderentry::InstallOptions iopts;
+  iopts.parameter_refined_item_matrix = proto.refined_matrix;
+  auto types = orderentry::Install(&db, iopts).ValueOrDie();
+  orderentry::OrderEntryWorkload workload(&db, types, wopts);
+  Status st = workload.Setup();
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
+    return {};
+  }
+  auto result = workload.Run(threads, txns_per_thread);
+  RunSummary s;
+  s.protocol = proto.name;
+  s.threads = threads;
+  s.tps = result.throughput_tps;
+  s.committed = result.committed;
+  s.failed = result.failed;
+  s.blocked = db.locks()->stats().blocked_acquires.load();
+  s.root_waits = db.locks()->stats().root_waits.load();
+  s.case1 = db.locks()->stats().case1_grants.load();
+  s.case2 = db.locks()->stats().case2_waits.load();
+  s.deadlocks = db.locks()->stats().deadlocks.load();
+  s.retries = db.txns()->stats().retries.load();
+  s.wait_p95_us = db.locks()->stats().wait_micros.Percentile(95);
+  return s;
+}
+
+inline void PrintHeader(const char* first_col = "protocol") {
+  std::printf("%-14s %7s %9s %9s %7s %8s %10s %8s %8s %9s %9s %10s\n",
+              first_col, "threads", "commits", "failed", "tps", "blocked",
+              "root_waits", "case1", "case2", "deadlocks", "retries",
+              "waitp95us");
+  std::printf("%s\n", std::string(124, '-').c_str());
+}
+
+inline void PrintRow(const RunSummary& s, const std::string& first_col = "") {
+  std::printf(
+      "%-14s %7d %9llu %9llu %7.0f %8llu %10llu %8llu %8llu %9llu %9llu "
+      "%10llu\n",
+      (first_col.empty() ? s.protocol : first_col).c_str(), s.threads,
+      static_cast<unsigned long long>(s.committed),
+      static_cast<unsigned long long>(s.failed), s.tps,
+      static_cast<unsigned long long>(s.blocked),
+      static_cast<unsigned long long>(s.root_waits),
+      static_cast<unsigned long long>(s.case1),
+      static_cast<unsigned long long>(s.case2),
+      static_cast<unsigned long long>(s.deadlocks),
+      static_cast<unsigned long long>(s.retries),
+      static_cast<unsigned long long>(s.wait_p95_us));
+}
+
+}  // namespace bench
+}  // namespace semcc
+
+#endif  // SEMCC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,53 @@
+// Contention sweep: fixed concurrency, varying hot-spot skew (Zipf theta)
+// and database size — the knobs that create the paper's data-contention
+// problem. Reported for every protocol.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace semcc;
+using namespace semcc::bench;
+
+int main() {
+  std::printf("== Contention sweep: skew (8 threads, 16 items, 1 ms think) ==\n\n");
+  for (double theta : {0.0, 0.6, 0.9, 0.99}) {
+    std::printf("--- zipf theta = %.2f ---\n", theta);
+    PrintHeader();
+    for (const ProtocolConfig& proto : AllProtocols()) {
+      orderentry::WorkloadOptions wopts;
+      wopts.load.num_items = 16;
+      wopts.load.orders_per_item = 8;
+      wopts.load.pre_paid = 0.3;
+      wopts.load.pre_shipped = 0.3;
+      wopts.zipf_theta = theta;
+      wopts.think_micros = 1000;
+      wopts.seed = 2;
+      PrintRow(RunWorkload(proto, wopts, 8, 100));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("== Contention sweep: database size (8 threads, zipf 0.9, "
+              "1 ms think) ==\n\n");
+  for (int items : {2, 4, 16, 64}) {
+    std::printf("--- %d items ---\n", items);
+    PrintHeader();
+    for (const ProtocolConfig& proto : AllProtocols()) {
+      orderentry::WorkloadOptions wopts;
+      wopts.load.num_items = items;
+      wopts.load.orders_per_item = 8;
+      wopts.load.pre_paid = 0.3;
+      wopts.load.pre_shipped = 0.3;
+      wopts.zipf_theta = 0.9;
+      wopts.think_micros = 1000;
+      wopts.seed = 3;
+      PrintRow(RunWorkload(proto, wopts, 8, 100));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape: the gap between semantic-param and the conventional\n"
+      "protocols widens as skew grows and as the database shrinks (hotter\n"
+      "items); at theta=0 with many items all protocols converge.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces paper Figure 4: a concurrent execution of two open nested
+// transactions — T1 ships orders o1@i1, o2@i2 while T2 pays the same two
+// orders. Under the semantic protocol the interleaving is admitted (the
+// method pairs commute); under conventional protocols T2 blocks on T1.
+#include <cstdio>
+
+#include "app/orderentry/scenario.h"
+#include "core/serializability.h"
+
+using namespace semcc;
+using namespace semcc::orderentry;
+
+namespace {
+
+void RunUnder(const char* name, const ProtocolOptions& opts) {
+  auto s = MakePaperScenario(opts).ValueOrDie();
+  ScenarioOutcome out = RunFig4(s.get());
+  SemanticSerializabilityChecker checker(s->db->compat());
+  auto check = checker.Check(s->db->history()->Snapshot());
+  std::printf("--- protocol: %s ---\n", name);
+  std::printf("T1 committed: %s, T2 committed: %s\n",
+              out.t_left_committed ? "yes" : "no",
+              out.t_right_committed ? "yes" : "no");
+  std::printf("T2 interleaved with T1 (paper's Figure 4 concurrency): %s\n",
+              out.right_overlapped_left ? "YES" : "no (serialized behind T1)");
+  std::printf("lock stats: %s\n", out.note.c_str());
+  std::printf("history: %s\n", check.ToString().c_str());
+  std::printf("\ntransaction trees (grant/completion logical timestamps):\n%s\n",
+              out.trace.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Paper Figure 4: Concurrent Execution of Two Open Nested "
+              "Transactions ==\n\n");
+  ProtocolOptions semantic;
+  RunUnder("semantic-ont (the paper)", semantic);
+
+  ProtocolOptions flat;
+  flat.protocol = Protocol::kFlat2PL;
+  flat.granularity = LockGranularity::kObject;
+  RunUnder("flat 2PL, object locks (conventional)", flat);
+
+  ProtocolOptions closed;
+  closed.protocol = Protocol::kClosedNested;
+  RunUnder("closed nested transactions [Mo85]", closed);
+  return 0;
+}

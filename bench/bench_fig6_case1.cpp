@@ -1,0 +1,47 @@
+// Reproduces paper Figure 6 (Case 1 — commutative and committed ancestor):
+// after T1 completed ShipOrder(i1, o1), T4 checks the *payment* of o1. The
+// leaf read formally conflicts with the retained Put(o1.Status), but
+// ChangeStatus(o1, shipped) and TestStatus(o1, paid) commute and the
+// ChangeStatus side is committed, so the paper's protocol grants at once.
+// The ablation (ancestor walk disabled) shows the unnecessary blocking the
+// rule removes.
+#include <cstdio>
+
+#include "app/orderentry/scenario.h"
+#include "util/stopwatch.h"
+
+using namespace semcc;
+using namespace semcc::orderentry;
+
+namespace {
+
+void RunUnder(const char* name, bool ancestor_walk) {
+  ProtocolOptions opts;
+  opts.ancestor_walk = ancestor_walk;
+  auto s = MakePaperScenario(opts).ValueOrDie();
+  StopWatch sw;
+  ScenarioOutcome out = RunFig6(s.get());
+  std::printf("--- %s ---\n", name);
+  std::printf("T4 completed while T1 was still active: %s\n",
+              out.right_overlapped_left ? "YES (Case 1 grant)"
+                                        : "no (waited for T1 commit)");
+  std::printf("case1 grants: %llu, root waits: %llu, scenario wall time: %llu ms\n\n",
+              static_cast<unsigned long long>(
+                  s->db->locks()->stats().case1_grants.load()),
+              static_cast<unsigned long long>(
+                  s->db->locks()->stats().root_waits.load()),
+              static_cast<unsigned long long>(sw.ElapsedMillis()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Paper Figure 6: Conflicting Actions with Commutative and "
+              "Committed Ancestors (Case 1) ==\n\n");
+  RunUnder("paper protocol (commutative-ancestor test ON)", true);
+  RunUnder("ablation (commutative-ancestor test OFF)", false);
+  std::printf("Expected shape: with the test ON, T4 never blocks "
+              "(case1 >= 1, root_waits == 0)\nand finishes inside T1's "
+              "window; with the test OFF it waits for T1's commit.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces paper Figures 2 and 3: the compatibility matrices of the
+// encapsulated types Item and Order, printed from the live registry that
+// the lock manager actually consults.
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/orderentry/order_entry.h"
+#include "core/database.h"
+
+using namespace semcc;
+
+namespace {
+
+void PrintMatrix(Database* db, TypeId type, const std::string& title,
+                 const std::vector<std::string>& methods,
+                 const std::vector<Args>& rep_args) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%-22s", "");
+  for (const std::string& m : methods) std::printf("%-15s", m.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < methods.size(); ++i) {
+    std::printf("%-22s", methods[i].c_str());
+    for (size_t j = 0; j < methods.size(); ++j) {
+      std::optional<bool> entry =
+          db->compat()->StaticEntry(type, methods[i], methods[j]);
+      std::string cell;
+      if (entry.has_value()) {
+        cell = *entry ? "ok" : "conflict";
+      } else if (db->compat()->HasPredicate(type, methods[i], methods[j])) {
+        // Parameter-dependent: show the verdict for representative args.
+        bool ok = db->compat()->Commute(type, methods[i], rep_args[i],
+                                        methods[j], rep_args[j]);
+        cell = std::string(ok ? "ok" : "conflict") + "*";
+      } else {
+        cell = "conflict";  // unregistered default
+      }
+      std::printf("%-15s", cell.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  auto types = orderentry::Install(&db).ValueOrDie();
+
+  std::printf("== Paper Figure 2: Compatibility Matrix for the Methods of "
+              "Object Type Item ==\n\n");
+  PrintMatrix(&db, types.item, "(rows = holder, columns = requester)",
+              {"NewOrder", "ShipOrder", "PayOrder", "TotalPayment"},
+              {{Value(7), Value(1)}, {Value(1)}, {Value(1)}, {}});
+
+  std::printf("== Paper Figure 3: Compatibility Matrix for the Methods of "
+              "Object Type Order ==\n");
+  std::printf("   (method(event) pairs; '*' marks parameter-dependent "
+              "entries, shown here for the listed events)\n\n");
+  // Expand the event parameter into pseudo-methods, as the paper does.
+  const std::vector<std::pair<std::string, std::string>> expanded = {
+      {"ChangeStatus", orderentry::kShipped},
+      {"ChangeStatus", orderentry::kPaid},
+      {"TestStatus", orderentry::kShipped},
+      {"TestStatus", orderentry::kPaid},
+  };
+  std::printf("%-26s", "");
+  for (const auto& [m, e] : expanded) {
+    std::printf("%-24s", (m + "(" + e + ")").c_str());
+  }
+  std::printf("\n");
+  for (const auto& [mi, ei] : expanded) {
+    std::printf("%-26s", (mi + "(" + ei + ")").c_str());
+    for (const auto& [mj, ej] : expanded) {
+      bool ok = db.compat()->Commute(types.order, mi, {Value(ei)}, mj,
+                                     {Value(ej)});
+      std::printf("%-24s", ok ? "ok" : "conflict");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nNotes: Figure 2 is reconstructed from the paper's prose constraints "
+      "(see DESIGN.md);\nShipOrder/PayOrder are compatible per §2.2, "
+      "ShipOrder/TotalPayment per Figure 7,\nNewOrder/NewOrder per the queue "
+      "analogy of §1.1. Figure 3 entries marked by the\npredicate: "
+      "ChangeStatus(e) conflicts with TestStatus(e') iff e == e'.\n");
+  return 0;
+}

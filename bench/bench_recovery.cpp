@@ -1,0 +1,122 @@
+// Recovery extension bench: logging overhead (throughput with/without WAL,
+// log volume per transaction) and restart cost as the log grows — the
+// paper's future-work direction ("extend the recovery methods for
+// multi-level transactions towards OODBS transactions").
+#include <cstdio>
+
+#include "app/orderentry/workload.h"
+#include "util/stopwatch.h"
+
+using namespace semcc;
+using namespace semcc::orderentry;
+
+namespace {
+
+struct WalRun {
+  double tps = 0;
+  uint64_t committed = 0;
+  size_t log_records = 0;
+  uint64_t log_bytes = 0;
+  uint64_t flushes = 0;
+  double recover_seconds = 0;
+  size_t redo_applied = 0;
+};
+
+WalRun RunOnce(bool enable_wal, int threads, int txns_per_thread,
+               uint32_t flush_micros = 0, bool group_commit = false) {
+  DatabaseOptions options;
+  options.enable_wal = enable_wal;
+  options.record_history = false;
+  options.wal_flush_micros = flush_micros;
+  options.group_commit = group_commit;
+  Database db(options);
+  auto types = Install(&db).ValueOrDie();
+  WorkloadOptions wopts;
+  wopts.load.num_items = 8;
+  wopts.load.orders_per_item = 8;
+  wopts.seed = 11;
+  OrderEntryWorkload workload(&db, types, wopts);
+  (void)workload.Setup();
+  auto result = workload.Run(threads, txns_per_thread);
+  WalRun out;
+  out.tps = result.throughput_tps;
+  out.committed = result.committed;
+  if (enable_wal) {
+    db.wal()->Flush();
+    out.flushes = db.wal()->flush_count();
+    out.log_records = db.wal()->stable_count();
+    out.log_bytes = db.wal()->stable_bytes();
+    // Restart into a fresh database.
+    DatabaseOptions ropts;
+    ropts.enable_wal = true;
+    Database recovered(ropts);
+    InstallOptions iopts;
+    iopts.register_only = true;
+    (void)Install(&recovered, iopts).ValueOrDie();
+    StopWatch sw;
+    auto stats = recovered.RecoverFrom(db.wal()->StableRecords());
+    out.recover_seconds = sw.ElapsedSeconds();
+    if (stats.ok()) out.redo_applied = stats.ValueOrDie().redo_applied;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Logging overhead (semantic protocol, 4 threads) ==\n\n");
+  std::printf("%-10s %9s %7s %12s %12s %14s %10s\n", "wal", "commits", "tps",
+              "log_records", "log_KiB", "recover_ms", "redo_ops");
+  std::printf("%s\n", std::string(80, '-').c_str());
+  for (bool wal : {false, true}) {
+    WalRun r = RunOnce(wal, 4, 250);
+    std::printf("%-10s %9llu %7.0f %12zu %12llu %14.1f %10zu\n",
+                wal ? "on" : "off",
+                static_cast<unsigned long long>(r.committed), r.tps,
+                r.log_records,
+                static_cast<unsigned long long>(r.log_bytes / 1024),
+                r.recover_seconds * 1000, r.redo_applied);
+  }
+
+  std::printf("\n== Restart cost vs. log size (single-threaded producer) ==\n\n");
+  std::printf("%-12s %12s %12s %14s\n", "txns", "log_records", "log_KiB",
+              "recover_ms");
+  std::printf("%s\n", std::string(56, '-').c_str());
+  for (int txns : {100, 400, 1600, 6400}) {
+    WalRun r = RunOnce(true, 1, txns);
+    std::printf("%-12d %12zu %12llu %14.1f\n", txns, r.log_records,
+                static_cast<unsigned long long>(r.log_bytes / 1024),
+                r.recover_seconds * 1000);
+  }
+  std::printf("\n== Group commit under a 100 µs simulated fsync "
+              "(8 threads, 100 txns each) ==\n\n");
+  std::printf("%-22s %9s %7s %10s %14s\n", "commit policy", "commits", "tps",
+              "flushes", "flushes/commit");
+  std::printf("%s\n", std::string(68, '-').c_str());
+  {
+    WalRun force = RunOnce(true, 8, 100, /*flush_micros=*/100,
+                           /*group_commit=*/false);
+    std::printf("%-22s %9llu %7.0f %10llu %14.2f\n", "force-per-commit",
+                static_cast<unsigned long long>(force.committed), force.tps,
+                static_cast<unsigned long long>(force.flushes),
+                force.committed ? static_cast<double>(force.flushes) /
+                                      static_cast<double>(force.committed)
+                                : 0.0);
+    WalRun group = RunOnce(true, 8, 100, /*flush_micros=*/100,
+                           /*group_commit=*/true);
+    std::printf("%-22s %9llu %7.0f %10llu %14.2f\n", "group-commit",
+                static_cast<unsigned long long>(group.committed), group.tps,
+                static_cast<unsigned long long>(group.flushes),
+                group.committed ? static_cast<double>(group.flushes) /
+                                      static_cast<double>(group.committed)
+                                : 0.0);
+  }
+
+  std::printf(
+      "\nExpected shape: WAL costs a modest constant factor in throughput;\n"
+      "restart time grows linearly with the log (full-replay restart, no\n"
+      "checkpoints — checkpointing is the natural next step and falls out of\n"
+      "the chained-recovery design: replaying into a fresh log IS a\n"
+      "checkpoint, see tests/recovery_test.cc RecoveredDatabaseKeepsWorking).\n");
+  return 0;
+}

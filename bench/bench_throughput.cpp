@@ -1,0 +1,49 @@
+// The paper's §1.1 motivation experiment: data contention under the
+// order-entry workload (transaction types T1-T5 + NewOrder), comparing the
+// semantic open-nested protocol against the conventional baselines across
+// thread counts. Transactions carry think time between their two top-level
+// actions ("transactions tend to be longer in applications with complex
+// operations on complex objects"), so lock hold time — and therefore the
+// protocol — dominates.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace semcc;
+using namespace semcc::bench;
+
+int main() {
+  std::printf("== Throughput vs. concurrency (order-entry mix, 8 items, "
+              "zipf 0.8, 2 ms think time) ==\n\n");
+  orderentry::WorkloadOptions wopts;
+  wopts.load.num_items = 8;
+  wopts.load.orders_per_item = 8;
+  wopts.load.pre_paid = 0.3;
+  wopts.load.pre_shipped = 0.3;
+  wopts.zipf_theta = 0.8;
+  wopts.think_micros = 2000;
+  wopts.seed = 1;
+
+  PrintHeader();
+  for (const ProtocolConfig& proto : AllProtocols()) {
+    for (int threads : {1, 2, 4, 8, 16}) {
+      RunSummary s = RunWorkload(proto, wopts, threads, 120);
+      PrintRow(s);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper §1.1): with growing concurrency the semantic\n"
+      "protocol with parameter-aware commutativity (semantic-param) keeps\n"
+      "scaling — commuting methods do not block, and leaf conflicts under\n"
+      "them (the QuantityOnHand read-modify-write hot spot) are relieved by\n"
+      "Case 1/2 into sub-millisecond subtransaction waits instead of\n"
+      "commit-duration waits. Conventional read/write locking (object or\n"
+      "record granularity) serializes those transactions for their full\n"
+      "length (think time included); page locks are coarsest and collapse\n"
+      "first. The literal state-independent Figure 2 matrix (semantic-fig2)\n"
+      "sits in between: same-method pairs on one item conflict at method\n"
+      "level, which is precisely why §3 allows parameters in the conflict\n"
+      "test.\n");
+  return 0;
+}

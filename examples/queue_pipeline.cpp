@@ -1,0 +1,89 @@
+// Producer/consumer pipeline over the library's Queue ADT — the paper's
+// §1.1 motivating example ("enqueueing the same item by two concurrent
+// transactions is not a conflict") running as a real workload.
+//
+// The Queue is implemented in terms of a Counter ADT (Enqueue invokes
+// Counter.Next for its position), so every Enqueue is a two-level open
+// nested transaction: the Counter-level Next/Next conflict between
+// concurrent producers is relieved by the Queue-level commutativity of
+// Enqueue — watch the case1/case2 counters.
+//
+// Build & run:  ./build/examples/queue_pipeline
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "adt/standard_adts.h"
+#include "core/serializability.h"
+
+using namespace semcc;
+
+int main() {
+  Database db;
+  adt::QueueType type = adt::InstallQueue(&db).ValueOrDie();
+  Oid queue = adt::NewQueue(&db, type).ValueOrDie();
+
+  constexpr int kProducers = 6;
+  constexpr int kConsumers = 3;
+  constexpr int kItemsPerProducer = 200;
+
+  std::atomic<int64_t> produced{0};
+  std::atomic<int64_t> consumed{0};
+  std::atomic<int64_t> checksum_in{0};
+  std::atomic<int64_t> checksum_out{0};
+  std::atomic<bool> done_producing{false};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p]() {
+      for (int i = 0; i < kItemsPerProducer; ++i) {
+        const int64_t item = p * 100000 + i;
+        auto r = db.RunTransaction("produce", [&](TxnCtx& ctx) {
+          return ctx.Invoke(queue, "Enqueue", {Value(item)});
+        });
+        if (r.ok()) {
+          produced.fetch_add(1);
+          checksum_in.fetch_add(item);
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&]() {
+      while (true) {
+        auto r = db.RunTransaction("consume", [&](TxnCtx& ctx) {
+          return ctx.Invoke(queue, "Dequeue", {});
+        });
+        if (r.ok()) {
+          consumed.fetch_add(1);
+          checksum_out.fetch_add(r.ValueOrDie().AsInt());
+        } else if (r.status().IsPreconditionFailed()) {
+          if (done_producing.load() &&
+              consumed.load() >= produced.load()) {
+            break;  // drained
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        } else {
+          std::fprintf(stderr, "consume failed: %s\n",
+                       r.status().ToString().c_str());
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  done_producing.store(true);
+  for (size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+
+  std::printf("produced=%lld consumed=%lld checksum %s\n",
+              static_cast<long long>(produced.load()),
+              static_cast<long long>(consumed.load()),
+              checksum_in.load() == checksum_out.load() ? "OK" : "MISMATCH");
+  std::printf("lock stats: %s\n", db.locks()->stats().ToString().c_str());
+  SemanticSerializabilityChecker checker(db.compat());
+  auto check = checker.Check(db.history()->Snapshot());
+  std::printf("history   : %s\n",
+              check.serializable ? "semantically serializable" : "VIOLATION");
+  return (checksum_in.load() == checksum_out.load() && check.serializable) ? 0
+                                                                           : 1;
+}

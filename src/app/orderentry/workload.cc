@@ -1,0 +1,173 @@
+#include "app/orderentry/workload.h"
+
+#include <thread>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace semcc {
+namespace orderentry {
+
+OrderEntryWorkload::OrderEntryWorkload(Database* db,
+                                       const OrderEntryTypes& types,
+                                       WorkloadOptions opts)
+    : db_(db), types_(types), opts_(opts) {}
+
+Status OrderEntryWorkload::Setup() {
+  SEMCC_ASSIGN_OR_RETURN(data_, Load(db_, types_, opts_.load));
+  max_order_.clear();
+  for (int64_t n : data_.orders_per_item) {
+    max_order_.push_back(std::make_unique<std::atomic<int64_t>>(n));
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<WorkerState> OrderEntryWorkload::MakeWorkerState(
+    int worker_index) const {
+  return std::make_unique<WorkerState>(
+      opts_.seed * 1315423911ULL + static_cast<uint64_t>(worker_index),
+      data_.item_oids.size(), opts_.zipf_theta);
+}
+
+OrderEntryWorkload::TxnKind OrderEntryWorkload::PickKind(Random* rng) const {
+  const int roll = static_cast<int>(rng->Uniform(100));
+  int acc = opts_.pct_t1;
+  if (roll < acc) return TxnKind::kT1;
+  acc += opts_.pct_t2;
+  if (roll < acc) return TxnKind::kT2;
+  acc += opts_.pct_t3;
+  if (roll < acc) return TxnKind::kT3;
+  acc += opts_.pct_t4;
+  if (roll < acc) return TxnKind::kT4;
+  acc += opts_.pct_new_order;
+  if (roll < acc) return TxnKind::kNewOrder;
+  return TxnKind::kT5;
+}
+
+Oid OrderEntryWorkload::PickItem(WorkerState* ws, size_t* index_out) const {
+  const size_t idx = static_cast<size_t>(ws->zipf.Next());
+  if (index_out != nullptr) *index_out = idx;
+  return data_.item_oids[idx];
+}
+
+int64_t OrderEntryWorkload::PickOrder(WorkerState* ws,
+                                      size_t item_index) const {
+  const int64_t max = max_order_[item_index]->load(std::memory_order_relaxed);
+  if (max <= 0) return 1;
+  return static_cast<int64_t>(ws->rng.Uniform(static_cast<uint64_t>(max))) + 1;
+}
+
+Status OrderEntryWorkload::RunOne(WorkerState* ws) {
+  const TxnKind kind = PickKind(&ws->rng);
+  size_t i1 = 0;
+  size_t i2 = 0;
+  Oid item1 = PickItem(ws, &i1);
+  Oid item2 = PickItem(ws, &i2);
+  // T1-T4 operate on two *different* items (paper §2.3).
+  for (int guard = 0; i2 == i1 && guard < 16 && data_.item_oids.size() > 1;
+       ++guard) {
+    item2 = PickItem(ws, &i2);
+  }
+  Result<Value> r = Value();
+  switch (kind) {
+    case TxnKind::kT1:
+      r = db_->RunTransaction(
+          "T1",
+          T1_ShipTwoOrders(item1, PickOrder(ws, i1), item2, PickOrder(ws, i2),
+                           opts_.think_micros),
+          opts_.max_retries);
+      break;
+    case TxnKind::kT2:
+      r = db_->RunTransaction(
+          "T2",
+          T2_PayTwoOrders(item1, PickOrder(ws, i1), item2, PickOrder(ws, i2),
+                          opts_.think_micros),
+          opts_.max_retries);
+      break;
+    case TxnKind::kT3:
+      r = db_->RunTransaction(
+          "T3",
+          T3_CheckShipment(item1, PickOrder(ws, i1), item2, PickOrder(ws, i2),
+                           opts_.think_micros),
+          opts_.max_retries);
+      break;
+    case TxnKind::kT4:
+      r = db_->RunTransaction(
+          "T4",
+          T4_CheckPayment(item1, PickOrder(ws, i1), item2, PickOrder(ws, i2),
+                          opts_.think_micros),
+          opts_.max_retries);
+      break;
+    case TxnKind::kT5:
+      r = db_->RunTransaction("T5", T5_TotalPayment(item1), opts_.max_retries);
+      break;
+    case TxnKind::kNewOrder: {
+      const int64_t customer = static_cast<int64_t>(ws->rng.Uniform(1000)) + 1;
+      const int64_t qty = static_cast<int64_t>(ws->rng.Uniform(9)) + 1;
+      r = db_->RunTransaction("TN", TN_EnterOrder(item1, customer, qty),
+                              opts_.max_retries);
+      if (r.ok()) {
+        // Publish the new order number so later transactions can pick it.
+        const int64_t newly = r.ValueOrDie().AsInt();
+        std::atomic<int64_t>& slot = *max_order_[i1];
+        int64_t cur = slot.load(std::memory_order_relaxed);
+        while (cur < newly && !slot.compare_exchange_weak(
+                                  cur, newly, std::memory_order_relaxed)) {
+        }
+      }
+      break;
+    }
+  }
+  if (r.ok()) {
+    ws->committed++;
+    return Status::OK();
+  }
+  ws->failed++;
+  return r.status();
+}
+
+OrderEntryWorkload::RunResult OrderEntryWorkload::Run(int threads,
+                                                      int txns_per_thread) {
+  RunResult result;
+  std::vector<std::thread> workers;
+  std::vector<std::unique_ptr<WorkerState>> states;
+  states.reserve(static_cast<size_t>(threads));
+  for (int w = 0; w < threads; ++w) states.push_back(MakeWorkerState(w));
+  StopWatch sw;
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([this, &states, w, txns_per_thread]() {
+      WorkerState* ws = states[static_cast<size_t>(w)].get();
+      for (int i = 0; i < txns_per_thread; ++i) {
+        Status st = RunOne(ws);
+        if (!st.ok() && !st.IsDeadlock() && !st.IsTimedOut() &&
+            !st.IsAborted()) {
+          SEMCC_LOG(Warn) << "workload txn failed: " << st.ToString();
+        }
+      }
+    });
+  }
+  for (std::thread& th : workers) th.join();
+  result.seconds = sw.ElapsedSeconds();
+  for (const auto& ws : states) {
+    result.committed += ws->committed;
+    result.failed += ws->failed;
+  }
+  result.throughput_tps =
+      result.seconds > 0
+          ? static_cast<double>(result.committed) / result.seconds
+          : 0;
+  return result;
+}
+
+Result<int64_t> OrderEntryWorkload::TotalPaymentAllItems() {
+  int64_t total = 0;
+  for (Oid item : data_.item_oids) {
+    SEMCC_ASSIGN_OR_RETURN(Value v,
+                           db_->RunTransaction("T5", T5_TotalPayment(item)));
+    total += v.AsInt();
+  }
+  return total;
+}
+
+}  // namespace orderentry
+}  // namespace semcc

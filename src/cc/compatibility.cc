@@ -1,0 +1,165 @@
+#include "cc/compatibility.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace semcc {
+
+namespace {
+using PairKey = std::pair<std::string, std::string>;
+
+PairKey MakeKey(const std::string& m1, const std::string& m2, bool* swapped) {
+  if (m1 <= m2) {
+    *swapped = false;
+    return {m1, m2};
+  }
+  *swapped = true;
+  return {m2, m1};
+}
+}  // namespace
+
+void CompatibilityRegistry::DeclareMethod(TypeId type,
+                                          const std::string& method) {
+  std::unique_lock<std::shared_mutex> guard(mu_);
+  auto& list = methods_[type];
+  if (std::find(list.begin(), list.end(), method) == list.end()) {
+    list.push_back(method);
+  }
+}
+
+void CompatibilityRegistry::Define(TypeId type, const std::string& m1,
+                                   const std::string& m2, bool compatible) {
+  bool swapped = false;
+  PairKey key = MakeKey(m1, m2, &swapped);
+  std::unique_lock<std::shared_mutex> guard(mu_);
+  Entry e;
+  e.is_predicate = false;
+  e.compatible = compatible;
+  table_[type][key] = std::move(e);
+}
+
+void CompatibilityRegistry::DefinePredicate(TypeId type, const std::string& m1,
+                                            const std::string& m2,
+                                            Predicate pred) {
+  bool swapped = false;
+  PairKey key = MakeKey(m1, m2, &swapped);
+  std::unique_lock<std::shared_mutex> guard(mu_);
+  Entry e;
+  e.is_predicate = true;
+  e.pred = std::move(pred);
+  e.swapped = swapped;
+  table_[type][key] = std::move(e);
+}
+
+const CompatibilityRegistry::Entry* CompatibilityRegistry::FindEntry(
+    TypeId type, const std::string& m1, const std::string& m2,
+    bool* swapped) const {
+  auto tit = table_.find(type);
+  if (tit == table_.end()) return nullptr;
+  PairKey key = MakeKey(m1, m2, swapped);
+  auto eit = tit->second.find(key);
+  if (eit == tit->second.end()) return nullptr;
+  return &eit->second;
+}
+
+bool CompatibilityRegistry::Commute(TypeId type, const std::string& m1,
+                                    const Args& a1, const std::string& m2,
+                                    const Args& a2) const {
+  {
+    std::shared_lock<std::shared_mutex> guard(mu_);
+    bool swapped = false;
+    const Entry* e = FindEntry(type, m1, m2, &swapped);
+    if (e != nullptr) {
+      if (!e->is_predicate) return e->compatible;
+      // The predicate was registered for (m1', m2') in canonical order with
+      // e->swapped recording whether the registration order was reversed.
+      // Normalize the query the same way so the predicate always sees the
+      // args of its first registered method first.
+      const bool query_swapped = swapped;
+      const bool give_a1_first = (query_swapped == e->swapped);
+      return give_a1_first ? e->pred(a1, a2) : e->pred(a2, a1);
+    }
+  }
+  std::optional<bool> generic = GenericCommute(m1, a1, m2, a2);
+  if (generic.has_value()) return *generic;
+  return false;  // safe default: conflict
+}
+
+std::optional<bool> CompatibilityRegistry::GenericCommute(const std::string& m1,
+                                                          const Args& a1,
+                                                          const std::string& m2,
+                                                          const Args& a2) {
+  using namespace generic_ops;
+  auto is = [](const std::string& m, const char* name) { return m == name; };
+  auto key_of = [](const Args& a) -> const Value* {
+    return a.empty() ? nullptr : &a[0];
+  };
+  auto keys_differ = [&](const Args& x, const Args& y) {
+    const Value* kx = key_of(x);
+    const Value* ky = key_of(y);
+    if (kx == nullptr || ky == nullptr) return false;  // unknown: assume clash
+    return !(*kx == *ky);
+  };
+
+  const bool m1_generic = is(m1, kGet) || is(m1, kPut) || is(m1, kInsert) ||
+                          is(m1, kRemove) || is(m1, kSelect) || is(m1, kScan) ||
+                          is(m1, kSize);
+  const bool m2_generic = is(m2, kGet) || is(m2, kPut) || is(m2, kInsert) ||
+                          is(m2, kRemove) || is(m2, kSelect) || is(m2, kScan) ||
+                          is(m2, kSize);
+  if (!m1_generic || !m2_generic) return std::nullopt;
+
+  // Atomic objects: only Get/Get commutes.
+  if (is(m1, kGet) && is(m2, kGet)) return true;
+  if ((is(m1, kGet) || is(m1, kPut)) && (is(m2, kGet) || is(m2, kPut))) {
+    return false;
+  }
+  if (is(m1, kGet) || is(m1, kPut) || is(m2, kGet) || is(m2, kPut)) {
+    return false;  // atomic op vs set op: nonsensical pairing, be safe
+  }
+
+  // Set objects.
+  const bool m1_read = is(m1, kSelect) || is(m1, kScan) || is(m1, kSize);
+  const bool m2_read = is(m2, kSelect) || is(m2, kScan) || is(m2, kSize);
+  if (m1_read && m2_read) return true;
+  // One side updates (Insert/Remove).
+  const std::string& upd = m1_read ? m2 : m1;
+  const std::string& other = m1_read ? m1 : m2;
+  const Args& upd_args = m1_read ? a2 : a1;
+  const Args& other_args = m1_read ? a1 : a2;
+  (void)upd;
+  if (is(other, kScan) || is(other, kSize)) {
+    return false;  // membership-sensitive reads conflict with updates
+  }
+  // Key-addressed pairs (Insert/Remove/Select in any combination): commute
+  // iff they address different keys.
+  return keys_differ(upd_args, other_args);
+}
+
+std::vector<std::string> CompatibilityRegistry::MethodsOf(TypeId type) const {
+  std::shared_lock<std::shared_mutex> guard(mu_);
+  auto it = methods_.find(type);
+  if (it == methods_.end()) return {};
+  return it->second;
+}
+
+std::optional<bool> CompatibilityRegistry::StaticEntry(
+    TypeId type, const std::string& m1, const std::string& m2) const {
+  std::shared_lock<std::shared_mutex> guard(mu_);
+  bool swapped = false;
+  const Entry* e = FindEntry(type, m1, m2, &swapped);
+  if (e == nullptr || e->is_predicate) return std::nullopt;
+  return e->compatible;
+}
+
+bool CompatibilityRegistry::HasPredicate(TypeId type, const std::string& m1,
+                                         const std::string& m2) const {
+  std::shared_lock<std::shared_mutex> guard(mu_);
+  bool swapped = false;
+  const Entry* e = FindEntry(type, m1, m2, &swapped);
+  return e != nullptr && e->is_predicate;
+}
+
+}  // namespace semcc

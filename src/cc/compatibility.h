@@ -1,0 +1,106 @@
+// Commutativity-based compatibility of method invocations (paper §2.2, §3).
+//
+// Two method invocations f and g on the same object commute iff the two
+// sequential executions fg and gf are behaviorally equivalent: same return
+// values for f and g, and same return values for every later invocation.
+// Compatibility is specified per object type, either as a state-independent
+// matrix entry or as a parameter-dependent predicate ("taking into account
+// the actual input parameters of operations"), e.g. ChangeStatus(o, e1)
+// commutes with TestStatus(o, e2) iff e1 != e2 (paper Figure 3).
+#ifndef SEMCC_CC_COMPATIBILITY_H_
+#define SEMCC_CC_COMPATIBILITY_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "object/oid.h"
+#include "object/value.h"
+#include "util/macros.h"
+
+namespace semcc {
+
+/// Names of the built-in generic operations on atomic and set objects
+/// (paper §2.2). The registry knows their commutativity out of the box.
+namespace generic_ops {
+inline constexpr const char* kGet = "Get";
+inline constexpr const char* kPut = "Put";
+inline constexpr const char* kInsert = "Insert";   // args: [key, member-ref]
+inline constexpr const char* kRemove = "Remove";   // args: [key]
+inline constexpr const char* kSelect = "Select";   // args: [key]
+inline constexpr const char* kScan = "Scan";       // args: []
+inline constexpr const char* kSize = "Size";       // args: []
+}  // namespace generic_ops
+
+/// \brief Per-type compatibility specification.
+///
+/// Unknown pairs **conflict** — the safe default; it also makes transaction
+/// roots (actions on the "Database" object) mutually conflicting, which is
+/// the paper's worst case ("waiting for the top-level commit").
+class CompatibilityRegistry {
+ public:
+  /// Symmetric predicate; receives the argument lists of the two invocations
+  /// in the order the pair was registered (m1's args first).
+  using Predicate = std::function<bool(const Args&, const Args&)>;
+
+  CompatibilityRegistry() = default;
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(CompatibilityRegistry);
+
+  /// Register a state-independent matrix entry (symmetric).
+  void Define(TypeId type, const std::string& m1, const std::string& m2,
+              bool compatible);
+
+  /// Register a parameter-dependent entry (symmetric).
+  void DefinePredicate(TypeId type, const std::string& m1,
+                       const std::string& m2, Predicate pred);
+
+  /// Declare a method name so it shows up in MethodsOf() / matrix printing.
+  void DeclareMethod(TypeId type, const std::string& method);
+
+  /// Do invocations (m1, a1) and (m2, a2) on the same object of `type`
+  /// commute? Checks the per-type table first, then the built-in rules for
+  /// generic operations, else conflicts.
+  bool Commute(TypeId type, const std::string& m1, const Args& a1,
+               const std::string& m2, const Args& a2) const;
+
+  /// Built-in commutativity of generic operations; nullopt if (m1, m2) is
+  /// not a generic pair.
+  static std::optional<bool> GenericCommute(const std::string& m1,
+                                            const Args& a1,
+                                            const std::string& m2,
+                                            const Args& a2);
+
+  /// Declared methods of a type, in declaration order.
+  std::vector<std::string> MethodsOf(TypeId type) const;
+
+  /// For matrix printing: the static entry, or nullopt if the pair is
+  /// predicate-based or unregistered.
+  std::optional<bool> StaticEntry(TypeId type, const std::string& m1,
+                                  const std::string& m2) const;
+  bool HasPredicate(TypeId type, const std::string& m1,
+                    const std::string& m2) const;
+
+ private:
+  struct Entry {
+    bool is_predicate = false;
+    bool compatible = false;
+    Predicate pred;
+    bool swapped = false;  // true if stored under (m2, m1)
+  };
+  using PairKey = std::pair<std::string, std::string>;
+
+  const Entry* FindEntry(TypeId type, const std::string& m1,
+                         const std::string& m2, bool* swapped) const;
+
+  mutable std::shared_mutex mu_;
+  std::map<TypeId, std::map<PairKey, Entry>> table_;
+  std::map<TypeId, std::vector<std::string>> methods_;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_CC_COMPATIBILITY_H_

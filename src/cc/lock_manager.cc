@@ -1,0 +1,431 @@
+#include "cc/lock_manager.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace semcc {
+
+const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kSemanticONT:
+      return "semantic-ont";
+    case Protocol::kClosedNested:
+      return "closed-nested";
+    case Protocol::kFlat2PL:
+      return "flat-2pl";
+  }
+  return "?";
+}
+
+const char* GranularityName(LockGranularity g) {
+  switch (g) {
+    case LockGranularity::kObject:
+      return "object";
+    case LockGranularity::kRecord:
+      return "record";
+    case LockGranularity::kPage:
+      return "page";
+  }
+  return "?";
+}
+
+std::string LockTarget::ToString() const {
+  const char* space_name = space == Space::kObject   ? "obj"
+                           : space == Space::kRecord ? "rec"
+                                                     : "page";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s:%llu", space_name,
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+std::string LockStats::ToString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "acquires=%llu blocked=%llu commute=%llu case1=%llu case2=%llu "
+      "root_waits=%llu deadlocks=%llu timeouts=%llu",
+      static_cast<unsigned long long>(acquires.load()),
+      static_cast<unsigned long long>(blocked_acquires.load()),
+      static_cast<unsigned long long>(commute_grants.load()),
+      static_cast<unsigned long long>(case1_grants.load()),
+      static_cast<unsigned long long>(case2_waits.load()),
+      static_cast<unsigned long long>(root_waits.load()),
+      static_cast<unsigned long long>(deadlocks.load()),
+      static_cast<unsigned long long>(timeouts.load()));
+  return buf;
+}
+
+LockManager::LockManager(const ProtocolOptions& options,
+                         CompatibilityRegistry* compat)
+    : options_(options), compat_(compat) {}
+
+// --- test-conflict -----------------------------------------------------
+
+SubTxn* LockManager::TestConflictSemantic(const LockEntry& h, SubTxn* r,
+                                          ConflictOutcome* why) const {
+  SubTxn* holder = h.acquirer;
+  // "if h and r ... belong to the same top-level transaction then return nil"
+  // (also: retained locks never block later subtransactions of the same
+  // transaction, §4.1).
+  if (holder->SameRootAs(r)) {
+    *why = ConflictOutcome::kSameTxn;
+    return nullptr;
+  }
+  // "if h and r commute ... return nil". Both act on the same object, so the
+  // object type is shared and the compatibility spec of that type applies.
+  if (compat_->Commute(holder->type(), holder->method(), holder->args(),
+                       r->method(), r->args())) {
+    *why = ConflictOutcome::kCommute;
+    return nullptr;
+  }
+  if (options_.ancestor_walk) {
+    // "for all h' in the ancestor chain of h do for all r' in the ancestor
+    // chain of r do if h' and r' commute ..." — a pair commutes only if it
+    // acts on the *same* object (semantic knowledge exists per object); the
+    // walk is bottom-up on both chains.
+    const std::vector<SubTxn*> h_chain = holder->AncestorChain();
+    const std::vector<SubTxn*> r_chain = r->AncestorChain();
+    for (SubTxn* h_anc : h_chain) {
+      for (SubTxn* r_anc : r_chain) {
+        if (h_anc->object() != r_anc->object()) continue;
+        if (!compat_->Commute(h_anc->type(), h_anc->method(), h_anc->args(),
+                              r_anc->method(), r_anc->args())) {
+          continue;
+        }
+        if (h_anc->committed()) {
+          // Case 1: commutative and committed ancestor — the conflict is an
+          // implementation-level pseudo-conflict; grant.
+          *why = ConflictOutcome::kCase1Grant;
+          return nullptr;
+        }
+        if (h_anc->state() == TxnState::kAborted) {
+          // An aborted subtransaction gives no isolation guarantee: its
+          // effects are only removed when the enclosing transaction's
+          // compensation finishes. Keep walking; without a committed
+          // commuting ancestor the requester waits for the holder's
+          // top-level completion (after which the tree's locks are gone).
+          continue;
+        }
+        // Case 2: commutative but uncommitted ancestor — r may resume upon
+        // completion of h'.
+        *why = ConflictOutcome::kCase2Wait;
+        return h_anc;
+      }
+    }
+  }
+  // "return root of h — worst case: waiting for the top-level commit."
+  *why = ConflictOutcome::kRootWait;
+  return holder->root();
+}
+
+SubTxn* LockManager::TestConflictClosed(const LockEntry& h, SubTxn* r,
+                                        bool r_is_write,
+                                        ConflictOutcome* why) const {
+  // Moss's rule: a lock held (possibly by inheritance) by r itself or one of
+  // r's ancestors does not conflict.
+  SubTxn* owner = h.owner;
+  if (owner == r || owner->IsAncestorOf(r)) {
+    *why = ConflictOutcome::kSameTxn;
+    return nullptr;
+  }
+  if (!h.is_write && !r_is_write) {
+    *why = ConflictOutcome::kSharedGrant;
+    return nullptr;
+  }
+  // Wait for the current owner; on its completion the lock is anti-inherited
+  // by its parent and the test is repeated.
+  *why = ConflictOutcome::kHolderWait;
+  return owner->completed() ? owner->root() : owner;
+}
+
+SubTxn* LockManager::TestConflictFlat(const LockEntry& h, SubTxn* r,
+                                      bool r_is_write,
+                                      ConflictOutcome* why) const {
+  if (h.acquirer->SameRootAs(r)) {
+    *why = ConflictOutcome::kSameTxn;
+    return nullptr;
+  }
+  if (!h.is_write && !r_is_write) {
+    *why = ConflictOutcome::kSharedGrant;
+    return nullptr;
+  }
+  *why = ConflictOutcome::kHolderWait;
+  return h.acquirer->root();
+}
+
+SubTxn* LockManager::TestConflict(const LockEntry& h, SubTxn* r,
+                                  bool r_is_write,
+                                  ConflictOutcome* why) const {
+  switch (options_.protocol) {
+    case Protocol::kSemanticONT:
+      return TestConflictSemantic(h, r, why);
+    case Protocol::kClosedNested:
+      return TestConflictClosed(h, r, r_is_write, why);
+    case Protocol::kFlat2PL:
+      return TestConflictFlat(h, r, r_is_write, why);
+  }
+  *why = ConflictOutcome::kNoLock;
+  return nullptr;
+}
+
+std::set<SubTxn*> LockManager::CollectBlockers(
+    const LockQueue& q, uint64_t my_seq, SubTxn* t, bool is_write,
+    std::vector<ConflictOutcome>* reasons) const {
+  std::set<SubTxn*> blockers;
+  for (const LockEntry& e : q.entries) {
+    if (e.acquirer == t) continue;
+    // Test against held locks and earlier-queued requests (FCFS, paper
+    // footnote 5). Compensating actions are exempt from FCFS: they operate
+    // under the transaction's existing retained locks, and queueing them
+    // behind foreign waiters (which wait for THIS transaction's completion)
+    // would deadlock the rollback itself.
+    if (!e.granted && (e.seq > my_seq || t->compensation())) continue;
+    ConflictOutcome why = ConflictOutcome::kNoLock;
+    SubTxn* b = TestConflict(e, t, is_write, &why);
+    // Do NOT drop blockers that completed between the conflict test and
+    // here: a just-aborted subtransaction must not look like a grant. The
+    // wait loop re-derives the verdict from fresh state on every wake-up.
+    if (b != nullptr) {
+      blockers.insert(b);
+      if (reasons != nullptr) reasons->push_back(why);
+    } else if (reasons != nullptr && (why == ConflictOutcome::kCase1Grant ||
+                                      why == ConflictOutcome::kCommute)) {
+      reasons->push_back(why);
+    }
+  }
+  return blockers;
+}
+
+SubTxn* LockManager::DetectDeadlock(SubTxn* t) const {
+  // Completion-dependency graph: a blocked requester depends on the
+  // completions in its waits-for set; an incomplete node's completion
+  // depends on its incomplete children (Figure 8 executes children before
+  // completing). A cycle through `t` means deadlock.
+  std::vector<SubTxn*> stack;
+  std::set<SubTxn*> visited;
+  std::map<SubTxn*, SubTxn*> came_from;
+
+  auto expand = [&](SubTxn* n) {
+    auto wit = waits_.find(n);
+    if (wit != waits_.end()) {
+      for (SubTxn* b : wit->second) {
+        if (visited.insert(b).second) {
+          came_from[b] = n;
+          stack.push_back(b);
+        }
+      }
+    }
+    for (SubTxn* c : n->IncompleteChildren()) {
+      if (visited.insert(c).second) {
+        came_from[c] = n;
+        stack.push_back(c);
+      }
+    }
+  };
+
+  expand(t);
+  SubTxn* cycle_end = nullptr;
+  while (!stack.empty()) {
+    SubTxn* n = stack.back();
+    stack.pop_back();
+    if (n == t) {
+      cycle_end = n;
+      break;
+    }
+    if (n->completed()) continue;
+    expand(n);
+  }
+  if (cycle_end == nullptr) return nullptr;
+
+  // Reconstruct the cycle path, collect the top-level transactions on it,
+  // and pick the youngest (largest priority rank — retries keep their first
+  // attempt's rank, so they age) as victim.
+  SubTxn* victim_root = t->root();
+  for (SubTxn* n = came_from.count(t) ? came_from[t] : nullptr; n != nullptr;
+       n = came_from.count(n) ? came_from[n] : nullptr) {
+    if (n->root()->priority() > victim_root->priority()) {
+      victim_root = n->root();
+    }
+    if (n == t) break;
+  }
+  return victim_root;
+}
+
+// --- acquire / release --------------------------------------------------
+
+Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
+                            bool is_write) {
+  std::unique_lock<std::mutex> lock(mu_);
+  stats_.acquires.fetch_add(1, std::memory_order_relaxed);
+  LockQueue& q = table_[target];
+  const uint64_t my_seq = next_entry_seq_++;
+  q.entries.push_back(LockEntry{t, t, is_write, /*granted=*/false, my_seq});
+  auto my_it = std::prev(q.entries.end());
+
+  auto remove_self = [&]() {
+    q.entries.erase(my_it);
+    waits_.erase(t);
+    if (q.entries.empty()) table_.erase(target);
+    cv_.notify_all();
+  };
+
+  bool first_scan = true;
+  bool ever_blocked = false;
+  StopWatch wait_timer;
+  while (true) {
+    if (t->root()->abort_requested() && !t->compensation()) {
+      remove_self();
+      return Status::Aborted("transaction abort requested while locking " +
+                             target.ToString());
+    }
+    std::vector<ConflictOutcome> reasons;
+    std::set<SubTxn*> blockers =
+        CollectBlockers(q, my_seq, t, is_write, first_scan ? &reasons : nullptr);
+    if (first_scan) {
+      for (ConflictOutcome why : reasons) {
+        switch (why) {
+          case ConflictOutcome::kCommute:
+            stats_.commute_grants.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case ConflictOutcome::kCase1Grant:
+            stats_.case1_grants.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case ConflictOutcome::kCase2Wait:
+            stats_.case2_waits.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case ConflictOutcome::kRootWait:
+            stats_.root_waits.fetch_add(1, std::memory_order_relaxed);
+            break;
+          default:
+            break;
+        }
+      }
+      first_scan = false;
+    }
+    if (blockers.empty()) {
+      my_it->granted = true;
+      waits_.erase(t);
+      t->set_grant_seq(NextSeq());
+      if (ever_blocked) {
+        stats_.wait_micros.Add(wait_timer.ElapsedMicros());
+      }
+      return Status::OK();
+    }
+    if (!ever_blocked) {
+      ever_blocked = true;
+      stats_.blocked_acquires.fetch_add(1, std::memory_order_relaxed);
+      wait_timer.Restart();
+    }
+    // Record the waits-for set (Figure 8), then sleep until a completion.
+    waits_[t] = std::vector<SubTxn*>(blockers.begin(), blockers.end());
+    if (options_.deadlock_detection) {
+      SubTxn* victim = DetectDeadlock(t);
+      if (victim != nullptr) {
+        stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+        if (victim == t->root()) {
+          remove_self();
+          return Status::Deadlock("deadlock victim at " + target.ToString());
+        }
+        victim->RequestAbort();
+        cv_.notify_all();
+      }
+    }
+    if (wait_timer.ElapsedMicros() >
+        static_cast<uint64_t>(options_.wait_timeout.count()) * 1000) {
+      stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      remove_self();
+      return Status::TimedOut("lock wait timeout on " + target.ToString());
+    }
+    cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+void LockManager::OnSubTxnCompleted(SubTxn* t) {
+  std::unique_lock<std::mutex> lock(mu_);
+  t->set_end_seq(NextSeq());
+  switch (options_.protocol) {
+    case Protocol::kSemanticONT:
+      if (!options_.retain_locks) {
+        // §3 protocol: "the locks of the actions in a subtransaction are
+        // released upon the completion of the subtransaction" — drop every
+        // lock owned by a proper descendant of t; t's own lock remains until
+        // t's parent completes (only the root's semantic locks survive to
+        // the end of the transaction).
+        for (auto it = table_.begin(); it != table_.end();) {
+          LockQueue& q = it->second;
+          for (auto e = q.entries.begin(); e != q.entries.end();) {
+            if (e->granted && t->IsAncestorOf(e->acquirer)) {
+              e = q.entries.erase(e);
+            } else {
+              ++e;
+            }
+          }
+          it = q.entries.empty() ? table_.erase(it) : std::next(it);
+        }
+      }
+      break;
+    case Protocol::kClosedNested:
+      // Anti-inheritance: the parent adopts the completed child's locks.
+      if (t->parent() != nullptr) {
+        for (auto& [target, q] : table_) {
+          for (LockEntry& e : q.entries) {
+            if (e.owner == t && e.granted) e.owner = t->parent();
+          }
+        }
+      }
+      break;
+    case Protocol::kFlat2PL:
+      break;  // all locks are root-owned and strict
+  }
+  // Waits-for sets shrink on completion, not on lock release: wake everyone
+  // to re-evaluate.
+  cv_.notify_all();
+}
+
+void LockManager::ReleaseTree(SubTxn* root) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto it = table_.begin(); it != table_.end();) {
+    LockQueue& q = it->second;
+    for (auto e = q.entries.begin(); e != q.entries.end();) {
+      if (e->acquirer->root() == root) {
+        e = q.entries.erase(e);
+      } else {
+        ++e;
+      }
+    }
+    it = q.entries.empty() ? table_.erase(it) : std::next(it);
+  }
+  // Purge dangling blocker pointers into the departing tree; the blocked
+  // threads re-derive their waits-for sets when they wake.
+  for (auto& [waiter, blockers] : waits_) {
+    blockers.erase(std::remove_if(blockers.begin(), blockers.end(),
+                                  [&](SubTxn* b) { return b->root() == root; }),
+                   blockers.end());
+  }
+  cv_.notify_all();
+}
+
+std::vector<LockManager::LockInfo> LockManager::LocksOn(
+    const LockTarget& target) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<LockInfo> out;
+  auto it = table_.find(target);
+  if (it == table_.end()) return out;
+  for (const LockEntry& e : it->second.entries) {
+    out.push_back(LockInfo{e.acquirer->id(), e.acquirer->root()->id(),
+                           e.acquirer->method(), e.granted,
+                           e.acquirer->completed()});
+  }
+  return out;
+}
+
+size_t LockManager::NumWaiters() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return waits_.size();
+}
+
+}  // namespace semcc

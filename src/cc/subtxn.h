@@ -1,0 +1,156 @@
+// Subtransaction tree nodes.
+//
+// The paper treats the dynamic method invocation hierarchy of an OODBS
+// transaction as an open nested transaction: every method invocation (and
+// every generic leaf operation) is an action; actions that invoke further
+// methods are subtransactions. A SubTxn is one node of that tree.
+#ifndef SEMCC_CC_SUBTXN_H_
+#define SEMCC_CC_SUBTXN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "object/oid.h"
+#include "object/value.h"
+#include "util/macros.h"
+
+namespace semcc {
+
+using TxnId = uint64_t;
+
+enum class TxnState : int {
+  kActive = 0,
+  kCommitted = 1,  ///< completed; its locks may be retained by ancestors
+  kAborted = 2,
+};
+
+/// \brief One action in an open nested transaction tree.
+///
+/// Tree growth (AddChild) is performed only by the transaction's executing
+/// thread; other threads (conflict testers, the deadlock detector) traverse
+/// concurrently, so children are guarded.
+class SubTxn {
+ public:
+  SubTxn(TxnId id, SubTxn* parent, Oid object, TypeId type, std::string method,
+         Args args);
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(SubTxn);
+
+  TxnId id() const { return id_; }
+  /// Deadlock-victim ordering rank. Defaults to the id; a retried
+  /// transaction keeps its FIRST attempt's rank, so retries age instead of
+  /// staying "youngest" forever (guarantees progress under deadlock storms).
+  TxnId priority() const { return priority_; }
+  void set_priority(TxnId p) { priority_ = p; }
+  SubTxn* parent() const { return parent_; }
+  SubTxn* root() { return root_; }
+  const SubTxn* root() const { return root_; }
+  bool is_root() const { return parent_ == nullptr; }
+  int depth() const { return depth_; }
+
+  Oid object() const { return object_; }
+  TypeId type() const { return type_; }
+  const std::string& method() const { return method_; }
+  const Args& args() const { return args_; }
+
+  TxnState state() const { return state_.load(std::memory_order_acquire); }
+  /// Completed = committed or aborted (paper: "t is completed").
+  bool completed() const { return state() != TxnState::kActive; }
+  bool committed() const { return state() == TxnState::kCommitted; }
+  void set_state(TxnState s) { state_.store(s, std::memory_order_release); }
+
+  /// True on the root once it has been chosen as a deadlock victim or asked
+  /// to abort; the executing thread observes it at its next action.
+  bool abort_requested() const {
+    return abort_requested_.load(std::memory_order_acquire);
+  }
+  void RequestAbort() { abort_requested_.store(true, std::memory_order_release); }
+
+  /// Compensating actions run while the transaction is flagged for abort;
+  /// they must still be able to acquire locks (same-root locks never block,
+  /// but the abort short-circuit has to be bypassed). Set before the first
+  /// lock request, by the owning thread.
+  bool compensation() const { return compensation_; }
+  void set_compensation(bool v) { compensation_ = v; }
+
+  bool IsAncestorOf(const SubTxn* other) const;
+  bool SameRootAs(const SubTxn* other) const { return root_ == other->root_; }
+
+  /// Proper ancestors, bottom-up: parent first, root last (the paper's
+  /// "ancestor chain of a subtransaction t ... in bottom-up order").
+  std::vector<SubTxn*> AncestorChain() const;
+
+  void AddChild(SubTxn* child);
+  /// Snapshot of children (ordered by invocation).
+  std::vector<SubTxn*> Children() const;
+  /// Incomplete children only (deadlock detector's completion dependencies).
+  std::vector<SubTxn*> IncompleteChildren() const;
+
+  // --- timestamps for the history / serializability checker --------------
+  uint64_t grant_seq() const { return grant_seq_; }
+  void set_grant_seq(uint64_t s) { grant_seq_ = s; }
+  uint64_t end_seq() const { return end_seq_; }
+  void set_end_seq(uint64_t s) { end_seq_ = s; }
+
+  /// Compensation for this completed action, set after successful execution.
+  /// Run (in reverse order of completion) when an ancestor aborts.
+  std::function<void()> inverse;
+  /// If true, `inverse` fully compensates this subtree; otherwise abort
+  /// recurses into the children.
+  bool inverse_is_total = false;
+
+  std::string Label() const;  ///< e.g. "ShipOrder(@3, 17)"
+  std::string PathString() const;
+
+ private:
+  const TxnId id_;
+  TxnId priority_;
+  SubTxn* const parent_;
+  SubTxn* root_;
+  const int depth_;
+  const Oid object_;
+  const TypeId type_;
+  const std::string method_;
+  const Args args_;
+  std::atomic<TxnState> state_{TxnState::kActive};
+  std::atomic<bool> abort_requested_{false};
+  bool compensation_ = false;
+  uint64_t grant_seq_ = 0;
+  uint64_t end_seq_ = 0;
+
+  mutable std::mutex children_mu_;
+  std::vector<SubTxn*> children_;
+};
+
+/// \brief Owner of a transaction tree: allocates nodes, keeps them alive
+/// until the transaction is fully finished and its locks are released.
+class TxnTree {
+ public:
+  /// \param root_object what the root acts on — by the paper's footnote 2,
+  /// transactions are actions on the object "Database".
+  TxnTree(TxnId root_id, std::string name, Oid root_object, TypeId root_type);
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(TxnTree);
+
+  SubTxn* root() { return root_; }
+
+  SubTxn* NewNode(SubTxn* parent, Oid object, TypeId type, std::string method,
+                  Args args);
+
+  /// All nodes in creation order (history extraction).
+  std::vector<SubTxn*> Nodes() const;
+
+  static TxnId NextId();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SubTxn>> nodes_;
+  SubTxn* root_;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_CC_SUBTXN_H_

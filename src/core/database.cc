@@ -1,0 +1,78 @@
+#include "core/database.h"
+
+namespace semcc {
+
+Database::Database(DatabaseOptions options)
+    : options_(options), disk_(options.simulated_io_micros) {
+  buffer_pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages, &disk_);
+  records_ = std::make_unique<RecordManager>(buffer_pool_.get());
+  store_ = std::make_unique<ObjectStore>(&schema_, records_.get());
+  history_.SetEnabled(options_.record_history);
+  if (options_.enable_wal) {
+    wal_ = std::make_unique<WriteAheadLog>(options_.wal_flush_micros);
+    RecoveryOptions ropts;
+    ropts.group_commit = options_.group_commit;
+    ropts.group_window =
+        std::chrono::microseconds(options_.group_commit_window_micros);
+    recovery_ = std::make_unique<RecoveryManager>(wal_.get(), ropts);
+    store_->SetListener(recovery_.get());
+  }
+  lock_manager_ = std::make_unique<LockManager>(options_.protocol, &compat_);
+  txn_manager_ = std::make_unique<TxnManager>(store_.get(), lock_manager_.get(),
+                                              &methods_, &history_,
+                                              recovery_.get());
+}
+
+Database::~Database() = default;
+
+Status Database::RegisterMethod(MethodDef def) {
+  compat_.DeclareMethod(def.type, def.name);
+  return methods_.Register(std::move(def));
+}
+
+Result<Value> Database::RunTransaction(const std::string& name,
+                                       const TxnManager::Body& body,
+                                       int max_retries) {
+  return txn_manager_->Run(name, body, max_retries);
+}
+
+Result<Value> Database::RunTransactionOnce(const std::string& name,
+                                           const TxnManager::Body& body) {
+  return txn_manager_->RunOnce(name, body);
+}
+
+Status Database::SetNamedRoot(const std::string& name, Oid oid) {
+  {
+    std::lock_guard<std::mutex> guard(roots_mu_);
+    named_roots_[name] = oid;
+  }
+  if (recovery_ != nullptr) recovery_->OnNamedRoot(name, oid);
+  return Status::OK();
+}
+
+Result<Oid> Database::GetNamedRoot(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(roots_mu_);
+  auto it = named_roots_.find(name);
+  if (it == named_roots_.end()) {
+    return Status::NotFound("no named root: " + name);
+  }
+  return it->second;
+}
+
+Result<RecoveryManager::RecoveryStats> Database::RecoverFrom(
+    const std::vector<LogRecord>& log) {
+  if (store_->num_objects() > 1) {
+    return Status::PreconditionFailed(
+        "RecoverFrom needs an object-empty database (register types and "
+        "methods only, then recover)");
+  }
+  auto sink = [this](const std::string& name, Oid oid) {
+    (void)SetNamedRoot(name, oid);
+  };
+  auto stats = RecoveryManager::Recover(log, store_.get(), &methods_,
+                                        txn_manager_.get(), sink);
+  if (stats.ok() && wal_ != nullptr) wal_->Flush();
+  return stats;
+}
+
+}  // namespace semcc

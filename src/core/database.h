@@ -1,0 +1,125 @@
+// Database: the public facade of the semcc library.
+//
+// Wires together the storage substrate (disk manager, buffer pool, record
+// manager), the object store, the compatibility registry, the semantic lock
+// manager, and the open-nested transaction manager.
+//
+// Typical use:
+//
+//   semcc::DatabaseOptions options;                     // semantic ONT
+//   semcc::Database db(options);
+//   ... define types (db.schema()), methods (db.RegisterMethod),
+//       compatibilities (db.compat()) ...
+//   auto r = db.RunTransaction("T1", [&](semcc::TxnCtx& ctx) {
+//     return ctx.Invoke(item, "ShipOrder", {order_no});
+//   });
+#ifndef SEMCC_CORE_DATABASE_H_
+#define SEMCC_CORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cc/compatibility.h"
+#include "cc/lock_manager.h"
+#include "object/object_store.h"
+#include "object/schema.h"
+#include "storage/buffer_pool.h"
+#include "recovery/recovery_manager.h"
+#include "recovery/wal.h"
+#include "storage/disk_manager.h"
+#include "storage/record_manager.h"
+#include "txn/history.h"
+#include "txn/method_registry.h"
+#include "txn/txn_manager.h"
+#include "util/macros.h"
+
+namespace semcc {
+
+struct DatabaseOptions {
+  ProtocolOptions protocol;
+  /// Enable write-ahead logging for multi-level recovery (see
+  /// recovery/recovery_manager.h). Off by default: the paper defers
+  /// recovery; this is the future-work extension.
+  bool enable_wal = false;
+  /// Simulated stable-storage latency per log force (an fsync; 0 = free).
+  uint32_t wal_flush_micros = 0;
+  /// Batch commit forces in a group flusher instead of one per commit.
+  bool group_commit = false;
+  uint32_t group_commit_window_micros = 200;
+  size_t buffer_pool_pages = 4096;
+  /// Busy-wait per simulated page I/O (0 = pure in-memory).
+  uint32_t simulated_io_micros = 0;
+  /// Record finished transaction trees (needed by the serializability
+  /// checker and the figure benches; disable for long perf runs).
+  bool record_history = true;
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+  ~Database();
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(Database);
+
+  // --- component access ---------------------------------------------------
+  Schema* schema() { return &schema_; }
+  ObjectStore* store() { return store_.get(); }
+  CompatibilityRegistry* compat() { return &compat_; }
+  MethodRegistry* methods() { return &methods_; }
+  LockManager* locks() { return lock_manager_.get(); }
+  TxnManager* txns() { return txn_manager_.get(); }
+  HistoryRecorder* history() { return &history_; }
+  BufferPool* buffer_pool() { return buffer_pool_.get(); }
+  /// Null unless options.enable_wal.
+  WriteAheadLog* wal() { return wal_.get(); }
+  RecoveryManager* recovery() { return recovery_.get(); }
+
+  const DatabaseOptions& options() const { return options_; }
+
+  // --- convenience ----------------------------------------------------------
+
+  /// Register a method and declare its name for matrix printing.
+  Status RegisterMethod(MethodDef def);
+
+  /// Run a transaction with system-abort retry (see TxnManager::Run).
+  Result<Value> RunTransaction(const std::string& name,
+                               const TxnManager::Body& body,
+                               int max_retries = 16);
+  /// Run exactly one attempt (scenario tests).
+  Result<Value> RunTransactionOnce(const std::string& name,
+                                   const TxnManager::Body& body);
+
+  // --- durable named roots & restart --------------------------------------
+
+  /// Bind a well-known name to an entry-point object (logged when the WAL
+  /// is enabled, so restart can find the object graph's roots again).
+  Status SetNamedRoot(const std::string& name, Oid oid);
+  Result<Oid> GetNamedRoot(const std::string& name) const;
+
+  /// Rebuild this (freshly constructed, schema- and method-installed but
+  /// object-empty) database from a log. See RecoveryManager::Recover.
+  Result<RecoveryManager::RecoveryStats> RecoverFrom(
+      const std::vector<LogRecord>& log);
+
+ private:
+  const DatabaseOptions options_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> buffer_pool_;
+  std::unique_ptr<RecordManager> records_;
+  Schema schema_;
+  std::unique_ptr<ObjectStore> store_;
+  CompatibilityRegistry compat_;
+  MethodRegistry methods_;
+  HistoryRecorder history_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::unique_ptr<RecoveryManager> recovery_;
+  std::unique_ptr<LockManager> lock_manager_;
+  std::unique_ptr<TxnManager> txn_manager_;
+  mutable std::mutex roots_mu_;
+  std::map<std::string, Oid> named_roots_;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_CORE_DATABASE_H_

@@ -1,0 +1,144 @@
+// ObjectStore: the live object graph, mapped onto storage records.
+//
+// Every atomic object's value lives in exactly one storage record, so the
+// conventional baselines can lock the record (RID) or its page. Tuple
+// structure is immutable after creation and serialized to a record; set
+// membership is kept in memory with a small stub record that is rewritten on
+// every mutation (so record/page-level protocols observe set updates as
+// writes; a real system would use overflow chains, which are orthogonal to
+// the concurrency-control question — see DESIGN.md).
+#ifndef SEMCC_OBJECT_OBJECT_STORE_H_
+#define SEMCC_OBJECT_OBJECT_STORE_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "object/schema.h"
+#include "object/value.h"
+#include "storage/record_manager.h"
+#include "util/macros.h"
+
+namespace semcc {
+
+/// \brief Observer of physical state changes, used by the write-ahead log.
+///
+/// Callbacks fire after the change succeeded, while the store still holds
+/// the relevant internal lock, so the log order matches the apply order.
+class StoreListener {
+ public:
+  virtual ~StoreListener() = default;
+  virtual void OnCreateAtomic(Oid oid, TypeId type, const Value& initial) = 0;
+  virtual void OnCreateTuple(
+      Oid oid, TypeId type,
+      const std::vector<std::pair<std::string, Oid>>& components) = 0;
+  virtual void OnCreateSet(Oid oid, TypeId type) = 0;
+  virtual void OnDestroy(Oid oid) = 0;
+  virtual void OnPut(Oid oid, const Value& after) = 0;
+  virtual void OnSetInsert(Oid set, const Value& key, Oid member) = 0;
+  virtual void OnSetRemove(Oid set, const Value& key, Oid member) = 0;
+};
+
+/// \brief The object graph of one database instance.
+///
+/// Thread safety: all operations are physically thread-safe (latches only).
+/// Transactional isolation is the lock manager's job, one layer up.
+class ObjectStore {
+ public:
+  ObjectStore(Schema* schema, RecordManager* records);
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(ObjectStore);
+
+  /// Attach/detach the physical-change observer (WAL). Not thread-safe with
+  /// respect to concurrent mutations; set during wiring.
+  void SetListener(StoreListener* listener) { listener_ = listener; }
+
+  // --- creation ---------------------------------------------------------
+
+  Result<Oid> CreateAtomic(TypeId type, const Value& initial);
+  /// `components` must match the tuple type's component list by name.
+  Result<Oid> CreateTuple(TypeId type,
+                          std::vector<std::pair<std::string, Oid>> components);
+  Result<Oid> CreateSet(TypeId type);
+
+  /// Physically destroy an object (used by compensation of object-creating
+  /// methods). Atomic/tuple/set records are tombstoned.
+  Status Destroy(Oid oid);
+
+  // --- log-replay restoration (recovery) ---------------------------------
+  //
+  // Recreate an object under its ORIGINAL oid. Oid slots between the current
+  // end and `oid` are padded with destroyed placeholders; replaying a log in
+  // LSN order therefore reproduces the exact oid space. Listener callbacks
+  // still fire (the new database's log receives the compacted history).
+
+  Status RestoreAtomic(Oid oid, TypeId type, const Value& initial);
+  Status RestoreTuple(Oid oid, TypeId type,
+                      std::vector<std::pair<std::string, Oid>> components);
+  Status RestoreSet(Oid oid, TypeId type);
+
+  // --- atomic objects (generic methods Get / Put, paper §2.2) -----------
+
+  Result<Value> Get(Oid oid);
+  Status Put(Oid oid, const Value& value);
+
+  // --- tuple objects (component selection t.c) --------------------------
+
+  Result<Oid> Component(Oid tuple, const std::string& name);
+  Result<std::vector<std::pair<std::string, Oid>>> Components(Oid tuple);
+
+  // --- set objects (generic method Select, plus Insert/Remove) ----------
+
+  Status SetInsert(Oid set, const Value& key, Oid member);
+  Status SetRemove(Oid set, const Value& key);
+  Result<Oid> SetSelect(Oid set, const Value& key);
+  Result<std::vector<std::pair<Value, Oid>>> SetScan(Oid set);
+  Result<size_t> SetSize(Oid set);
+
+  // --- reflection --------------------------------------------------------
+
+  Result<ObjectKind> KindOf(Oid oid) const;
+  Result<TypeId> TypeOf(Oid oid) const;
+  /// Storage record backing the object (atom value / tuple structure / set
+  /// stub). Used by record- and page-granularity locking.
+  Result<Rid> RidOf(Oid oid) const;
+  Result<PageId> PageOf(Oid oid) const;
+
+  uint64_t num_objects() const;
+  std::string DebugString(Oid oid) const;
+
+  Schema* schema() const { return schema_; }
+
+ private:
+  struct ObjectMeta {
+    Oid oid = kInvalidOid;
+    TypeId type = kInvalidTypeId;
+    ObjectKind kind = ObjectKind::kAtomic;
+    Rid rid;
+    bool destroyed = false;
+    // Tuple: immutable after creation.
+    std::vector<std::pair<std::string, Oid>> components;
+    // Set: mutable, guarded by set_mu.
+    std::map<Value, Oid> members;
+    mutable std::mutex set_mu;
+  };
+
+  Result<ObjectMeta*> Find(Oid oid) const;
+  Result<ObjectMeta*> FindOfKind(Oid oid, ObjectKind kind) const;
+  Status RewriteSetStub(ObjectMeta* meta);
+  /// Place `meta` at index `oid` (padding as needed). Requires meta_mu_.
+  Status EmplaceAt(Oid oid, std::unique_ptr<ObjectMeta> meta);
+
+  Schema* const schema_;
+  RecordManager* const records_;
+  StoreListener* listener_ = nullptr;
+
+  mutable std::shared_mutex meta_mu_;
+  std::vector<std::unique_ptr<ObjectMeta>> objects_;  // index = Oid
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_OBJECT_OBJECT_STORE_H_

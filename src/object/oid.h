@@ -1,0 +1,35 @@
+// Object identifiers.
+#ifndef SEMCC_OBJECT_OID_H_
+#define SEMCC_OBJECT_OID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace semcc {
+
+/// \brief Surrogate object id, unique per ObjectStore.
+///
+/// Oid 0 is reserved for the database root object: the paper (footnote 2)
+/// views top-level transactions as actions on the object "Database".
+using Oid = uint64_t;
+
+constexpr Oid kDatabaseOid = 0;
+constexpr Oid kInvalidOid = UINT64_MAX;
+
+/// \brief Object type id, assigned by the schema registry.
+using TypeId = uint32_t;
+constexpr TypeId kInvalidTypeId = UINT32_MAX;
+
+/// \brief Structural kind of an object (the paper's generic types, §2.2).
+enum class ObjectKind : uint8_t {
+  kAtomic = 0,  ///< single value; generic methods Get/Put
+  kTuple = 1,   ///< named components; component selection t.c
+  kSet = 2,     ///< members with a primary key; generic method Select
+};
+
+const char* ObjectKindName(ObjectKind kind);
+
+}  // namespace semcc
+
+#endif  // SEMCC_OBJECT_OID_H_

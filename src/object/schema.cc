@@ -1,0 +1,88 @@
+#include "object/schema.h"
+
+namespace semcc {
+
+Schema::Schema() {
+  // Type 0: the database root (paper footnote 2 — transactions are actions
+  // on the object "Database").
+  TypeDescriptor db;
+  db.id = kDatabaseTypeId;
+  db.name = "Database";
+  db.kind = ObjectKind::kTuple;
+  db.encapsulated = false;
+  types_.push_back(db);
+  by_name_["Database"] = kDatabaseTypeId;
+}
+
+Result<TypeId> Schema::Define(TypeDescriptor desc) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (by_name_.count(desc.name) > 0) {
+    return Status::AlreadyExists("type already defined: " + desc.name);
+  }
+  desc.id = static_cast<TypeId>(types_.size());
+  by_name_[desc.name] = desc.id;
+  types_.push_back(std::move(desc));
+  return types_.back().id;
+}
+
+Result<TypeId> Schema::DefineAtomicType(const std::string& name) {
+  TypeDescriptor d;
+  d.name = name;
+  d.kind = ObjectKind::kAtomic;
+  return Define(std::move(d));
+}
+
+Result<TypeId> Schema::DefineTupleType(const std::string& name,
+                                       std::vector<ComponentDef> components,
+                                       bool encapsulated) {
+  TypeDescriptor d;
+  d.name = name;
+  d.kind = ObjectKind::kTuple;
+  d.encapsulated = encapsulated;
+  d.components = std::move(components);
+  for (size_t i = 0; i < d.components.size(); ++i) {
+    for (size_t j = i + 1; j < d.components.size(); ++j) {
+      if (d.components[i].name == d.components[j].name) {
+        return Status::InvalidArgument("duplicate component: " +
+                                       d.components[i].name);
+      }
+    }
+  }
+  return Define(std::move(d));
+}
+
+Result<TypeId> Schema::DefineSetType(const std::string& name,
+                                     TypeId member_type,
+                                     const std::string& key_component) {
+  TypeDescriptor d;
+  d.name = name;
+  d.kind = ObjectKind::kSet;
+  d.member_type = member_type;
+  d.key_component = key_component;
+  return Define(std::move(d));
+}
+
+Result<TypeDescriptor> Schema::Get(TypeId id) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (id >= types_.size()) return Status::NotFound("unknown type id");
+  return types_[id];
+}
+
+Result<TypeDescriptor> Schema::GetByName(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("unknown type: " + name);
+  return types_[it->second];
+}
+
+std::string Schema::TypeName(TypeId id) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return id < types_.size() ? types_[id].name : "?";
+}
+
+std::vector<TypeDescriptor> Schema::AllTypes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return types_;
+}
+
+}  // namespace semcc

@@ -1,0 +1,79 @@
+// Structural schema: object types and their composition.
+//
+// The paper (§2) uses an object-structure graph model as a "lowest common
+// denominator": encapsulated types (Item, Order) are tuples of atomic objects
+// and sets of further objects. This registry records that structure; method
+// semantics (bodies, inverses, compatibility) live in the core layer.
+#ifndef SEMCC_OBJECT_SCHEMA_H_
+#define SEMCC_OBJECT_SCHEMA_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "object/oid.h"
+#include "object/value.h"
+#include "util/macros.h"
+#include "util/result.h"
+
+namespace semcc {
+
+/// \brief Definition of one tuple component.
+struct ComponentDef {
+  std::string name;
+  TypeId type = kInvalidTypeId;
+};
+
+/// \brief A registered object type.
+struct TypeDescriptor {
+  TypeId id = kInvalidTypeId;
+  std::string name;
+  ObjectKind kind = ObjectKind::kAtomic;
+  /// True for encapsulated ADTs (Item, Order): access is *supposed* to go
+  /// through methods, though transactions may bypass (paper §4.1).
+  bool encapsulated = false;
+  /// Tuple types: ordered components.
+  std::vector<ComponentDef> components;
+  /// Set types: type of the members.
+  TypeId member_type = kInvalidTypeId;
+  /// Set types: name of the key component in the member type ("primary key
+  /// defined among the atomic components of the set's member type", §2.2).
+  std::string key_component;
+};
+
+/// \brief Thread-safe type registry.
+class Schema {
+ public:
+  Schema();
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(Schema);
+
+  Result<TypeId> DefineAtomicType(const std::string& name);
+  Result<TypeId> DefineTupleType(const std::string& name,
+                                 std::vector<ComponentDef> components,
+                                 bool encapsulated);
+  Result<TypeId> DefineSetType(const std::string& name, TypeId member_type,
+                               const std::string& key_component);
+
+  Result<TypeDescriptor> Get(TypeId id) const;
+  Result<TypeDescriptor> GetByName(const std::string& name) const;
+  std::string TypeName(TypeId id) const;
+
+  /// The pre-registered type of the database root object.
+  TypeId database_type() const { return kDatabaseTypeId; }
+  static constexpr TypeId kDatabaseTypeId = 0;
+
+  std::vector<TypeDescriptor> AllTypes() const;
+
+ private:
+  Result<TypeId> Define(TypeDescriptor desc);
+
+  mutable std::mutex mu_;
+  std::vector<TypeDescriptor> types_;
+  std::map<std::string, TypeId> by_name_;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_OBJECT_SCHEMA_H_

@@ -1,0 +1,139 @@
+#include "object/value.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace semcc {
+
+const char* ObjectKindName(ObjectKind kind) {
+  switch (kind) {
+    case ObjectKind::kAtomic:
+      return "atomic";
+    case ObjectKind::kTuple:
+      return "tuple";
+    case ObjectKind::kSet:
+      return "set";
+  }
+  return "?";
+}
+
+bool Value::operator<(const Value& other) const {
+  if (v_.index() != other.v_.index()) return v_.index() < other.v_.index();
+  return v_ < other.v_;
+}
+
+namespace {
+template <typename T>
+void AppendRaw(std::string* out, const T& v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(std::string_view* in, T* v) {
+  if (in->size() < sizeof(T)) return false;
+  std::memcpy(v, in->data(), sizeof(T));
+  in->remove_prefix(sizeof(T));
+  return true;
+}
+}  // namespace
+
+std::string Value::Serialize() const {
+  std::string out;
+  out.push_back(static_cast<char>(type()));
+  switch (type()) {
+    case Type::kNull:
+      break;
+    case Type::kBool:
+      out.push_back(AsBool() ? 1 : 0);
+      break;
+    case Type::kInt:
+      AppendRaw(&out, AsInt());
+      break;
+    case Type::kDouble:
+      AppendRaw(&out, AsDouble());
+      break;
+    case Type::kString: {
+      const std::string& s = AsString();
+      AppendRaw(&out, static_cast<uint32_t>(s.size()));
+      out.append(s);
+      break;
+    }
+    case Type::kRef:
+      AppendRaw(&out, AsRef());
+      break;
+  }
+  return out;
+}
+
+Result<Value> Value::Deserialize(std::string_view bytes) {
+  if (bytes.empty()) return Status::Corruption("empty value encoding");
+  const Type t = static_cast<Type>(bytes.front());
+  bytes.remove_prefix(1);
+  switch (t) {
+    case Type::kNull:
+      return Value();
+    case Type::kBool: {
+      if (bytes.empty()) return Status::Corruption("truncated bool");
+      return Value(bytes.front() != 0);
+    }
+    case Type::kInt: {
+      int64_t v;
+      if (!ReadRaw(&bytes, &v)) return Status::Corruption("truncated int");
+      return Value(v);
+    }
+    case Type::kDouble: {
+      double v;
+      if (!ReadRaw(&bytes, &v)) return Status::Corruption("truncated double");
+      return Value(v);
+    }
+    case Type::kString: {
+      uint32_t len;
+      if (!ReadRaw(&bytes, &len) || bytes.size() < len) {
+        return Status::Corruption("truncated string");
+      }
+      return Value(std::string(bytes.substr(0, len)));
+    }
+    case Type::kRef: {
+      Oid oid;
+      if (!ReadRaw(&bytes, &oid)) return Status::Corruption("truncated ref");
+      return Value::Ref(oid);
+    }
+  }
+  return Status::Corruption("unknown value tag");
+}
+
+std::string Value::ToString() const {
+  char buf[64];
+  switch (type()) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return AsBool() ? "true" : "false";
+    case Type::kInt:
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(AsInt()));
+      return buf;
+    case Type::kDouble:
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    case Type::kString:
+      return "\"" + AsString() + "\"";
+    case Type::kRef:
+      std::snprintf(buf, sizeof(buf), "@%llu",
+                    static_cast<unsigned long long>(AsRef()));
+      return buf;
+  }
+  return "?";
+}
+
+std::string ArgsToString(const Args& args) {
+  std::string out = "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace semcc

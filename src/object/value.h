@@ -1,0 +1,78 @@
+// Tagged values held by atomic objects and passed as method parameters.
+#ifndef SEMCC_OBJECT_VALUE_H_
+#define SEMCC_OBJECT_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "object/oid.h"
+#include "util/result.h"
+
+namespace semcc {
+
+/// \brief A dynamically typed value: null, bool, int64, double, string, or
+/// an object reference.
+class Value {
+ public:
+  enum class Type : uint8_t {
+    kNull = 0,
+    kBool = 1,
+    kInt = 2,
+    kDouble = 3,
+    kString = 4,
+    kRef = 5,
+  };
+
+  Value() : v_(std::monostate{}) {}
+  Value(bool b) : v_(b) {}                      // NOLINT implicit
+  Value(int64_t i) : v_(i) {}                   // NOLINT implicit
+  Value(int i) : v_(static_cast<int64_t>(i)) {} // NOLINT implicit
+  Value(double d) : v_(d) {}                    // NOLINT implicit
+  Value(std::string s) : v_(std::move(s)) {}    // NOLINT implicit
+  Value(const char* s) : v_(std::string(s)) {}  // NOLINT implicit
+
+  static Value Ref(Oid oid) {
+    Value v;
+    v.v_ = RefBox{oid};
+    return v;
+  }
+
+  Type type() const { return static_cast<Type>(v_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+
+  bool AsBool() const { return std::get<bool>(v_); }
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  Oid AsRef() const { return std::get<RefBox>(v_).oid; }
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// Total order over (type tag, payload); used by key indexes.
+  bool operator<(const Value& other) const;
+
+  /// Compact binary encoding (tag byte + payload).
+  std::string Serialize() const;
+  static Result<Value> Deserialize(std::string_view bytes);
+
+  std::string ToString() const;
+
+ private:
+  struct RefBox {
+    Oid oid;
+    bool operator==(const RefBox& other) const = default;
+    bool operator<(const RefBox& other) const { return oid < other.oid; }
+  };
+  std::variant<std::monostate, bool, int64_t, double, std::string, RefBox> v_;
+};
+
+/// Parameter list of a method invocation.
+using Args = std::vector<Value>;
+
+std::string ArgsToString(const Args& args);
+
+}  // namespace semcc
+
+#endif  // SEMCC_OBJECT_VALUE_H_

@@ -1,0 +1,90 @@
+// Object-assembly queries over complex objects.
+//
+// Paper §1.1 lists three reasons transactions bypass encapsulation; the
+// second is that "'object-assembly' queries on complex objects require the
+// structure of an encapsulated complex object to be revealed". This module
+// is that generic, structure-revealing query facility: it navigates the
+// object graph with the generic operations only (component selection,
+// set Select/Scan, atomic Get), never invoking user methods — a purely
+// "conventional" reader in the paper's sense. Because it runs inside a
+// TxnCtx, every read takes the generic semantic locks, and the §4 protocol
+// is what makes its coexistence with method-invoking transactions safe.
+//
+// Two facilities:
+//  * PathExpr — a parsed navigation path evaluated against a root object:
+//        "Orders[3].Status"          component + keyed set selection
+//        "Orders[*].Quantity"        fan-out over all set members
+//    Keys are integers or quoted strings; `[*]` scans.
+//  * Assemble — deep-copies an object subtree into an AssembledObject value
+//    tree (the "assembled" complex object), to a depth limit.
+#ifndef SEMCC_QUERY_OBJECT_ASSEMBLY_H_
+#define SEMCC_QUERY_OBJECT_ASSEMBLY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "txn/txn_context.h"
+
+namespace semcc {
+namespace query {
+
+/// \brief One step of a navigation path.
+struct PathStep {
+  enum class Kind { kComponent, kSelect, kScan };
+  Kind kind = Kind::kComponent;
+  std::string component;  ///< kComponent: tuple component name
+  Value key;              ///< kSelect: set key
+};
+
+/// \brief Parsed navigation path.
+class PathExpr {
+ public:
+  /// Parse e.g. "Orders[3].Status" or "Orders[*].Quantity" or
+  /// "Items[\"widget\"].Price". Grammar:
+  ///   path    := segment ('.' segment)*
+  ///   segment := NAME ('[' key ']')?
+  ///   key     := INT | '"' chars '"' | '*'
+  static Result<PathExpr> Parse(const std::string& text);
+
+  const std::vector<PathStep>& steps() const { return steps_; }
+  std::string ToString() const;
+
+  /// Evaluate against `root` inside `ctx`; returns the oids the path
+  /// reaches (several when the path contains `[*]`).
+  Result<std::vector<Oid>> Resolve(TxnCtx& ctx, Oid root) const;
+
+  /// Resolve and Get each reached atomic object.
+  Result<std::vector<Value>> ReadValues(TxnCtx& ctx, Oid root) const;
+
+ private:
+  std::vector<PathStep> steps_;
+};
+
+/// \brief A detached, assembled copy of a complex object.
+struct AssembledObject {
+  Oid oid = kInvalidOid;
+  ObjectKind kind = ObjectKind::kAtomic;
+  std::string type_name;
+  Value atom;                                            // kAtomic
+  std::vector<std::pair<std::string, std::unique_ptr<AssembledObject>>>
+      components;                                        // kTuple
+  std::vector<std::pair<Value, std::unique_ptr<AssembledObject>>> members;  // kSet
+  bool truncated = false;  ///< depth limit hit below this node
+
+  /// Render as an indented tree (debug / example output).
+  std::string ToString(int indent = 0) const;
+  /// Count of nodes in the assembled tree.
+  size_t NodeCount() const;
+};
+
+/// Deep-copy the object graph under `root` (atoms read with Get, tuples by
+/// component, sets by Scan) down to `max_depth` object levels.
+Result<std::unique_ptr<AssembledObject>> Assemble(TxnCtx& ctx, Oid root,
+                                                  int max_depth = 8);
+
+}  // namespace query
+}  // namespace semcc
+
+#endif  // SEMCC_QUERY_OBJECT_ASSEMBLY_H_

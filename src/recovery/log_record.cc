@@ -1,0 +1,132 @@
+#include "recovery/log_record.h"
+
+#include <sstream>
+
+#include "util/coding.h"
+
+namespace semcc {
+
+const char* LogTypeName(LogType type) {
+  switch (type) {
+    case LogType::kCreateAtomic:
+      return "CreateAtomic";
+    case LogType::kCreateTuple:
+      return "CreateTuple";
+    case LogType::kCreateSet:
+      return "CreateSet";
+    case LogType::kDestroy:
+      return "Destroy";
+    case LogType::kAtomWrite:
+      return "AtomWrite";
+    case LogType::kSetInsert:
+      return "SetInsert";
+    case LogType::kSetRemove:
+      return "SetRemove";
+    case LogType::kNamedRoot:
+      return "NamedRoot";
+    case LogType::kTxnBegin:
+      return "TxnBegin";
+    case LogType::kTxnCommit:
+      return "TxnCommit";
+    case LogType::kTxnAbort:
+      return "TxnAbort";
+    case LogType::kMethodCommit:
+      return "MethodCommit";
+    case LogType::kLeafPut:
+      return "LeafPut";
+    case LogType::kLeafSetInsert:
+      return "LeafSetInsert";
+    case LogType::kLeafSetRemove:
+      return "LeafSetRemove";
+  }
+  return "?";
+}
+
+std::string LogRecord::Encode() const {
+  std::string out;
+  PutU64(&out, lsn);
+  PutU8(&out, static_cast<uint8_t>(type));
+  PutU64(&out, txn);
+  PutU64(&out, subtxn);
+  PutU64(&out, parent);
+  PutU64(&out, object);
+  PutU32(&out, obj_type);
+  PutU64(&out, aux_oid);
+  PutU8(&out, flag ? 1 : 0);
+  PutLengthPrefixed(&out, method);
+  PutLengthPrefixed(&out, name);
+  PutU32(&out, static_cast<uint32_t>(args.size()));
+  for (const Value& a : args) PutLengthPrefixed(&out, a.Serialize());
+  PutLengthPrefixed(&out, value.Serialize());
+  PutU32(&out, static_cast<uint32_t>(components.size()));
+  for (const auto& [cname, coid] : components) {
+    PutLengthPrefixed(&out, cname);
+    PutU64(&out, coid);
+  }
+  PutU32(&out, static_cast<uint32_t>(path.size()));
+  for (TxnId id : path) PutU64(&out, id);
+  return out;
+}
+
+Result<LogRecord> LogRecord::Decode(std::string_view bytes) {
+  LogRecord rec;
+  Decoder dec(bytes);
+  uint8_t type_byte = 0;
+  uint8_t flag_byte = 0;
+  if (!dec.GetU64(&rec.lsn) || !dec.GetU8(&type_byte) || !dec.GetU64(&rec.txn) ||
+      !dec.GetU64(&rec.subtxn) || !dec.GetU64(&rec.parent) ||
+      !dec.GetU64(&rec.object) || !dec.GetU32(&rec.obj_type) ||
+      !dec.GetU64(&rec.aux_oid) || !dec.GetU8(&flag_byte)) {
+    return Status::Corruption("truncated log record header");
+  }
+  rec.type = static_cast<LogType>(type_byte);
+  rec.flag = flag_byte != 0;
+  std::string blob;
+  if (!dec.GetLengthPrefixed(&rec.method)) {
+    return Status::Corruption("truncated method");
+  }
+  if (!dec.GetLengthPrefixed(&rec.name)) {
+    return Status::Corruption("truncated name");
+  }
+  uint32_t nargs = 0;
+  if (!dec.GetU32(&nargs)) return Status::Corruption("truncated arg count");
+  for (uint32_t i = 0; i < nargs; ++i) {
+    if (!dec.GetLengthPrefixed(&blob)) return Status::Corruption("truncated arg");
+    SEMCC_ASSIGN_OR_RETURN(Value v, Value::Deserialize(blob));
+    rec.args.push_back(std::move(v));
+  }
+  if (!dec.GetLengthPrefixed(&blob)) return Status::Corruption("truncated value");
+  SEMCC_ASSIGN_OR_RETURN(rec.value, Value::Deserialize(blob));
+  uint32_t ncomp = 0;
+  if (!dec.GetU32(&ncomp)) return Status::Corruption("truncated component count");
+  for (uint32_t i = 0; i < ncomp; ++i) {
+    std::string cname;
+    uint64_t coid;
+    if (!dec.GetLengthPrefixed(&cname) || !dec.GetU64(&coid)) {
+      return Status::Corruption("truncated component");
+    }
+    rec.components.emplace_back(std::move(cname), coid);
+  }
+  uint32_t npath = 0;
+  if (!dec.GetU32(&npath)) return Status::Corruption("truncated path count");
+  for (uint32_t i = 0; i < npath; ++i) {
+    uint64_t id;
+    if (!dec.GetU64(&id)) return Status::Corruption("truncated path entry");
+    rec.path.push_back(id);
+  }
+  if (!dec.empty()) return Status::Corruption("trailing bytes in log record");
+  return rec;
+}
+
+std::string LogRecord::ToString() const {
+  std::ostringstream out;
+  out << "[" << lsn << "] " << LogTypeName(type);
+  if (txn != 0) out << " txn=" << txn;
+  if (subtxn != 0) out << " sub=" << subtxn;
+  if (object != kInvalidOid) out << " obj=@" << object;
+  if (!method.empty()) out << " " << method << ArgsToString(args);
+  if (!name.empty()) out << " name=" << name;
+  return out.str();
+}
+
+}  // namespace semcc

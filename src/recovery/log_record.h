@@ -1,0 +1,88 @@
+// Log records for multi-level (open nested) recovery.
+//
+// The paper defers recovery to future work and points at the multi-level
+// recovery line [WHBM90, HW91]: REDO is physical (state changes of the
+// storage-level objects), UNDO is *logical* — committed subtransactions are
+// compensated by their registered semantic inverses, exactly like online
+// abort (§3). The log therefore carries two strata:
+//   * physical records emitted by the object store (creates, atom writes,
+//     set inserts/removes, destroys, named roots) — replayed in LSN order
+//     they rebuild the crash-time state from nothing;
+//   * transactional records emitted by the execution engine (txn begin /
+//     commit / abort, method-commit with undo information, leaf-commit with
+//     before-images) — they let restart reconstruct the action trees of
+//     loser transactions and run the same compensation recursion the online
+//     abort path uses.
+#ifndef SEMCC_RECOVERY_LOG_RECORD_H_
+#define SEMCC_RECOVERY_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cc/subtxn.h"
+#include "object/oid.h"
+#include "object/value.h"
+#include "util/result.h"
+
+namespace semcc {
+
+using Lsn = uint64_t;
+constexpr Lsn kInvalidLsn = 0;
+
+enum class LogType : uint8_t {
+  // Physical (redo) records.
+  kCreateAtomic = 1,   // object, obj_type, value = initial
+  kCreateTuple = 2,    // object, obj_type, components
+  kCreateSet = 3,      // object, obj_type
+  kDestroy = 4,        // object
+  kAtomWrite = 5,      // object, value = after-image
+  kSetInsert = 6,      // object = set, args[0] = key, aux_oid = member
+  kSetRemove = 7,      // object = set, args[0] = key, aux_oid = member
+  kNamedRoot = 8,      // name, object
+  // Transactional (undo information) records.
+  kTxnBegin = 16,      // txn
+  kTxnCommit = 17,     // txn
+  kTxnAbort = 18,      // txn (written after compensation completed)
+  kMethodCommit = 19,  // txn, subtxn, parent, object, obj_type, method, args,
+                       // value = result, flag = has registered (total) inverse
+  kLeafPut = 20,       // txn, subtxn, parent, object, value = BEFORE-image
+  kLeafSetInsert = 21, // txn, subtxn, parent, object = set, args[0] = key
+  kLeafSetRemove = 22, // txn, subtxn, parent, object = set, args[0] = key,
+                       // aux_oid = removed member
+};
+
+const char* LogTypeName(LogType type);
+
+/// \brief One log record. Field use depends on `type` (see LogType).
+struct LogRecord {
+  Lsn lsn = kInvalidLsn;
+  LogType type = LogType::kTxnBegin;
+  TxnId txn = 0;
+  TxnId subtxn = 0;
+  TxnId parent = 0;
+  Oid object = kInvalidOid;
+  TypeId obj_type = kInvalidTypeId;
+  Oid aux_oid = kInvalidOid;
+  bool flag = false;
+  std::string method;
+  std::string name;
+  Args args;
+  Value value;
+  std::vector<std::pair<std::string, Oid>> components;
+  /// Transactional records: proper-ancestor subtransaction ids, bottom-up
+  /// (parent first, root last). Restart uses it to decide whether a
+  /// committed action is covered by a committed ancestor's total inverse.
+  std::vector<TxnId> path;
+
+  /// Binary round-trip (the "disk format" of the log).
+  std::string Encode() const;
+  static Result<LogRecord> Decode(std::string_view bytes);
+
+  std::string ToString() const;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_RECOVERY_LOG_RECORD_H_

@@ -1,0 +1,340 @@
+#include "recovery/recovery_manager.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+
+namespace semcc {
+
+RecoveryManager::RecoveryManager(WriteAheadLog* wal, RecoveryOptions options)
+    : wal_(wal), options_(options) {
+  if (options_.group_commit) {
+    gc_flusher_ = std::thread([this]() { GroupFlusherLoop(); });
+  }
+}
+
+RecoveryManager::~RecoveryManager() {
+  if (gc_flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> guard(gc_mu_);
+      gc_stop_ = true;
+    }
+    gc_cv_.notify_all();
+    gc_flusher_.join();
+  }
+}
+
+void RecoveryManager::GroupFlusherLoop() {
+  std::unique_lock<std::mutex> lock(gc_mu_);
+  while (!gc_stop_) {
+    gc_cv_.wait(lock, [this] { return gc_pending_ || gc_stop_; });
+    if (gc_stop_) break;
+    // Batch: let concurrent committers pile in behind the first one.
+    lock.unlock();
+    std::this_thread::sleep_for(options_.group_window);
+    wal_->Flush();
+    lock.lock();
+    gc_pending_ = false;
+    gc_cv_.notify_all();
+  }
+}
+
+void RecoveryManager::MakeStable(Lsn lsn) {
+  if (!options_.group_commit) {
+    wal_->Flush();
+    return;
+  }
+  std::unique_lock<std::mutex> lock(gc_mu_);
+  gc_pending_ = true;
+  gc_cv_.notify_all();
+  gc_cv_.wait(lock, [this, lsn] { return wal_->stable_lsn() >= lsn; });
+}
+
+// --- physical stratum ---------------------------------------------------
+
+void RecoveryManager::OnCreateAtomic(Oid oid, TypeId type, const Value& initial) {
+  LogRecord rec;
+  rec.type = LogType::kCreateAtomic;
+  rec.object = oid;
+  rec.obj_type = type;
+  rec.value = initial;
+  wal_->Append(std::move(rec));
+}
+
+void RecoveryManager::OnCreateTuple(
+    Oid oid, TypeId type,
+    const std::vector<std::pair<std::string, Oid>>& components) {
+  LogRecord rec;
+  rec.type = LogType::kCreateTuple;
+  rec.object = oid;
+  rec.obj_type = type;
+  rec.components = components;
+  wal_->Append(std::move(rec));
+}
+
+void RecoveryManager::OnCreateSet(Oid oid, TypeId type) {
+  LogRecord rec;
+  rec.type = LogType::kCreateSet;
+  rec.object = oid;
+  rec.obj_type = type;
+  wal_->Append(std::move(rec));
+}
+
+void RecoveryManager::OnDestroy(Oid oid) {
+  LogRecord rec;
+  rec.type = LogType::kDestroy;
+  rec.object = oid;
+  wal_->Append(std::move(rec));
+}
+
+void RecoveryManager::OnPut(Oid oid, const Value& after) {
+  LogRecord rec;
+  rec.type = LogType::kAtomWrite;
+  rec.object = oid;
+  rec.value = after;
+  wal_->Append(std::move(rec));
+}
+
+void RecoveryManager::OnSetInsert(Oid set, const Value& key, Oid member) {
+  LogRecord rec;
+  rec.type = LogType::kSetInsert;
+  rec.object = set;
+  rec.args = {key};
+  rec.aux_oid = member;
+  wal_->Append(std::move(rec));
+}
+
+void RecoveryManager::OnSetRemove(Oid set, const Value& key, Oid member) {
+  LogRecord rec;
+  rec.type = LogType::kSetRemove;
+  rec.object = set;
+  rec.args = {key};
+  rec.aux_oid = member;
+  wal_->Append(std::move(rec));
+}
+
+void RecoveryManager::OnNamedRoot(const std::string& name, Oid oid) {
+  LogRecord rec;
+  rec.type = LogType::kNamedRoot;
+  rec.name = name;
+  rec.object = oid;
+  wal_->Append(std::move(rec));
+  wal_->Flush();  // directory entries are rare and precious
+}
+
+// --- transactional stratum -------------------------------------------------
+
+void RecoveryManager::OnTxnBegin(TxnId txn) {
+  LogRecord rec;
+  rec.type = LogType::kTxnBegin;
+  rec.txn = txn;
+  wal_->Append(std::move(rec));
+}
+
+void RecoveryManager::OnTxnCommit(TxnId txn) {
+  LogRecord rec;
+  rec.type = LogType::kTxnCommit;
+  rec.txn = txn;
+  const Lsn lsn = wal_->Append(std::move(rec));
+  MakeStable(lsn);  // force at commit (individually or via group commit)
+}
+
+void RecoveryManager::OnTxnAbort(TxnId txn) {
+  LogRecord rec;
+  rec.type = LogType::kTxnAbort;
+  rec.txn = txn;
+  const Lsn lsn = wal_->Append(std::move(rec));
+  MakeStable(lsn);  // abort is complete: restart must not re-undo
+}
+
+LogRecord RecoveryManager::ActionBase(const SubTxn& node, LogType type) {
+  LogRecord rec;
+  rec.type = type;
+  rec.txn = node.root()->id();
+  rec.subtxn = node.id();
+  rec.parent = node.parent() != nullptr ? node.parent()->id() : node.id();
+  rec.object = node.object();
+  rec.obj_type = node.type();
+  rec.method = node.method();
+  rec.args = node.args();
+  for (const SubTxn* anc : node.AncestorChain()) rec.path.push_back(anc->id());
+  return rec;
+}
+
+void RecoveryManager::OnMethodCommitted(const SubTxn& node, const Value& result,
+                                        bool has_total_inverse) {
+  LogRecord rec = ActionBase(node, LogType::kMethodCommit);
+  rec.value = result;
+  rec.flag = has_total_inverse;
+  wal_->Append(std::move(rec));
+}
+
+void RecoveryManager::OnLeafPut(const SubTxn& node, const Value& before) {
+  LogRecord rec = ActionBase(node, LogType::kLeafPut);
+  rec.value = before;
+  wal_->Append(std::move(rec));
+}
+
+void RecoveryManager::OnLeafSetInsert(const SubTxn& node) {
+  wal_->Append(ActionBase(node, LogType::kLeafSetInsert));
+}
+
+void RecoveryManager::OnLeafSetRemove(const SubTxn& node, Oid removed_member) {
+  LogRecord rec = ActionBase(node, LogType::kLeafSetRemove);
+  rec.aux_oid = removed_member;
+  wal_->Append(std::move(rec));
+}
+
+// --- restart -----------------------------------------------------------------
+
+std::string RecoveryManager::RecoveryStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "records=%zu redo=%zu winners=%zu losers=%zu inverses=%zu "
+                "leaf_undos=%zu",
+                records, redo_applied, winners, losers, inverses_run,
+                leaf_undos);
+  return buf;
+}
+
+Result<RecoveryManager::RecoveryStats> RecoveryManager::Recover(
+    const std::vector<LogRecord>& log, ObjectStore* store,
+    MethodRegistry* methods, TxnManager* txns,
+    const std::function<void(const std::string&, Oid)>& named_root_sink) {
+  RecoveryStats stats;
+  stats.records = log.size();
+
+  // Pass 1 — REDO: replay physical records; classify transactions.
+  std::set<TxnId> begun, committed, aborted;
+  for (const LogRecord& rec : log) {
+    switch (rec.type) {
+      case LogType::kCreateAtomic:
+        SEMCC_RETURN_NOT_OK(store->RestoreAtomic(rec.object, rec.obj_type, rec.value));
+        stats.redo_applied++;
+        break;
+      case LogType::kCreateTuple:
+        SEMCC_RETURN_NOT_OK(
+            store->RestoreTuple(rec.object, rec.obj_type, rec.components));
+        stats.redo_applied++;
+        break;
+      case LogType::kCreateSet:
+        SEMCC_RETURN_NOT_OK(store->RestoreSet(rec.object, rec.obj_type));
+        stats.redo_applied++;
+        break;
+      case LogType::kDestroy: {
+        Status st = store->Destroy(rec.object);
+        if (!st.ok() && !st.IsNotFound()) return st;
+        stats.redo_applied++;
+        break;
+      }
+      case LogType::kAtomWrite:
+        SEMCC_RETURN_NOT_OK(store->Put(rec.object, rec.value));
+        stats.redo_applied++;
+        break;
+      case LogType::kSetInsert:
+        SEMCC_RETURN_NOT_OK(store->SetInsert(rec.object, rec.args[0], rec.aux_oid));
+        stats.redo_applied++;
+        break;
+      case LogType::kSetRemove: {
+        Status st = store->SetRemove(rec.object, rec.args[0]);
+        if (!st.ok() && !st.IsNotFound()) return st;
+        stats.redo_applied++;
+        break;
+      }
+      case LogType::kNamedRoot:
+        if (named_root_sink) named_root_sink(rec.name, rec.object);
+        break;
+      case LogType::kTxnBegin:
+        begun.insert(rec.txn);
+        break;
+      case LogType::kTxnCommit:
+        committed.insert(rec.txn);
+        break;
+      case LogType::kTxnAbort:
+        aborted.insert(rec.txn);  // abort fully compensated before the record
+        break;
+      default:
+        break;  // transactional undo info, handled in pass 2
+    }
+  }
+
+  // Pass 2 — UNDO the losers: begun, neither committed nor abort-complete.
+  std::set<TxnId> losers;
+  for (TxnId t : begun) {
+    if (committed.count(t) == 0 && aborted.count(t) == 0) losers.insert(t);
+  }
+  stats.winners = begun.size() - losers.size();
+  stats.losers = losers.size();
+  if (losers.empty()) return stats;
+
+  // Subtransactions of losers that committed WITH a registered total
+  // inverse: anything underneath them is compensated by that inverse.
+  std::set<TxnId> total_inverse_subtxns;
+  for (const LogRecord& rec : log) {
+    if (rec.type == LogType::kMethodCommit && rec.flag &&
+        losers.count(rec.txn) > 0) {
+      total_inverse_subtxns.insert(rec.subtxn);
+    }
+  }
+  auto covered = [&](const LogRecord& rec) {
+    for (TxnId anc : rec.path) {
+      if (total_inverse_subtxns.count(anc) > 0) return true;
+    }
+    return false;
+  };
+
+  // Reverse LSN order = reverse completion order (the online abort order).
+  for (auto it = log.rbegin(); it != log.rend(); ++it) {
+    const LogRecord& rec = *it;
+    if (losers.count(rec.txn) == 0) continue;
+    if (covered(rec)) continue;
+    switch (rec.type) {
+      case LogType::kMethodCommit: {
+        if (!rec.flag) break;  // read-only method: nothing to do
+        auto def = methods->Find(rec.obj_type, rec.method);
+        if (!def.ok()) {
+          SEMCC_LOG(Error) << "recovery: method " << rec.method
+                           << " not registered; cannot compensate";
+          break;
+        }
+        const MethodDef* d = def.ValueOrDie();
+        Args args = rec.args;
+        Value result = rec.value;
+        Oid object = rec.object;
+        auto r = txns->Run("recovery-undo", [&](TxnCtx& ctx) -> Result<Value> {
+          SEMCC_RETURN_NOT_OK(d->inverse(ctx, object, args, result));
+          return Value();
+        });
+        if (!r.ok()) {
+          SEMCC_LOG(Error) << "recovery compensation failed: "
+                           << r.status().ToString();
+        } else {
+          stats.inverses_run++;
+        }
+        break;
+      }
+      case LogType::kLeafPut:
+        SEMCC_RETURN_NOT_OK(store->Put(rec.object, rec.value));
+        stats.leaf_undos++;
+        break;
+      case LogType::kLeafSetInsert: {
+        Status st = store->SetRemove(rec.object, rec.args[0]);
+        if (!st.ok() && !st.IsNotFound()) return st;
+        stats.leaf_undos++;
+        break;
+      }
+      case LogType::kLeafSetRemove:
+        SEMCC_RETURN_NOT_OK(
+            store->SetInsert(rec.object, rec.args[0], rec.aux_oid));
+        stats.leaf_undos++;
+        break;
+      default:
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace semcc

@@ -1,0 +1,112 @@
+#include "storage/buffer_pool.h"
+
+#include "util/logging.h"
+
+namespace semcc {
+
+BufferPool::BufferPool(size_t pool_size, DiskManager* disk) : disk_(disk) {
+  SEMCC_CHECK(pool_size > 0);
+  frames_.reserve(pool_size);
+  free_frames_.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    frames_.push_back(std::make_unique<Frame>());
+    free_frames_.push_back(pool_size - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+Result<size_t> BufferPool::Pin(PageId id, bool* hit) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    const size_t idx = it->second;
+    Frame* f = frames_[idx].get();
+    if (f->pin_count == 0) {
+      auto pos = lru_pos_.find(idx);
+      SEMCC_CHECK(pos != lru_pos_.end());
+      lru_.erase(pos->second);
+      lru_pos_.erase(pos);
+    }
+    f->pin_count++;
+    *hit = true;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return idx;
+  }
+  *hit = false;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  size_t idx;
+  if (!free_frames_.empty()) {
+    idx = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    if (lru_.empty()) {
+      return Status::OutOfSpace("buffer pool exhausted: all frames pinned");
+    }
+    idx = lru_.back();
+    lru_.pop_back();
+    lru_pos_.erase(idx);
+    Frame* victim = frames_[idx].get();
+    SEMCC_CHECK(victim->pin_count == 0);
+    if (victim->dirty) {
+      SEMCC_RETURN_NOT_OK(disk_->WritePage(victim->disk_id, victim->page.data()));
+    }
+    page_table_.erase(victim->disk_id);
+  }
+  Frame* f = frames_[idx].get();
+  f->disk_id = id;
+  f->pin_count = 1;
+  f->dirty = false;
+  page_table_[id] = idx;
+  return idx;
+}
+
+void BufferPool::Unpin(size_t frame_idx, bool dirty) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Frame* f = frames_[frame_idx].get();
+  SEMCC_CHECK(f->pin_count > 0);
+  if (dirty) f->dirty = true;
+  if (--f->pin_count == 0) {
+    lru_.push_front(frame_idx);
+    lru_pos_[frame_idx] = lru_.begin();
+  }
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  const PageId id = disk_->AllocatePage();
+  bool hit = false;
+  SEMCC_ASSIGN_OR_RETURN(size_t idx, Pin(id, &hit));
+  Frame* f = frames_[idx].get();
+  f->page.Reset(id);
+  PageGuard guard(this, idx, &f->page);
+  guard.MarkDirty();
+  return guard;
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId id) {
+  bool hit = false;
+  SEMCC_ASSIGN_OR_RETURN(size_t idx, Pin(id, &hit));
+  Frame* f = frames_[idx].get();
+  if (!hit) {
+    Status st = disk_->ReadPage(id, f->page.data());
+    if (!st.ok()) {
+      Unpin(idx, /*dirty=*/false);
+      return st;
+    }
+  }
+  return PageGuard(this, idx, &f->page);
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& [id, idx] : page_table_) {
+    Frame* f = frames_[idx].get();
+    if (f->dirty) {
+      SEMCC_RETURN_NOT_OK(disk_->WritePage(f->disk_id, f->page.data()));
+      f->dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace semcc

@@ -1,0 +1,121 @@
+// BufferPool: fixed set of in-memory frames over the DiskManager with LRU
+// eviction and pin counting.
+#ifndef SEMCC_STORAGE_BUFFER_POOL_H_
+#define SEMCC_STORAGE_BUFFER_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/macros.h"
+#include "util/result.h"
+
+namespace semcc {
+
+/// \brief RAII pin on a buffered page. Unpins (and marks dirty, if requested)
+/// on destruction.
+class PageGuard;
+
+/// \brief Buffer pool with LRU replacement.
+///
+/// Thread safety: all public methods are thread-safe. Content access still
+/// requires the page latch (Page::RLatch/WLatch), which PageGuard exposes.
+class BufferPool {
+ public:
+  BufferPool(size_t pool_size, DiskManager* disk);
+  ~BufferPool();
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(BufferPool);
+
+  /// Allocate a brand-new page, pinned.
+  Result<PageGuard> NewPage();
+
+  /// Fetch (possibly from disk), pinned.
+  Result<PageGuard> FetchPage(PageId id);
+
+  /// Write all dirty pages back.
+  Status FlushAll();
+
+  uint64_t hits() const { return hits_.load(); }
+  uint64_t misses() const { return misses_.load(); }
+  size_t pool_size() const { return frames_.size(); }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    Page page;
+    PageId disk_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+  };
+
+  void Unpin(size_t frame_idx, bool dirty);
+
+  /// Find a frame for `id`: hit, free frame, or LRU eviction. Returns the
+  /// frame index with pin_count already incremented. Caller must load/init
+  /// the page if `*loaded` is false.
+  Result<size_t> Pin(PageId id, bool* hit);
+
+  DiskManager* const disk_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;  // front = most recent; only unpinned frames listed
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  std::vector<size_t> free_frames_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame_idx, Page* page)
+      : pool_(pool), frame_idx_(frame_idx), page_(page) {}
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    Release();
+    pool_ = other.pool_;
+    frame_idx_ = other.frame_idx_;
+    page_ = other.page_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+    return *this;
+  }
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(PageGuard);
+  ~PageGuard() { Release(); }
+
+  Page* get() { return page_; }
+  const Page* get() const { return page_; }
+  Page* operator->() { return page_; }
+  const Page* operator->() const { return page_; }
+  bool valid() const { return page_ != nullptr; }
+
+  /// Mark the page as modified; it will be written back before eviction.
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (pool_ != nullptr && page_ != nullptr) {
+      pool_->Unpin(frame_idx_, dirty_);
+      pool_ = nullptr;
+      page_ = nullptr;
+    }
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_idx_ = 0;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,55 @@
+#include "storage/disk_manager.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace semcc {
+
+DiskManager::DiskManager(uint32_t simulated_io_micros)
+    : simulated_io_micros_(simulated_io_micros) {}
+
+PageId DiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> guard(mu_);
+  const PageId id = next_page_id_.fetch_add(1);
+  image_.push_back(std::make_unique<char[]>(kPageSize));
+  std::memset(image_.back().get(), 0, kPageSize);
+  return id;
+}
+
+Status DiskManager::ReadPage(PageId id, char* out) {
+  char* src = nullptr;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (id >= image_.size()) return Status::NotFound("page beyond disk image");
+    src = image_[id].get();
+  }
+  SimulateIo();
+  std::memcpy(out, src, kPageSize);
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* data) {
+  char* dst = nullptr;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (id >= image_.size()) return Status::NotFound("page beyond disk image");
+    dst = image_[id].get();
+  }
+  SimulateIo();
+  std::memcpy(dst, data, kPageSize);
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void DiskManager::SimulateIo() {
+  if (simulated_io_micros_ == 0) return;
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(simulated_io_micros_);
+  while (std::chrono::steady_clock::now() < until) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace semcc

@@ -1,0 +1,134 @@
+#include "storage/page.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace semcc {
+
+void Page::Reset(PageId id) {
+  std::memset(data_, 0, kPageSize);
+  WriteU32(0, id);
+  set_slot_count(0);
+  set_free_space_offset(static_cast<uint16_t>(kPageSize));
+}
+
+size_t Page::FreeSpace() const {
+  const size_t dir_end = kHeaderSize + slot_count() * kSlotEntrySize;
+  const size_t heap_start = free_space_offset();
+  if (heap_start < dir_end + kSlotEntrySize) return 0;
+  return heap_start - dir_end - kSlotEntrySize;
+}
+
+Result<uint16_t> Page::Insert(std::string_view record) {
+  if (record.size() > kPageSize - kHeaderSize - kSlotEntrySize) {
+    return Status::InvalidArgument("record larger than page");
+  }
+  if (FreeSpace() < record.size()) {
+    // A hole-ridden heap may still have room after compaction.
+    Compact();
+    if (FreeSpace() < record.size()) {
+      return Status::OutOfSpace("page full");
+    }
+  }
+  const uint16_t slot = slot_count();
+  const uint16_t new_off =
+      static_cast<uint16_t>(free_space_offset() - record.size());
+  std::memcpy(data_ + new_off, record.data(), record.size());
+  set_free_space_offset(new_off);
+  set_slot_count(slot + 1);
+  SetSlot(slot, new_off, static_cast<uint16_t>(record.size()));
+  return slot;
+}
+
+Result<std::string_view> Page::Read(uint16_t slot) const {
+  if (slot >= slot_count()) return Status::NotFound("slot out of range");
+  const uint16_t off = SlotOffset(slot);
+  if (off == kInvalidSlotOffset) return Status::NotFound("slot deleted");
+  return std::string_view(data_ + off, SlotSize(slot));
+}
+
+Status Page::Update(uint16_t slot, std::string_view record) {
+  if (slot >= slot_count()) return Status::NotFound("slot out of range");
+  const uint16_t off = SlotOffset(slot);
+  if (off == kInvalidSlotOffset) return Status::NotFound("slot deleted");
+  const uint16_t old_size = SlotSize(slot);
+  if (record.size() <= old_size) {
+    std::memcpy(data_ + off, record.data(), record.size());
+    SetSlot(slot, off, static_cast<uint16_t>(record.size()));
+    return Status::OK();
+  }
+  // The grown record needs relocation within the page. Check feasibility
+  // BEFORE touching anything: after reclaiming the old copy and compacting,
+  // the heap can hold exactly (page - directory - other live bytes).
+  size_t live_bytes = 0;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (SlotOffset(s) != kInvalidSlotOffset) live_bytes += SlotSize(s);
+  }
+  const size_t dir_bytes = kHeaderSize + slot_count() * kSlotEntrySize;
+  const size_t available = kPageSize - dir_bytes - (live_bytes - old_size);
+  if (available < record.size()) {
+    return Status::OutOfSpace("page cannot hold updated record");
+  }
+  // Tombstone the old copy, reclaim, then append. Slot id is preserved.
+  SetSlot(slot, kInvalidSlotOffset, 0);
+  const size_t dir_end = kHeaderSize + slot_count() * kSlotEntrySize;
+  if (free_space_offset() - dir_end < record.size()) {
+    Compact();
+  }
+  SEMCC_CHECK(free_space_offset() - dir_end >= record.size());
+  const uint16_t new_off =
+      static_cast<uint16_t>(free_space_offset() - record.size());
+  std::memcpy(data_ + new_off, record.data(), record.size());
+  set_free_space_offset(new_off);
+  SetSlot(slot, new_off, static_cast<uint16_t>(record.size()));
+  return Status::OK();
+}
+
+Status Page::Delete(uint16_t slot) {
+  if (slot >= slot_count()) return Status::NotFound("slot out of range");
+  if (SlotOffset(slot) == kInvalidSlotOffset) {
+    return Status::NotFound("slot already deleted");
+  }
+  SetSlot(slot, kInvalidSlotOffset, 0);
+  return Status::OK();
+}
+
+uint16_t Page::LiveRecords() const {
+  uint16_t live = 0;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (SlotOffset(s) != kInvalidSlotOffset) ++live;
+  }
+  return live;
+}
+
+void Page::Compact() {
+  struct Live {
+    uint16_t slot;
+    uint16_t offset;
+    uint16_t size;
+  };
+  std::vector<Live> live;
+  live.reserve(slot_count());
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    const uint16_t off = SlotOffset(s);
+    if (off != kInvalidSlotOffset) live.push_back({s, off, SlotSize(s)});
+  }
+  // Copy records into a scratch heap packed at the page end, highest offset
+  // first to keep relative order (not required, but deterministic).
+  char scratch[kPageSize];
+  uint16_t cursor = static_cast<uint16_t>(kPageSize);
+  for (const Live& l : live) {
+    cursor = static_cast<uint16_t>(cursor - l.size);
+    std::memcpy(scratch + cursor, data_ + l.offset, l.size);
+  }
+  std::memcpy(data_ + cursor, scratch + cursor, kPageSize - cursor);
+  uint16_t write_off = static_cast<uint16_t>(kPageSize);
+  for (const Live& l : live) {
+    write_off = static_cast<uint16_t>(write_off - l.size);
+    SetSlot(l.slot, write_off, l.size);
+  }
+  set_free_space_offset(cursor);
+}
+
+}  // namespace semcc

@@ -1,0 +1,117 @@
+// Slotted page: the unit of disk transfer and of page-granularity locking.
+//
+// Layout (little-endian, offsets in bytes):
+//   [0..3]   page_id
+//   [4..5]   slot_count
+//   [6..7]   free_space_offset (start of the record heap, grows downwards)
+//   [8..]    slot directory: slot_count entries of {offset:u16, size:u16}
+//   ...      free space
+//   [free_space_offset..kPageSize) record heap
+//
+// A deleted slot has offset == kInvalidSlotOffset; slot ids are never reused
+// within a page so RIDs stay stable.
+#ifndef SEMCC_STORAGE_PAGE_H_
+#define SEMCC_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+#include "util/macros.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace semcc {
+
+using PageId = uint32_t;
+constexpr PageId kInvalidPageId = UINT32_MAX;
+
+constexpr size_t kPageSize = 4096;
+
+/// \brief A slotted page holding variable-length records ("storage atoms").
+///
+/// Thread safety: callers must hold the page latch (RLatch/WLatch) around
+/// reads/writes; the buffer pool manages pin counts separately.
+class Page {
+ public:
+  static constexpr uint16_t kInvalidSlotOffset = 0xFFFF;
+  static constexpr size_t kHeaderSize = 8;
+  static constexpr size_t kSlotEntrySize = 4;
+
+  Page() { Reset(kInvalidPageId); }
+
+  /// Re-initialize as an empty page with the given id.
+  void Reset(PageId id);
+
+  PageId page_id() const { return ReadU32(0); }
+  uint16_t slot_count() const { return ReadU16(4); }
+
+  /// Contiguous free bytes available for one more record (incl. slot entry).
+  size_t FreeSpace() const;
+
+  /// Insert a record; returns its slot id.
+  Result<uint16_t> Insert(std::string_view record);
+
+  /// Read the record in `slot`.
+  Result<std::string_view> Read(uint16_t slot) const;
+
+  /// Replace the record in `slot`. The new record may have a different size;
+  /// fails with OutOfSpace if the page cannot hold it (no overflow chains —
+  /// semcc atoms are small).
+  Status Update(uint16_t slot, std::string_view record);
+
+  /// Tombstone the record in `slot`.
+  Status Delete(uint16_t slot);
+
+  /// Number of live (non-deleted) records.
+  uint16_t LiveRecords() const;
+
+  const char* data() const { return data_; }
+  char* data() { return data_; }
+
+  // Latching (physical consistency; independent of transactional locks).
+  void RLatch() const { latch_.lock_shared(); }
+  void RUnlatch() const { latch_.unlock_shared(); }
+  void WLatch() const { latch_.lock(); }
+  void WUnlatch() const { latch_.unlock(); }
+
+ private:
+  uint16_t ReadU16(size_t off) const {
+    uint16_t v;
+    std::memcpy(&v, data_ + off, sizeof(v));
+    return v;
+  }
+  uint32_t ReadU32(size_t off) const {
+    uint32_t v;
+    std::memcpy(&v, data_ + off, sizeof(v));
+    return v;
+  }
+  void WriteU16(size_t off, uint16_t v) { std::memcpy(data_ + off, &v, sizeof(v)); }
+  void WriteU32(size_t off, uint32_t v) { std::memcpy(data_ + off, &v, sizeof(v)); }
+
+  uint16_t free_space_offset() const { return ReadU16(6); }
+  void set_free_space_offset(uint16_t v) { WriteU16(6, v); }
+  void set_slot_count(uint16_t v) { WriteU16(4, v); }
+
+  size_t SlotEntryPos(uint16_t slot) const {
+    return kHeaderSize + static_cast<size_t>(slot) * kSlotEntrySize;
+  }
+  uint16_t SlotOffset(uint16_t slot) const { return ReadU16(SlotEntryPos(slot)); }
+  uint16_t SlotSize(uint16_t slot) const { return ReadU16(SlotEntryPos(slot) + 2); }
+  void SetSlot(uint16_t slot, uint16_t offset, uint16_t size) {
+    WriteU16(SlotEntryPos(slot), offset);
+    WriteU16(SlotEntryPos(slot) + 2, size);
+  }
+
+  /// Compact the record heap to reclaim holes left by deletes/updates.
+  void Compact();
+
+  char data_[kPageSize];
+  mutable std::shared_mutex latch_;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_STORAGE_PAGE_H_

@@ -1,0 +1,197 @@
+#include "storage/record_manager.h"
+
+#include <cstdio>
+
+#include "util/coding.h"
+#include "util/logging.h"
+
+namespace semcc {
+
+// On-page record format (managed by RecordManager, opaque to Page):
+//   data    [kKindData][u32 payload_len][payload...]   padded to >= 7 bytes
+//   forward [kKindForward][u32 page_id][u16 slot]      exactly 7 bytes
+//
+// A record that outgrows its page is re-inserted elsewhere and its original
+// slot becomes a forward pointer, so RIDs handed out to clients stay stable.
+// Because every data record is at least as large as a forward record, the
+// in-place conversion can never fail, and because Update always rewrites the
+// *entry* slot's forward, chains stay at most one hop long.
+namespace {
+
+constexpr char kKindData = 0;
+constexpr char kKindForward = 1;
+constexpr size_t kMinRecordBytes = 7;
+
+std::string WrapData(std::string_view payload) {
+  std::string out;
+  out.push_back(kKindData);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+  if (out.size() < kMinRecordBytes) out.resize(kMinRecordBytes, '\0');
+  return out;
+}
+
+std::string WrapForward(const Rid& target) {
+  std::string out;
+  out.push_back(kKindForward);
+  PutU32(&out, target.page_id);
+  PutU16(&out, target.slot);
+  return out;
+}
+
+Result<std::string> UnwrapData(std::string_view raw) {
+  Decoder dec(raw);
+  uint8_t kind;
+  uint32_t len;
+  if (!dec.GetU8(&kind) || kind != kKindData || !dec.GetU32(&len) ||
+      dec.remaining() < len) {
+    return Status::Corruption("bad data record");
+  }
+  std::string out;
+  out.resize(len);
+  std::string_view rest(raw.data() + 5, raw.size() - 5);
+  out.assign(rest.data(), len);
+  return out;
+}
+
+Result<Rid> UnwrapForward(std::string_view raw) {
+  Decoder dec(raw);
+  uint8_t kind;
+  uint32_t page;
+  uint16_t slot;
+  if (!dec.GetU8(&kind) || kind != kKindForward || !dec.GetU32(&page) ||
+      !dec.GetU16(&slot)) {
+    return Status::Corruption("bad forward record");
+  }
+  return Rid{page, slot};
+}
+
+bool IsForward(std::string_view raw) {
+  return !raw.empty() && raw.front() == kKindForward;
+}
+
+}  // namespace
+
+std::string Rid::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u", page_id, slot);
+  return buf;
+}
+
+RecordManager::RecordManager(BufferPool* pool) : pool_(pool) {}
+
+Result<Rid> RecordManager::InsertWrapped(std::string_view wrapped) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (current_page_ == kInvalidPageId) {
+      SEMCC_ASSIGN_OR_RETURN(PageGuard page, pool_->NewPage());
+      current_page_ = page->page_id();
+      page->WLatch();
+      auto slot = page->Insert(wrapped);
+      page->WUnlatch();
+      if (slot.ok()) {
+        page.MarkDirty();
+        return Rid{current_page_, slot.ValueOrDie()};
+      }
+      return slot.status();
+    }
+    SEMCC_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(current_page_));
+    page->WLatch();
+    auto slot = page->Insert(wrapped);
+    page->WUnlatch();
+    if (slot.ok()) {
+      page.MarkDirty();
+      return Rid{current_page_, slot.ValueOrDie()};
+    }
+    if (!slot.status().IsOutOfSpace()) return slot.status();
+    current_page_ = kInvalidPageId;  // page full: move to a fresh one
+  }
+  return Status::Internal("record insert failed twice");
+}
+
+Result<Rid> RecordManager::Insert(std::string_view record) {
+  SEMCC_ASSIGN_OR_RETURN(Rid rid, InsertWrapped(WrapData(record)));
+  ++num_inserts_;
+  return rid;
+}
+
+Result<std::string> RecordManager::ReadRaw(const Rid& rid) {
+  SEMCC_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(rid.page_id));
+  page->RLatch();
+  auto view = page->Read(rid.slot);
+  std::string out;
+  if (view.ok()) out.assign(view.ValueOrDie().data(), view.ValueOrDie().size());
+  page->RUnlatch();
+  if (!view.ok()) return view.status();
+  return out;
+}
+
+Result<Rid> RecordManager::ResolveTerminal(const Rid& rid, std::string* raw) {
+  Rid cur = rid;
+  for (int hop = 0; hop < 8; ++hop) {
+    SEMCC_ASSIGN_OR_RETURN(*raw, ReadRaw(cur));
+    if (!IsForward(*raw)) return cur;
+    SEMCC_ASSIGN_OR_RETURN(cur, UnwrapForward(*raw));
+  }
+  return Status::Corruption("forward chain too long");
+}
+
+Result<std::string> RecordManager::Read(const Rid& rid) {
+  std::string raw;
+  SEMCC_ASSIGN_OR_RETURN(Rid terminal, ResolveTerminal(rid, &raw));
+  (void)terminal;
+  return UnwrapData(raw);
+}
+
+Status RecordManager::UpdateInPage(const Rid& rid, std::string_view wrapped) {
+  SEMCC_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(rid.page_id));
+  page->WLatch();
+  Status st = page->Update(rid.slot, wrapped);
+  page->WUnlatch();
+  if (st.ok()) page.MarkDirty();
+  return st;
+}
+
+Status RecordManager::Update(const Rid& rid, std::string_view record) {
+  std::string raw;
+  SEMCC_ASSIGN_OR_RETURN(Rid terminal, ResolveTerminal(rid, &raw));
+  const std::string wrapped = WrapData(record);
+  Status st = UpdateInPage(terminal, wrapped);
+  if (st.ok()) return Status::OK();
+  if (!st.IsOutOfSpace()) return st;
+  // The record outgrew its page: relocate and leave a forward pointer at the
+  // ENTRY slot (a forward record never exceeds a data record's size, so this
+  // conversion always fits in place).
+  SEMCC_ASSIGN_OR_RETURN(Rid fresh, InsertWrapped(wrapped));
+  SEMCC_RETURN_NOT_OK(UpdateInPage(rid, WrapForward(fresh)));
+  if (!(terminal == rid)) {
+    // The old one-hop target is now unreachable; reclaim it.
+    SEMCC_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(terminal.page_id));
+    page->WLatch();
+    Status del = page->Delete(terminal.slot);
+    page->WUnlatch();
+    if (del.ok()) page.MarkDirty();
+  }
+  return Status::OK();
+}
+
+Status RecordManager::Delete(const Rid& rid) {
+  std::string raw;
+  SEMCC_ASSIGN_OR_RETURN(Rid terminal, ResolveTerminal(rid, &raw));
+  SEMCC_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(rid.page_id));
+  page->WLatch();
+  Status st = page->Delete(rid.slot);
+  page->WUnlatch();
+  if (st.ok()) page.MarkDirty();
+  SEMCC_RETURN_NOT_OK(st);
+  if (!(terminal == rid)) {
+    SEMCC_ASSIGN_OR_RETURN(PageGuard tpage, pool_->FetchPage(terminal.page_id));
+    tpage->WLatch();
+    Status del = tpage->Delete(terminal.slot);
+    tpage->WUnlatch();
+    if (del.ok()) tpage.MarkDirty();
+  }
+  return Status::OK();
+}
+
+}  // namespace semcc

@@ -1,0 +1,72 @@
+// RecordManager: variable-length records ("storage atoms") addressed by RID.
+//
+// This is the layer the paper calls "the storage atoms (i.e., flat records)
+// onto which the components of complex objects are mapped". Record- and
+// page-granularity baselines lock RIDs / the RID's page id.
+#ifndef SEMCC_STORAGE_RECORD_MANAGER_H_
+#define SEMCC_STORAGE_RECORD_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "util/macros.h"
+#include "util/result.h"
+
+namespace semcc {
+
+/// \brief Record id: page + slot. Stable for the record's lifetime.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool operator==(const Rid& other) const = default;
+  bool valid() const { return page_id != kInvalidPageId; }
+  std::string ToString() const;
+};
+
+struct RidHash {
+  size_t operator()(const Rid& rid) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(rid.page_id) << 16) |
+                                 rid.slot);
+  }
+};
+
+/// \brief Heap-file style record store over the buffer pool.
+class RecordManager {
+ public:
+  explicit RecordManager(BufferPool* pool);
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(RecordManager);
+
+  /// Append a record; fills pages in allocation order so that records
+  /// inserted together land on the same page (this is what makes page-level
+  /// locking contend, as in a real system's clustering).
+  Result<Rid> Insert(std::string_view record);
+
+  Result<std::string> Read(const Rid& rid);
+  /// Updates may grow a record arbitrarily: a record that no longer fits its
+  /// page is relocated and the original slot becomes a forward pointer, so
+  /// the RID stays valid (chains are kept at one hop).
+  Status Update(const Rid& rid, std::string_view record);
+  Status Delete(const Rid& rid);
+
+  uint64_t num_inserts() const { return num_inserts_; }
+
+ private:
+  Result<Rid> InsertWrapped(std::string_view wrapped);
+  Result<std::string> ReadRaw(const Rid& rid);
+  Result<Rid> ResolveTerminal(const Rid& rid, std::string* raw);
+  Status UpdateInPage(const Rid& rid, std::string_view wrapped);
+
+  BufferPool* const pool_;
+  std::mutex mu_;  // serializes the choice of insertion target page
+  PageId current_page_ = kInvalidPageId;
+  uint64_t num_inserts_ = 0;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_STORAGE_RECORD_MANAGER_H_

@@ -1,0 +1,102 @@
+#include "txn/history.h"
+
+#include <algorithm>
+#include <map>
+
+namespace semcc {
+
+std::string ActionRecord::Label() const {
+  std::string out = method;
+  out += "(@" + std::to_string(object);
+  for (const Value& a : args) out += ", " + a.ToString();
+  out += ")";
+  return out;
+}
+
+const ActionRecord* TxnRecord::Find(TxnId action_id) const {
+  for (const ActionRecord& a : actions) {
+    if (a.id == action_id) return &a;
+  }
+  return nullptr;
+}
+
+void HistoryRecorder::RecordTree(TxnTree* tree, bool committed) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  TxnRecord rec;
+  SubTxn* root = tree->root();
+  rec.id = root->id();
+  rec.name = root->method();
+  rec.committed = committed;
+  for (SubTxn* node : tree->Nodes()) {
+    ActionRecord a;
+    a.id = node->id();
+    a.parent_id = node->parent() ? node->parent()->id() : node->id();
+    a.root_id = node->root()->id();
+    a.depth = node->depth();
+    a.object = node->object();
+    a.type = node->type();
+    a.method = node->method();
+    a.args = node->args();
+    a.grant_seq = node->grant_seq();
+    a.end_seq = node->end_seq();
+    a.final_state = node->state();
+    a.compensation = node->compensation();
+    rec.actions.push_back(std::move(a));
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  txns_.push_back(std::move(rec));
+}
+
+std::vector<TxnRecord> HistoryRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return txns_;
+}
+
+size_t HistoryRecorder::size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return txns_.size();
+}
+
+void HistoryRecorder::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  txns_.clear();
+}
+
+std::string FormatTxnTree(const TxnRecord& txn) {
+  std::string out;
+  std::map<TxnId, std::vector<const ActionRecord*>> children;
+  const ActionRecord* root = nullptr;
+  for (const ActionRecord& a : txn.actions) {
+    if (a.id == a.parent_id) {
+      root = &a;
+    } else {
+      children[a.parent_id].push_back(&a);
+    }
+  }
+  if (root == nullptr) return out;
+  struct Frame {
+    const ActionRecord* node;
+    int indent;
+  };
+  std::vector<Frame> stack{{root, 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    out.append(static_cast<size_t>(f.indent) * 2, ' ');
+    out += f.node->Label();
+    out += " [" + std::to_string(f.node->grant_seq) + "," +
+           std::to_string(f.node->end_seq) + "]";
+    if (f.node->final_state == TxnState::kAborted) out += " (aborted)";
+    if (f.node->compensation) out += " (compensation)";
+    out += "\n";
+    auto it = children.find(f.node->id);
+    if (it != children.end()) {
+      for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+        stack.push_back({*rit, f.indent + 1});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace semcc

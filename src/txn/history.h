@@ -1,0 +1,74 @@
+// History recording: everything the serializability checker and the
+// scenario benches need to know about an execution.
+#ifndef SEMCC_TXN_HISTORY_H_
+#define SEMCC_TXN_HISTORY_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cc/subtxn.h"
+#include "util/macros.h"
+
+namespace semcc {
+
+/// \brief Immutable snapshot of one action (tree node) of a finished
+/// transaction.
+struct ActionRecord {
+  TxnId id = 0;
+  TxnId parent_id = 0;  ///< 0 = root (roots have parent_id == own id)
+  TxnId root_id = 0;
+  int depth = 0;
+  Oid object = kInvalidOid;
+  TypeId type = kInvalidTypeId;
+  std::string method;
+  Args args;
+  uint64_t grant_seq = 0;  ///< logical time the action's lock was granted
+  uint64_t end_seq = 0;    ///< logical time the action completed
+  TxnState final_state = TxnState::kActive;
+  bool compensation = false;
+
+  bool committed() const { return final_state == TxnState::kCommitted; }
+  std::string Label() const;
+};
+
+/// \brief One finished top-level transaction.
+struct TxnRecord {
+  TxnId id = 0;
+  std::string name;
+  bool committed = false;
+  /// All actions including the root, in creation order.
+  std::vector<ActionRecord> actions;
+
+  const ActionRecord* Find(TxnId action_id) const;
+};
+
+/// \brief Thread-safe collector of finished transactions.
+class HistoryRecorder {
+ public:
+  HistoryRecorder() = default;
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(HistoryRecorder);
+
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void RecordTree(TxnTree* tree, bool committed);
+
+  std::vector<TxnRecord> Snapshot() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::vector<TxnRecord> txns_;
+};
+
+/// Render a finished transaction tree as an indented trace (used by the
+/// figure-reproduction benches to print the paper's execution trees).
+std::string FormatTxnTree(const TxnRecord& txn);
+
+}  // namespace semcc
+
+#endif  // SEMCC_TXN_HISTORY_H_

@@ -1,0 +1,335 @@
+#include "txn/txn_context.h"
+
+#include "util/logging.h"
+
+namespace semcc {
+
+TxnCtx::TxnCtx(ObjectStore* store, LockManager* lm, MethodRegistry* methods,
+               TxnTree* tree, ActionLogger* logger)
+    : store_(store), lm_(lm), methods_(methods), tree_(tree), logger_(logger),
+      current_(tree->root()) {}
+
+Result<SubTxn*> TxnCtx::BeginAction(Oid obj, const std::string& method,
+                                    Args args, bool is_write, bool is_leaf) {
+  if (!in_compensation_ && root()->abort_requested()) {
+    return Status::Aborted("transaction " + std::to_string(root()->id()) +
+                           " was asked to abort");
+  }
+  SEMCC_ASSIGN_OR_RETURN(TypeId type, store_->TypeOf(obj));
+  SubTxn* node = tree_->NewNode(current_, obj, type, method, std::move(args));
+  if (in_compensation_) node->set_compensation(true);
+  Status st = AcquireForAction(node, is_write, is_leaf);
+  if (!st.ok()) {
+    AbortAction(node);
+    return st;
+  }
+  return node;
+}
+
+Status TxnCtx::AcquireForAction(SubTxn* node, bool is_write, bool is_leaf) {
+  const ProtocolOptions& opts = lm_->options();
+  switch (opts.protocol) {
+    case Protocol::kSemanticONT:
+      // Every action acquires a semantic lock on its object (Figure 8).
+      return lm_->Acquire(node, LockTarget::ForObject(node->object()),
+                          is_write);
+    case Protocol::kClosedNested:
+      // Conventional read/write locking at the access level; method
+      // invocations carry no lock of their own.
+      if (!is_leaf) {
+        node->set_grant_seq(lm_->NextSeq());
+        return Status::OK();
+      }
+      return lm_->Acquire(node, LockTarget::ForObject(node->object()),
+                          is_write);
+    case Protocol::kFlat2PL: {
+      if (!is_leaf) {
+        node->set_grant_seq(lm_->NextSeq());
+        return Status::OK();
+      }
+      LockTarget target;
+      switch (opts.granularity) {
+        case LockGranularity::kObject:
+          target = LockTarget::ForObject(node->object());
+          break;
+        case LockGranularity::kRecord: {
+          SEMCC_ASSIGN_OR_RETURN(Rid rid, store_->RidOf(node->object()));
+          target = LockTarget::ForRecord(rid);
+          break;
+        }
+        case LockGranularity::kPage: {
+          SEMCC_ASSIGN_OR_RETURN(PageId page, store_->PageOf(node->object()));
+          target = LockTarget::ForPage(page);
+          break;
+        }
+      }
+      return lm_->Acquire(node, target, is_write);
+    }
+  }
+  return Status::Internal("unknown protocol");
+}
+
+void TxnCtx::CommitAction(SubTxn* node, std::function<void()> inverse,
+                          bool inverse_is_total) {
+  node->inverse = std::move(inverse);
+  node->inverse_is_total = inverse_is_total;
+  node->set_state(TxnState::kCommitted);
+  lm_->OnSubTxnCompleted(node);
+}
+
+void TxnCtx::AbortAction(SubTxn* node) {
+  node->set_state(TxnState::kAborted);
+  lm_->OnSubTxnCompleted(node);
+}
+
+// --- method invocation ----------------------------------------------------
+
+Result<Value> TxnCtx::Invoke(Oid obj, const std::string& method, Args args) {
+  SEMCC_ASSIGN_OR_RETURN(TypeId type, store_->TypeOf(obj));
+  SEMCC_ASSIGN_OR_RETURN(const MethodDef* def, methods_->Find(type, method));
+  auto node_r = BeginAction(obj, method, args, !def->read_only,
+                            /*is_leaf=*/false);
+  if (!node_r.ok()) return node_r.status();
+  SubTxn* node = node_r.ValueOrDie();
+
+  SubTxn* saved = current_;
+  current_ = node;
+  Result<Value> result = def->body(*this, obj, node->args());
+  current_ = saved;
+
+  if (!result.ok()) {
+    AbortAction(node);
+    return result;
+  }
+  std::function<void()> inverse;
+  bool total = false;
+  if (def->inverse) {
+    const Args& bound_args = node->args();
+    Value bound_result = result.ValueOrDie();
+    inverse = [this, def, obj, bound_args, bound_result]() {
+      Status st = def->inverse(*this, obj, bound_args, bound_result);
+      if (!st.ok()) {
+        SEMCC_LOG(Error) << "compensation of " << def->name
+                         << " failed: " << st.ToString();
+      }
+    };
+    total = true;
+  }
+  CommitAction(node, std::move(inverse), total);
+  if (logger_ != nullptr) {
+    logger_->OnMethodCommitted(*node, result.ValueOrDie(), total);
+  }
+  return result;
+}
+
+// --- generic leaf operations ------------------------------------------------
+
+Result<Value> TxnCtx::Get(Oid atomic) {
+  auto node_r = BeginAction(atomic, generic_ops::kGet, {}, /*is_write=*/false,
+                            /*is_leaf=*/true);
+  if (!node_r.ok()) return node_r.status();
+  SubTxn* node = node_r.ValueOrDie();
+  Result<Value> v = store_->Get(atomic);
+  if (!v.ok()) {
+    AbortAction(node);
+    return v;
+  }
+  CommitAction(node, nullptr, false);
+  return v;
+}
+
+Status TxnCtx::Put(Oid atomic, const Value& value) {
+  auto node_r = BeginAction(atomic, generic_ops::kPut, {value},
+                            /*is_write=*/true, /*is_leaf=*/true);
+  if (!node_r.ok()) return node_r.status();
+  SubTxn* node = node_r.ValueOrDie();
+  Result<Value> old = store_->Get(atomic);
+  if (!old.ok()) {
+    AbortAction(node);
+    return old.status();
+  }
+  Status st = store_->Put(atomic, value);
+  if (!st.ok()) {
+    AbortAction(node);
+    return st;
+  }
+  // Physical leaf undo. Sound *before* the enclosing method commits: until
+  // then no other transaction can reach this atom (a Case-2 wait requires a
+  // *committed* commuting ancestor). Once the enclosing method commits, the
+  // method's registered semantic inverse takes over (inverse_is_total stops
+  // the rollback recursion), so this closure is never misused to wipe out a
+  // commuting update of another transaction.
+  Value old_value = old.ValueOrDie();
+  CommitAction(
+      node,
+      [this, atomic, old_value]() {
+        Status undo = Put(atomic, old_value);
+        if (!undo.ok()) {
+          SEMCC_LOG(Error) << "leaf undo Put failed: " << undo.ToString();
+        }
+      },
+      true);
+  if (logger_ != nullptr) logger_->OnLeafPut(*node, old_value);
+  return Status::OK();
+}
+
+Status TxnCtx::SetInsert(Oid set, const Value& key, Oid member) {
+  auto node_r = BeginAction(set, generic_ops::kInsert,
+                            {key, Value::Ref(member)}, /*is_write=*/true,
+                            /*is_leaf=*/true);
+  if (!node_r.ok()) return node_r.status();
+  SubTxn* node = node_r.ValueOrDie();
+  Status st = store_->SetInsert(set, key, member);
+  if (!st.ok()) {
+    AbortAction(node);
+    return st;
+  }
+  CommitAction(
+      node,
+      [this, set, key]() {
+        Status undo = SetRemove(set, key);
+        if (!undo.ok()) {
+          SEMCC_LOG(Error) << "leaf undo SetRemove failed: " << undo.ToString();
+        }
+      },
+      true);
+  if (logger_ != nullptr) logger_->OnLeafSetInsert(*node);
+  return Status::OK();
+}
+
+Status TxnCtx::SetRemove(Oid set, const Value& key) {
+  auto node_r = BeginAction(set, generic_ops::kRemove, {key},
+                            /*is_write=*/true, /*is_leaf=*/true);
+  if (!node_r.ok()) return node_r.status();
+  SubTxn* node = node_r.ValueOrDie();
+  Result<Oid> member = store_->SetSelect(set, key);
+  if (!member.ok()) {
+    AbortAction(node);
+    return member.status();
+  }
+  Status st = store_->SetRemove(set, key);
+  if (!st.ok()) {
+    AbortAction(node);
+    return st;
+  }
+  Oid saved_member = member.ValueOrDie();
+  CommitAction(
+      node,
+      [this, set, key, saved_member]() {
+        Status undo = SetInsert(set, key, saved_member);
+        if (!undo.ok()) {
+          SEMCC_LOG(Error) << "leaf undo SetInsert failed: " << undo.ToString();
+        }
+      },
+      true);
+  if (logger_ != nullptr) logger_->OnLeafSetRemove(*node, saved_member);
+  return Status::OK();
+}
+
+Result<Oid> TxnCtx::SetSelect(Oid set, const Value& key) {
+  auto node_r = BeginAction(set, generic_ops::kSelect, {key},
+                            /*is_write=*/false, /*is_leaf=*/true);
+  if (!node_r.ok()) return node_r.status();
+  SubTxn* node = node_r.ValueOrDie();
+  Result<Oid> member = store_->SetSelect(set, key);
+  if (!member.ok()) {
+    AbortAction(node);
+    return member;
+  }
+  CommitAction(node, nullptr, false);
+  return member;
+}
+
+Result<std::vector<std::pair<Value, Oid>>> TxnCtx::SetScan(Oid set) {
+  auto node_r = BeginAction(set, generic_ops::kScan, {}, /*is_write=*/false,
+                            /*is_leaf=*/true);
+  if (!node_r.ok()) return node_r.status();
+  SubTxn* node = node_r.ValueOrDie();
+  auto members = store_->SetScan(set);
+  if (!members.ok()) {
+    AbortAction(node);
+    return members;
+  }
+  CommitAction(node, nullptr, false);
+  return members;
+}
+
+Result<size_t> TxnCtx::SetSize(Oid set) {
+  auto node_r = BeginAction(set, generic_ops::kSize, {}, /*is_write=*/false,
+                            /*is_leaf=*/true);
+  if (!node_r.ok()) return node_r.status();
+  SubTxn* node = node_r.ValueOrDie();
+  auto size = store_->SetSize(set);
+  if (!size.ok()) {
+    AbortAction(node);
+    return size;
+  }
+  CommitAction(node, nullptr, false);
+  return size;
+}
+
+// --- structure --------------------------------------------------------------
+
+Result<Oid> TxnCtx::Component(Oid tuple, const std::string& name) {
+  return store_->Component(tuple, name);
+}
+
+Result<Value> TxnCtx::GetField(Oid tuple, const std::string& name) {
+  SEMCC_ASSIGN_OR_RETURN(Oid comp, Component(tuple, name));
+  return Get(comp);
+}
+
+Status TxnCtx::PutField(Oid tuple, const std::string& name, const Value& v) {
+  SEMCC_ASSIGN_OR_RETURN(Oid comp, Component(tuple, name));
+  return Put(comp, v);
+}
+
+Result<Oid> TxnCtx::CreateAtomic(TypeId type, const Value& initial) {
+  SEMCC_ASSIGN_OR_RETURN(Oid oid, store_->CreateAtomic(type, initial));
+  // Creation needs no lock: the new object is unreachable by other
+  // transactions until linked into a locked set. The enclosing method's
+  // semantic inverse destroys it; no per-leaf undo node is recorded.
+  return oid;
+}
+
+Result<Oid> TxnCtx::CreateTuple(
+    TypeId type, std::vector<std::pair<std::string, Oid>> components) {
+  return store_->CreateTuple(type, std::move(components));
+}
+
+Result<Oid> TxnCtx::CreateSet(TypeId type) { return store_->CreateSet(type); }
+
+// --- compensation -----------------------------------------------------------
+
+void TxnCtx::Rollback() {
+  in_compensation_ = true;
+  SubTxn* saved = current_;
+  current_ = tree_->root();
+  Compensate(tree_->root());
+  current_ = saved;
+  in_compensation_ = false;
+}
+
+void TxnCtx::Compensate(SubTxn* node) {
+  std::vector<SubTxn*> children = node->Children();
+  for (auto it = children.rbegin(); it != children.rend(); ++it) {
+    SubTxn* child = *it;
+    if (child->compensation()) continue;  // never compensate compensations
+    if (child->committed()) {
+      if (child->inverse && child->inverse_is_total) {
+        child->inverse();
+      } else if (child->inverse) {
+        Compensate(child);
+        child->inverse();
+      } else {
+        // Read-only or structural: recurse in case update leaves hide below.
+        Compensate(child);
+      }
+    } else {
+      // Aborted mid-flight: compensate whatever committed beneath it.
+      Compensate(child);
+    }
+  }
+}
+
+}  // namespace semcc

@@ -1,0 +1,124 @@
+// TxnCtx: the execution engine for open nested OODBS transactions
+// (paper Figure 8, exec-transaction).
+//
+// Every operation on this context is one *action*: it creates a
+// subtransaction node, requests the protocol-appropriate lock (blocking with
+// a waits-for set until all blockers complete), executes, and completes the
+// subtransaction — whereupon its locks become retained (semantic protocol),
+// are anti-inherited (closed nested), or simply stay until top-level commit
+// (flat 2PL).
+//
+// Method bodies receive the same context, so methods can invoke further
+// methods on other objects or the same object (paper footnote 3), and
+// transactions can freely *bypass* encapsulation by calling generic
+// operations (Get/Put/Set*) on implementation objects directly — the
+// situation the paper's protocol exists to handle.
+#ifndef SEMCC_TXN_TXN_CONTEXT_H_
+#define SEMCC_TXN_TXN_CONTEXT_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cc/lock_manager.h"
+#include "cc/subtxn.h"
+#include "object/object_store.h"
+#include "txn/method_registry.h"
+#include "util/macros.h"
+
+namespace semcc {
+
+/// \brief Observer of transactional events, used by the write-ahead log for
+/// multi-level recovery. All callbacks run on the transaction's own thread,
+/// after the corresponding action committed.
+class ActionLogger {
+ public:
+  virtual ~ActionLogger() = default;
+  virtual void OnTxnBegin(TxnId txn) = 0;
+  /// Must force the log (commit durability point).
+  virtual void OnTxnCommit(TxnId txn) = 0;
+  /// Written after compensation completed, so restart will not re-undo.
+  virtual void OnTxnAbort(TxnId txn) = 0;
+  virtual void OnMethodCommitted(const SubTxn& node, const Value& result,
+                                 bool has_total_inverse) = 0;
+  virtual void OnLeafPut(const SubTxn& node, const Value& before) = 0;
+  virtual void OnLeafSetInsert(const SubTxn& node) = 0;
+  virtual void OnLeafSetRemove(const SubTxn& node, Oid removed_member) = 0;
+};
+
+class TxnCtx {
+ public:
+  TxnCtx(ObjectStore* store, LockManager* lm, MethodRegistry* methods,
+         TxnTree* tree, ActionLogger* logger = nullptr);
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(TxnCtx);
+
+  // --- method invocation (non-leaf actions) ------------------------------
+
+  /// Invoke a registered method on `obj`. Creates a subtransaction, acquires
+  /// the semantic lock derived from (method, args), runs the body, and
+  /// commits the subtransaction (converting its subtree's locks into
+  /// retained locks).
+  Result<Value> Invoke(Oid obj, const std::string& method, Args args);
+
+  // --- generic operations (leaf actions; also the "bypass" surface) ------
+
+  Result<Value> Get(Oid atomic);
+  Status Put(Oid atomic, const Value& value);
+  Status SetInsert(Oid set, const Value& key, Oid member);
+  Status SetRemove(Oid set, const Value& key);
+  Result<Oid> SetSelect(Oid set, const Value& key);
+  Result<std::vector<std::pair<Value, Oid>>> SetScan(Oid set);
+  Result<size_t> SetSize(Oid set);
+
+  // --- structure ----------------------------------------------------------
+
+  /// Component selection t.c — pure navigation, no lock (structure is
+  /// immutable after creation).
+  Result<Oid> Component(Oid tuple, const std::string& name);
+  /// Shorthand: Get(Component(tuple, name)).
+  Result<Value> GetField(Oid tuple, const std::string& name);
+  /// Shorthand: Put(Component(tuple, name), v).
+  Status PutField(Oid tuple, const std::string& name, const Value& v);
+
+  /// Create objects inside the transaction; compensated by destruction.
+  Result<Oid> CreateAtomic(TypeId type, const Value& initial);
+  Result<Oid> CreateTuple(TypeId type,
+                          std::vector<std::pair<std::string, Oid>> components);
+  Result<Oid> CreateSet(TypeId type);
+
+  // --- introspection ------------------------------------------------------
+
+  SubTxn* current() const { return current_; }
+  SubTxn* root() const { return tree_->root(); }
+  ObjectStore* store() const { return store_; }
+  bool abort_requested() const { return root()->abort_requested(); }
+
+  /// Compensate all committed work of the tree, in reverse completion order,
+  /// running inverses as new subtransactions of this (same) transaction.
+  /// Called by the transaction manager on abort; must run on the
+  /// transaction's own thread.
+  void Rollback();
+
+ private:
+  /// Begin an action: node + lock. Returns nullptr result status on failure.
+  Result<SubTxn*> BeginAction(Oid obj, const std::string& method, Args args,
+                              bool is_write, bool is_leaf);
+  Status AcquireForAction(SubTxn* node, bool is_write, bool is_leaf);
+  void CommitAction(SubTxn* node, std::function<void()> inverse,
+                    bool inverse_is_total);
+  void AbortAction(SubTxn* node);
+  void Compensate(SubTxn* node);
+
+  ObjectStore* const store_;
+  LockManager* const lm_;
+  MethodRegistry* const methods_;
+  TxnTree* const tree_;
+  ActionLogger* const logger_;
+  SubTxn* current_;
+  bool in_compensation_ = false;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_TXN_TXN_CONTEXT_H_

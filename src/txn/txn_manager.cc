@@ -1,0 +1,104 @@
+#include "txn/txn_manager.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "object/schema.h"
+#include "util/random.h"
+
+namespace semcc {
+
+std::string TxnStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "commits=%llu aborts=%llu retries=%llu app_errors=%llu",
+                static_cast<unsigned long long>(commits.load()),
+                static_cast<unsigned long long>(aborts.load()),
+                static_cast<unsigned long long>(retries.load()),
+                static_cast<unsigned long long>(app_errors.load()));
+  return buf;
+}
+
+TxnManager::TxnManager(ObjectStore* store, LockManager* lm,
+                       MethodRegistry* methods, HistoryRecorder* recorder,
+                       ActionLogger* logger)
+    : store_(store),
+      lm_(lm),
+      methods_(methods),
+      recorder_(recorder),
+      logger_(logger) {}
+
+Result<Value> TxnManager::RunAttempt(const std::string& name, const Body& body,
+                                     TxnId priority) {
+  TxnTree tree(TxnTree::NextId(), name, kDatabaseOid, Schema::kDatabaseTypeId);
+  SubTxn* root = tree.root();
+  if (priority != 0) root->set_priority(priority);
+  root->set_grant_seq(lm_->NextSeq());
+  TxnCtx ctx(store_, lm_, methods_, &tree, logger_);
+
+  if (logger_ != nullptr) logger_->OnTxnBegin(root->id());
+  Result<Value> result = body(ctx);
+  const bool commit = result.ok() && !root->abort_requested();
+  if (commit) {
+    root->set_state(TxnState::kCommitted);
+    lm_->OnSubTxnCompleted(root);
+    if (recorder_ != nullptr) recorder_->RecordTree(&tree, /*committed=*/true);
+    if (logger_ != nullptr) logger_->OnTxnCommit(root->id());
+    lm_->ReleaseTree(root);
+    stats_.commits.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+
+  // Abort: compensate committed subtransactions in reverse order (the
+  // compensating actions run under the same protocol, as subtransactions of
+  // this same transaction), then release everything.
+  ctx.Rollback();
+  root->set_state(TxnState::kAborted);
+  lm_->OnSubTxnCompleted(root);
+  if (recorder_ != nullptr) recorder_->RecordTree(&tree, /*committed=*/false);
+  if (logger_ != nullptr) logger_->OnTxnAbort(root->id());
+  lm_->ReleaseTree(root);
+  stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  if (result.ok()) {
+    return Status::Aborted("abort requested (deadlock victim)");
+  }
+  return result.status();
+}
+
+Result<Value> TxnManager::RunOnce(const std::string& name, const Body& body) {
+  return RunAttempt(name, body, /*priority=*/0);
+}
+
+namespace {
+bool Retryable(const Status& st) {
+  return st.IsDeadlock() || st.IsAborted() || st.IsTimedOut();
+}
+}  // namespace
+
+Result<Value> TxnManager::Run(const std::string& name, const Body& body,
+                              int max_retries) {
+  thread_local Random rng(
+      std::hash<std::thread::id>()(std::this_thread::get_id()));
+  // Retries keep the first attempt's deadlock-victim rank so they age
+  // relative to newcomers (no starvation).
+  TxnId priority = 0;
+  for (int attempt = 0;; ++attempt) {
+    if (priority == 0) priority = TxnTree::NextId();
+    Result<Value> r = RunAttempt(name, body, priority);
+    if (r.ok()) return r;
+    if (!Retryable(r.status()) || attempt >= max_retries) {
+      if (!Retryable(r.status())) {
+        stats_.app_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      return r;
+    }
+    stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    const int shift = attempt < 6 ? attempt : 6;
+    const uint64_t backoff_us = 100ull * (1ull << shift);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(rng.Uniform(backoff_us) + 50));
+  }
+}
+
+}  // namespace semcc

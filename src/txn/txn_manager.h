@@ -1,0 +1,71 @@
+// TxnManager: top-level transaction lifecycle — run, commit, abort with
+// compensation, deadlock-victim retry.
+#ifndef SEMCC_TXN_TXN_MANAGER_H_
+#define SEMCC_TXN_TXN_MANAGER_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+#include "cc/lock_manager.h"
+#include "txn/history.h"
+#include "txn/method_registry.h"
+#include "txn/txn_context.h"
+#include "util/macros.h"
+
+namespace semcc {
+
+/// \brief Aggregate transaction statistics.
+struct TxnStats {
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> aborts{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> app_errors{0};
+
+  std::string ToString() const;
+};
+
+/// \brief Runs transaction bodies as open nested transactions.
+class TxnManager {
+ public:
+  using Body = std::function<Result<Value>(TxnCtx&)>;
+
+  TxnManager(ObjectStore* store, LockManager* lm, MethodRegistry* methods,
+             HistoryRecorder* recorder, ActionLogger* logger = nullptr);
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(TxnManager);
+
+  /// Execute `body` as a top-level transaction named `name`.
+  ///
+  /// On success the transaction commits: all its locks are released and its
+  /// tree is recorded in the history. On failure (including deadlock-victim
+  /// aborts) all committed subtransactions are compensated in reverse order
+  /// and — for system-induced aborts (Deadlock/Aborted/TimedOut) — the body
+  /// is re-executed up to `max_retries` times with exponential backoff.
+  /// Application errors are not retried.
+  ///
+  /// The body MUST be re-entrant: it can run several times, so it must not
+  /// move captured state out or otherwise consume one-shot resources.
+  Result<Value> Run(const std::string& name, const Body& body,
+                    int max_retries = 16);
+
+  /// Like Run but never retries; useful in scenario tests that need to
+  /// observe a single attempt.
+  Result<Value> RunOnce(const std::string& name, const Body& body);
+
+  TxnStats& stats() { return stats_; }
+
+ private:
+  Result<Value> RunAttempt(const std::string& name, const Body& body,
+                           TxnId priority);
+
+  ObjectStore* const store_;
+  LockManager* const lm_;
+  MethodRegistry* const methods_;
+  HistoryRecorder* const recorder_;
+  ActionLogger* const logger_;
+  TxnStats stats_;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_TXN_TXN_MANAGER_H_

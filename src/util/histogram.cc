@@ -1,0 +1,101 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace semcc {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < 64) return static_cast<int>(value);
+  // Exponential buckets: 16 per power of two above 64.
+  int msb = 63 - __builtin_clzll(value);
+  uint64_t base = 1ULL << msb;
+  int sub = static_cast<int>(((value - base) * 16) >> msb);
+  int bucket = 64 + (msb - 6) * 16 + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < 64) return static_cast<uint64_t>(bucket);
+  int rel = bucket - 64;
+  int msb = 6 + rel / 16;
+  int sub = rel % 16;
+  uint64_t base = 1ULL << msb;
+  return base + ((static_cast<uint64_t>(sub) + 1) << msb) / 16 - 1;
+}
+
+void Histogram::Add(uint64_t value) {
+  std::lock_guard<std::mutex> guard(mu_);
+  buckets_[BucketFor(value)]++;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  count_++;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  std::scoped_lock guard(mu_, other.mu_);
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return count_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::min() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return min_;
+}
+
+uint64_t Histogram::max() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return max_;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (count_ == 0) return 0;
+  uint64_t threshold =
+      static_cast<uint64_t>(static_cast<double>(count_) * p / 100.0);
+  if (threshold >= count_) threshold = count_ - 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > threshold) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%llu p95=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count()), mean(),
+                static_cast<unsigned long long>(Percentile(50)),
+                static_cast<unsigned long long>(Percentile(95)),
+                static_cast<unsigned long long>(Percentile(99)),
+                static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+}  // namespace semcc

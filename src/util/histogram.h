@@ -1,0 +1,49 @@
+// Latency/size histogram with percentile queries, for the bench harness.
+#ifndef SEMCC_UTIL_HISTOGRAM_H_
+#define SEMCC_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace semcc {
+
+/// \brief Thread-safe histogram over non-negative values (e.g. microseconds).
+///
+/// Exponentially sized buckets: exact up to 64, then ~4% resolution.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const;
+  double mean() const;
+  uint64_t min() const;
+  uint64_t max() const;
+  /// p in [0, 100].
+  uint64_t Percentile(double p) const;
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  std::string ToString() const;
+
+ private:
+  // 64 exact buckets + 16 sub-buckets per power of two up to 2^63.
+  static constexpr int kNumBuckets = 64 + 58 * 16;
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int bucket);
+
+  mutable std::mutex mu_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_UTIL_HISTOGRAM_H_

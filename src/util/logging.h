@@ -1,0 +1,58 @@
+// Minimal thread-safe leveled logging.
+#ifndef SEMCC_UTIL_LOGGING_H_
+#define SEMCC_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace semcc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// Global log threshold; messages below it are dropped. Default: kWarn, so
+/// tests and benches stay quiet unless something is wrong.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SEMCC_LOG(level)                                                    \
+  ::semcc::internal::LogMessage(::semcc::LogLevel::k##level, __FILE__, __LINE__)
+
+// Invariant check that is active in all build types. Fails fast: a broken
+// invariant in a concurrency-control engine must never be silently ignored.
+#define SEMCC_CHECK(cond)                                                  \
+  if (SEMCC_PREDICT_TRUE(cond)) {                                          \
+  } else                                                                   \
+    ::semcc::internal::LogMessage(::semcc::LogLevel::kFatal, __FILE__,     \
+                                  __LINE__)                                \
+        << "Check failed: " #cond " "
+
+#define SEMCC_DCHECK(cond) SEMCC_CHECK(cond)
+
+}  // namespace semcc
+
+#include "util/macros.h"
+
+#endif  // SEMCC_UTIL_LOGGING_H_

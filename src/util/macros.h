@@ -1,0 +1,43 @@
+// Common macros used across the semcc codebase.
+#ifndef SEMCC_UTIL_MACROS_H_
+#define SEMCC_UTIL_MACROS_H_
+
+#define SEMCC_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;            \
+  TypeName& operator=(const TypeName&) = delete
+
+#define SEMCC_DISALLOW_MOVE(TypeName)  \
+  TypeName(TypeName&&) = delete;       \
+  TypeName& operator=(TypeName&&) = delete
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SEMCC_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#define SEMCC_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#else
+#define SEMCC_PREDICT_FALSE(x) (x)
+#define SEMCC_PREDICT_TRUE(x) (x)
+#endif
+
+// Evaluates an expression returning a Status; returns it from the enclosing
+// function if it is not OK.
+#define SEMCC_RETURN_NOT_OK(expr)                        \
+  do {                                                   \
+    ::semcc::Status _st = (expr);                        \
+    if (SEMCC_PREDICT_FALSE(!_st.ok())) return _st;      \
+  } while (false)
+
+// Evaluates an expression returning a Result<T>; on success assigns the value
+// to `lhs`, otherwise returns the error status from the enclosing function.
+#define SEMCC_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                \
+  if (SEMCC_PREDICT_FALSE(!result_name.ok()))                \
+    return result_name.status();                             \
+  lhs = std::move(result_name).ValueUnsafe()
+
+#define SEMCC_CONCAT_IMPL(x, y) x##y
+#define SEMCC_CONCAT(x, y) SEMCC_CONCAT_IMPL(x, y)
+
+#define SEMCC_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SEMCC_ASSIGN_OR_RETURN_IMPL(SEMCC_CONCAT(_semcc_result_, __LINE__), lhs, rexpr)
+
+#endif  // SEMCC_UTIL_MACROS_H_

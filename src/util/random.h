@@ -1,0 +1,72 @@
+// Deterministic pseudo-random generators for workloads and property tests.
+#ifndef SEMCC_UTIL_RANDOM_H_
+#define SEMCC_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace semcc {
+
+/// \brief xorshift128+ generator: fast, deterministic, good enough for
+/// workload generation (not for cryptography).
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x5eed5eed5eedULL);
+
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. hi must be >= lo.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// \brief Zipf-distributed generator over [0, n): item 0 is the most popular.
+///
+/// Uses the classical rejection-free inversion on the precomputed CDF for
+/// small n and Gray et al.'s approximation for large n.
+class ZipfianGenerator {
+ public:
+  /// \param n     number of distinct items (> 0)
+  /// \param theta skew parameter; 0 = uniform, 0.99 = typical hot-spot skew
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  /// Next item in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  Random rng_;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_UTIL_RANDOM_H_

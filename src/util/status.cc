@@ -1,0 +1,55 @@
+#include "util/status.h"
+
+namespace semcc {
+
+namespace {
+const std::string kEmptyString;
+}  // namespace
+
+Status::Status(StatusCode code, std::string msg)
+    : state_(code == StatusCode::kOk ? nullptr
+                                     : new State{code, std::move(msg)}) {}
+
+const std::string& Status::message() const {
+  return state_ ? state_->msg : kEmptyString;
+}
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfSpace:
+      return "OutOfSpace";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kDeadlock:
+      return "Deadlock";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kPreconditionFailed:
+      return "PreconditionFailed";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace semcc

@@ -1,0 +1,117 @@
+// Status: the error-handling currency of the semcc core (no exceptions),
+// following the Arrow / RocksDB idiom.
+#ifndef SEMCC_UTIL_STATUS_H_
+#define SEMCC_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace semcc {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfSpace = 4,
+  kCorruption = 5,
+  kDeadlock = 6,       // transaction chosen as a deadlock victim
+  kAborted = 7,        // transaction was aborted (by itself or the system)
+  kTimedOut = 8,       // a lock wait exceeded its deadline
+  kNotSupported = 9,
+  kInternal = 10,
+  kPreconditionFailed = 11,  // application-level precondition (e.g. order not paid)
+};
+
+/// \brief Operation outcome: an error code plus an optional message.
+///
+/// A moved-from or default-constructed Status is OK. Non-OK statuses carry a
+/// heap-allocated state so that the common OK path is a single null pointer.
+class Status {
+ public:
+  Status() noexcept : state_(nullptr) {}
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other)
+      : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_.reset(other.state_ ? new State(*other.state_) : nullptr);
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfSpace(std::string msg) {
+    return Status(StatusCode::kOutOfSpace, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status PreconditionFailed(std::string msg) {
+    return Status(StatusCode::kPreconditionFailed, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfSpace() const { return code() == StatusCode::kOutOfSpace; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsDeadlock() const { return code() == StatusCode::kDeadlock; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsPreconditionFailed() const {
+    return code() == StatusCode::kPreconditionFailed;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;
+};
+
+const char* StatusCodeToString(StatusCode code);
+
+}  // namespace semcc
+
+#endif  // SEMCC_UTIL_STATUS_H_

@@ -1,0 +1,34 @@
+// Steady-clock stopwatch helpers.
+#ifndef SEMCC_UTIL_STOPWATCH_H_
+#define SEMCC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace semcc {
+
+/// \brief Wall-clock stopwatch based on std::chrono::steady_clock.
+class StopWatch {
+ public:
+  StopWatch() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  uint64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Now() - start_)
+        .count();
+  }
+  uint64_t ElapsedMillis() const { return ElapsedMicros() / 1000; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static Clock::time_point Now() { return Clock::now(); }
+  Clock::time_point start_;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_UTIL_STOPWATCH_H_

@@ -1,0 +1,111 @@
+// Synchronization helpers: semaphore, count-down latch, and a scripted
+// schedule used by scenario tests to force the paper's exact interleavings.
+#ifndef SEMCC_UTIL_SYNC_H_
+#define SEMCC_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "util/macros.h"
+
+namespace semcc {
+
+/// \brief Counting semaphore (C++20 std::counting_semaphore lacks a
+/// try_acquire_for on some libstdc++ versions we target, so we roll our own).
+class Semaphore {
+ public:
+  explicit Semaphore(int initial = 0) : count_(initial) {}
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(Semaphore);
+
+  void Post(int n = 1) {
+    std::lock_guard<std::mutex> guard(mu_);
+    count_ += n;
+    if (n == 1) {
+      cv_.notify_one();
+    } else {
+      cv_.notify_all();
+    }
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ > 0; });
+    --count_;
+  }
+
+  bool WaitFor(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [&] { return count_ > 0; })) return false;
+    --count_;
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+/// \brief One-shot count-down latch.
+class CountDownLatch {
+ public:
+  explicit CountDownLatch(int count) : count_(count) {}
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(CountDownLatch);
+
+  void CountDown() {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+/// \brief A set of named events used to script multi-thread interleavings.
+///
+/// Scenario tests (paper Figures 4-7) need e.g. "T3 must request its lock
+/// only after T1 finished ShipOrder(i1,o1)". Threads call Signal("name") and
+/// WaitFor("name"); WaitFor returns false on timeout so a wedged scenario
+/// fails the test instead of hanging it.
+class ScriptedSchedule {
+ public:
+  ScriptedSchedule() = default;
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(ScriptedSchedule);
+
+  void Signal(const std::string& event) {
+    std::lock_guard<std::mutex> guard(mu_);
+    fired_.insert(event);
+    cv_.notify_all();
+  }
+
+  bool WaitFor(const std::string& event,
+               std::chrono::milliseconds timeout = std::chrono::seconds(10)) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout,
+                        [&] { return fired_.count(event) > 0; });
+  }
+
+  bool HasFired(const std::string& event) {
+    std::lock_guard<std::mutex> guard(mu_);
+    return fired_.count(event) > 0;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::set<std::string> fired_;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_UTIL_SYNC_H_

@@ -1,0 +1,269 @@
+// Tests for the reusable ADT components: Counter and the paper's §1.1
+// Queue, including the ADT-built-from-an-ADT concurrency behavior (inner
+// Counter.Next conflicts relieved by outer Enqueue/Enqueue commutativity).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "adt/standard_adts.h"
+#include "core/serializability.h"
+#include "util/sync.h"
+
+namespace semcc {
+namespace adt {
+namespace {
+
+struct CounterTest : public ::testing::Test {
+  void SetUp() override {
+    type = InstallCounter(&db).ValueOrDie();
+    counter = NewCounter(&db, type, 10).ValueOrDie();
+  }
+  Result<Value> Call(const std::string& m, Args a = {}) {
+    // NOTE: transaction bodies are re-executed on retry — never move
+    // captured state out of them.
+    return db.RunTransaction(m, [&](TxnCtx& ctx) {
+      return ctx.Invoke(counter, m, a);
+    });
+  }
+  Database db;
+  CounterType type;
+  Oid counter = kInvalidOid;
+};
+
+TEST_F(CounterTest, IncrementDecrementRead) {
+  ASSERT_TRUE(Call("Increment", {Value(5)}).ok());
+  ASSERT_TRUE(Call("Decrement", {Value(3)}).ok());
+  EXPECT_EQ(Call("Read").ValueOrDie().AsInt(), 12);
+}
+
+TEST_F(CounterTest, NextReturnsAndAdvances) {
+  EXPECT_EQ(Call("Next").ValueOrDie().AsInt(), 11);
+  EXPECT_EQ(Call("Next").ValueOrDie().AsInt(), 12);
+  EXPECT_EQ(Call("Read").ValueOrDie().AsInt(), 12);
+}
+
+TEST_F(CounterTest, ConcurrentBlindUpdatesNeverLost) {
+  constexpr int kThreads = 8;
+  constexpr int kOps = 200;
+  std::vector<std::thread> threads;
+  std::mutex fail_mu;
+  std::vector<std::string> failures;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < kOps; ++i) {
+        auto r = Call("Increment", {Value(1)});
+        if (!r.ok()) {
+          std::lock_guard<std::mutex> guard(fail_mu);
+          failures.push_back(r.status().ToString());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(failures.empty()) << failures.size() << " failed, first: "
+                                << failures.front();
+  EXPECT_EQ(Call("Read").ValueOrDie().AsInt(), 10 + kThreads * kOps);
+  SemanticSerializabilityChecker checker(db.compat());
+  EXPECT_TRUE(checker.Check(db.history()->Snapshot()).serializable);
+}
+
+TEST_F(CounterTest, AbortCompensatesThroughInverseMethod) {
+  auto r = db.RunTransaction("t", [&](TxnCtx& ctx) -> Result<Value> {
+    SEMCC_ASSIGN_OR_RETURN(Value a, ctx.Invoke(counter, "Increment", {Value(7)}));
+    (void)a;
+    return Status::PreconditionFailed("abort");
+  });
+  EXPECT_TRUE(r.status().IsPreconditionFailed());
+  EXPECT_EQ(Call("Read").ValueOrDie().AsInt(), 10);
+}
+
+TEST_F(CounterTest, MethodMayInvokeMethodOnSameObject) {
+  // Paper footnote 3: "a method is allowed to operate on the same object as
+  // one of its ancestors."
+  ASSERT_TRUE(db.RegisterMethod(
+                    {type.counter, "Bump2", false,
+                     [](TxnCtx& ctx, Oid self, const Args&) -> Result<Value> {
+                       SEMCC_ASSIGN_OR_RETURN(
+                           Value a, ctx.Invoke(self, "Increment", {Value(1)}));
+                       (void)a;
+                       return ctx.Invoke(self, "Increment", {Value(1)});
+                     },
+                     [](TxnCtx& ctx, Oid self, const Args&, const Value&) {
+                       auto r = ctx.Invoke(self, "Decrement", {Value(2)});
+                       return r.ok() ? Status::OK() : r.status();
+                     }})
+                  .ok());
+  ASSERT_TRUE(Call("Bump2").ok());
+  EXPECT_EQ(Call("Read").ValueOrDie().AsInt(), 12);
+}
+
+struct QueueTest : public ::testing::Test {
+  void SetUp() override {
+    type = InstallQueue(&db).ValueOrDie();
+    queue = NewQueue(&db, type).ValueOrDie();
+  }
+  Result<Value> Call(const std::string& m, Args a = {}) {
+    return db.RunTransaction(m, [&](TxnCtx& ctx) {
+      return ctx.Invoke(queue, m, a);
+    });
+  }
+  Database db;
+  QueueType type;
+  Oid queue = kInvalidOid;
+};
+
+TEST_F(QueueTest, FifoOrder) {
+  for (int64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(Call("Enqueue", {Value(i * 100)}).ok());
+  }
+  EXPECT_EQ(Call("Size").ValueOrDie().AsInt(), 5);
+  EXPECT_EQ(Call("Front").ValueOrDie().AsInt(), 100);
+  for (int64_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(Call("Dequeue").ValueOrDie().AsInt(), i * 100);
+  }
+  EXPECT_EQ(Call("Size").ValueOrDie().AsInt(), 0);
+}
+
+TEST_F(QueueTest, DequeueEmptyFails) {
+  EXPECT_TRUE(Call("Dequeue").status().IsPreconditionFailed());
+  EXPECT_TRUE(Call("Front").status().IsPreconditionFailed());
+}
+
+TEST_F(QueueTest, EnqueueAbortLeavesHarmlessHole) {
+  ASSERT_TRUE(Call("Enqueue", {Value(1)}).ok());
+  auto r = db.RunTransaction("t", [&](TxnCtx& ctx) -> Result<Value> {
+    SEMCC_ASSIGN_OR_RETURN(Value p, ctx.Invoke(queue, "Enqueue", {Value(2)}));
+    (void)p;
+    return Status::PreconditionFailed("abort");
+  });
+  EXPECT_TRUE(r.status().IsPreconditionFailed());
+  ASSERT_TRUE(Call("Enqueue", {Value(3)}).ok());
+  EXPECT_EQ(Call("Size").ValueOrDie().AsInt(), 2);
+  EXPECT_EQ(Call("Dequeue").ValueOrDie().AsInt(), 1);
+  EXPECT_EQ(Call("Dequeue").ValueOrDie().AsInt(), 3);  // 2 never existed
+}
+
+TEST_F(QueueTest, DequeueAbortRestoresFront) {
+  ASSERT_TRUE(Call("Enqueue", {Value(1)}).ok());
+  ASSERT_TRUE(Call("Enqueue", {Value(2)}).ok());
+  auto r = db.RunTransaction("t", [&](TxnCtx& ctx) -> Result<Value> {
+    SEMCC_ASSIGN_OR_RETURN(Value v, ctx.Invoke(queue, "Dequeue", {}));
+    EXPECT_EQ(v.AsInt(), 1);
+    return Status::PreconditionFailed("abort");
+  });
+  EXPECT_TRUE(r.status().IsPreconditionFailed());
+  EXPECT_EQ(Call("Size").ValueOrDie().AsInt(), 2);
+  EXPECT_EQ(Call("Dequeue").ValueOrDie().AsInt(), 1);  // back at the front
+  EXPECT_EQ(Call("Dequeue").ValueOrDie().AsInt(), 2);
+}
+
+TEST_F(QueueTest, ConcurrentEnqueuesAllLandAndDoNotBlockAtTxnLevel) {
+  // The paper's §1.1 example, end to end: concurrent Enqueues commute.
+  constexpr int kThreads = 8;
+  constexpr int kOps = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kOps; ++i) {
+        ASSERT_TRUE(
+            Call("Enqueue", {Value(int64_t{t * 1000 + i})}).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(Call("Size").ValueOrDie().AsInt(), kThreads * kOps);
+  // Enqueue/Enqueue never waits for a top-level commit: the only blocking is
+  // the Case-2 wait on the inner Counter.Next subtransaction.
+  EXPECT_EQ(db.locks()->stats().root_waits.load(), 0u);
+  // Drain: every element exactly once.
+  std::set<int64_t> seen;
+  for (int i = 0; i < kThreads * kOps; ++i) {
+    auto v = Call("Dequeue");
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(seen.insert(v.ValueOrDie().AsInt()).second);
+  }
+  SemanticSerializabilityChecker checker(db.compat());
+  auto check = checker.Check(db.history()->Snapshot());
+  EXPECT_TRUE(check.serializable) << check.ToString();
+}
+
+TEST_F(QueueTest, InnerCounterConflictIsRelievedByOuterCommutativity) {
+  // Two enqueues from different transactions where the second arrives while
+  // the first is still inside its top-level transaction: the Counter.Next
+  // pair conflicts, but (Enqueue, Enqueue) commute -> Case 1 (the first
+  // Enqueue subtransaction is committed when the second runs).
+  ScriptedSchedule sched;
+  std::thread t1([&]() {
+    auto r = db.RunTransactionOnce("e1", [&](TxnCtx& ctx) -> Result<Value> {
+      SEMCC_ASSIGN_OR_RETURN(Value p, ctx.Invoke(queue, "Enqueue", {Value(1)}));
+      (void)p;
+      sched.Signal("first.done");
+      sched.WaitFor("second.done", std::chrono::milliseconds(2000));
+      return Value();
+    });
+    EXPECT_TRUE(r.ok());
+  });
+  std::thread t2([&]() {
+    sched.WaitFor("first.done");
+    auto r = db.RunTransactionOnce("e2", [&](TxnCtx& ctx) {
+      return ctx.Invoke(queue, "Enqueue", {Value(2)});
+    });
+    EXPECT_TRUE(r.ok());
+    sched.Signal("second.done");
+  });
+  t1.join();
+  t2.join();
+  EXPECT_GE(db.locks()->stats().case1_grants.load() +
+                db.locks()->stats().case2_waits.load(),
+            1u);
+  EXPECT_EQ(db.locks()->stats().root_waits.load(), 0u);
+  EXPECT_EQ(Call("Size").ValueOrDie().AsInt(), 2);
+}
+
+TEST_F(QueueTest, MixedProducersConsumersStayConsistent) {
+  std::atomic<int64_t> produced{0};
+  std::atomic<int64_t> consumed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 100; ++i) {
+        if (Call("Enqueue", {Value(1)}).ok()) produced.fetch_add(1);
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 150; ++i) {
+        auto r = Call("Dequeue");
+        if (r.ok()) consumed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(Call("Size").ValueOrDie().AsInt(),
+            produced.load() - consumed.load());
+}
+
+TEST(AdtInstall, QueueInstallsCounterOnce) {
+  Database db;
+  auto q = InstallQueue(&db).ValueOrDie();
+  auto c = InstallCounter(&db).ValueOrDie();  // idempotent
+  EXPECT_EQ(q.counter.counter, c.counter);
+}
+
+TEST(AdtInstall, CounterMatrixMatchesSpec) {
+  Database db;
+  auto t = InstallCounter(&db).ValueOrDie();
+  CompatibilityRegistry* c = db.compat();
+  EXPECT_TRUE(c->Commute(t.counter, "Increment", {Value(1)}, "Decrement", {Value(2)}));
+  EXPECT_FALSE(c->Commute(t.counter, "Next", {}, "Next", {}));
+  EXPECT_FALSE(c->Commute(t.counter, "Read", {}, "Increment", {Value(1)}));
+  EXPECT_TRUE(c->Commute(t.counter, "Read", {}, "Read", {}));
+}
+
+}  // namespace
+}  // namespace adt
+}  // namespace semcc

@@ -1,0 +1,198 @@
+// Figure 8 execution-engine edge cases: deep nesting, bypass mixtures,
+// protocol variants over identical bodies, and error propagation.
+#include <gtest/gtest.h>
+
+#include "app/orderentry/order_entry.h"
+#include "core/database.h"
+#include "core/serializability.h"
+
+namespace semcc {
+namespace {
+
+using namespace orderentry;
+
+struct ExecutorTest : public ::testing::Test {
+  void SetUp() override {
+    types = Install(&db).ValueOrDie();
+    LoadSpec spec;
+    spec.num_items = 2;
+    spec.orders_per_item = 2;
+    data = Load(&db, types, spec).ValueOrDie();
+  }
+  Database db;
+  OrderEntryTypes types;
+  LoadedData data;
+};
+
+TEST_F(ExecutorTest, ThreeLevelInvocationTreeHasCorrectDepths) {
+  // root (0) -> ShipOrder (1) -> ChangeStatus (2) -> Get/Put (3)
+  ASSERT_TRUE(db.RunTransaction("t", [&](TxnCtx& ctx) {
+                  return ctx.Invoke(data.item_oids[0], "ShipOrder", {Value(1)});
+                }).ok());
+  const TxnRecord txn = db.history()->Snapshot()[0];
+  int max_depth = 0;
+  for (const ActionRecord& a : txn.actions) max_depth = std::max(max_depth, a.depth);
+  EXPECT_EQ(max_depth, 3);
+}
+
+TEST_F(ExecutorTest, MethodDefinedViaAnotherMethodNestsFourLevels) {
+  // Register an Item method that invokes ShipOrder (method -> method ->
+  // method -> leaves): arbitrary nesting, no layering restriction (the
+  // paper's §1.2 point against strictly layered multilevel transactions).
+  ASSERT_TRUE(db.RegisterMethod(
+                    {types.item, "ShipFirstTwo", false,
+                     [](TxnCtx& ctx, Oid self, const Args&) -> Result<Value> {
+                       SEMCC_ASSIGN_OR_RETURN(
+                           Value a, ctx.Invoke(self, "ShipOrder", {Value(1)}));
+                       (void)a;
+                       return ctx.Invoke(self, "ShipOrder", {Value(2)});
+                     },
+                     [](TxnCtx& ctx, Oid self, const Args&, const Value&) {
+                       auto r1 = ctx.Invoke(self, "UnshipHelper", {Value(1)});
+                       auto r2 = ctx.Invoke(self, "UnshipHelper", {Value(2)});
+                       return r1.ok() ? (r2.ok() ? Status::OK() : r2.status())
+                                      : r1.status();
+                     }})
+                  .ok());
+  ASSERT_TRUE(db.RegisterMethod(
+                    {types.item, "UnshipHelper", false,
+                     [](TxnCtx& ctx, Oid self, const Args& a) -> Result<Value> {
+                       SEMCC_ASSIGN_OR_RETURN(Oid orders,
+                                              ctx.Component(self, "Orders"));
+                       SEMCC_ASSIGN_OR_RETURN(Oid order,
+                                              ctx.SetSelect(orders, a[0]));
+                       return ctx.Invoke(order, "UnchangeStatus",
+                                         {Value(kShipped)});
+                     },
+                     [](TxnCtx&, Oid, const Args&, const Value&) {
+                       return Status::OK();
+                     }})
+                  .ok());
+  ASSERT_TRUE(db.RunTransaction("t", [&](TxnCtx& ctx) {
+                  return ctx.Invoke(data.item_oids[0], "ShipFirstTwo", {});
+                }).ok());
+  const TxnRecord txn = db.history()->Snapshot()[0];
+  int max_depth = 0;
+  for (const ActionRecord& a : txn.actions) max_depth = std::max(max_depth, a.depth);
+  EXPECT_EQ(max_depth, 4);  // root>ShipFirstTwo>ShipOrder>ChangeStatus>leaf
+  Oid o1 = FindOrder(&db, data.item_oids[0], 1).ValueOrDie();
+  EXPECT_EQ(ReadStatusRaw(&db, o1).ValueOrDie(), kEventShippedBit);
+}
+
+TEST_F(ExecutorTest, MixedMethodAndBypassInOneTransaction) {
+  // One transaction both invokes methods AND bypasses (generic ops).
+  auto r = db.RunTransaction("mixed", [&](TxnCtx& ctx) -> Result<Value> {
+    SEMCC_ASSIGN_OR_RETURN(Value a,
+                           ctx.Invoke(data.item_oids[0], "PayOrder", {Value(1)}));
+    (void)a;
+    // Direct (bypassing) read of the same order's status.
+    SEMCC_ASSIGN_OR_RETURN(Oid orders, ctx.Component(data.item_oids[0], "Orders"));
+    SEMCC_ASSIGN_OR_RETURN(Oid order, ctx.SetSelect(orders, Value(1)));
+    SEMCC_ASSIGN_OR_RETURN(Value status, ctx.GetField(order, "Status"));
+    return status;
+  });
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Sees its own committed subtransaction's effect (same-root locks never
+  // block, retained or not).
+  EXPECT_EQ(r.ValueOrDie().AsInt(), kEventPaidBit);
+}
+
+TEST_F(ExecutorTest, ErrorInDeepLeafPropagatesToTop) {
+  auto r = db.RunTransaction("t", [&](TxnCtx& ctx) -> Result<Value> {
+    return ctx.Invoke(data.item_oids[0], "ShipOrder",
+                      {Value(int64_t{12345})});  // no such order
+  });
+  EXPECT_TRUE(r.status().IsNotFound());
+  const TxnRecord txn = db.history()->Snapshot()[0];
+  EXPECT_FALSE(txn.committed);
+  // The ShipOrder node is recorded as aborted, its Select leaf too.
+  bool ship_aborted = false;
+  for (const ActionRecord& a : txn.actions) {
+    if (a.method == "ShipOrder") {
+      EXPECT_EQ(a.final_state, TxnState::kAborted);
+      ship_aborted = true;
+    }
+  }
+  EXPECT_TRUE(ship_aborted);
+}
+
+TEST_F(ExecutorTest, InvokeOnUnknownObjectFails) {
+  auto r = db.RunTransaction("t", [&](TxnCtx& ctx) {
+    return ctx.Invoke(999999, "ShipOrder", {Value(1)});
+  });
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(ExecutorTest, GetOnTupleObjectRejected) {
+  auto r = db.RunTransaction("t", [&](TxnCtx& ctx) -> Result<Value> {
+    return ctx.Get(data.item_oids[0]);  // item is a tuple, not an atom
+  });
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(ExecutorTest, SameBodyRunsUnderEveryProtocol) {
+  for (Protocol protocol : {Protocol::kSemanticONT, Protocol::kClosedNested,
+                            Protocol::kFlat2PL}) {
+    DatabaseOptions options;
+    options.protocol.protocol = protocol;
+    Database db2(options);
+    auto types2 = Install(&db2).ValueOrDie();
+    LoadSpec spec;
+    spec.num_items = 2;
+    spec.orders_per_item = 2;
+    spec.initial_qoh = 10;
+    auto data2 = Load(&db2, types2, spec).ValueOrDie();
+    ASSERT_TRUE(db2.RunTransaction("t", T1_ShipTwoOrders(data2.item_oids[0], 1,
+                                                         data2.item_oids[1], 1))
+                    .ok())
+        << ProtocolName(protocol);
+    EXPECT_LT(ReadQohRaw(&db2, data2.item_oids[0]).ValueOrDie(), 10)
+        << ProtocolName(protocol);
+  }
+}
+
+TEST_F(ExecutorTest, AbortDuringCompensationIsSurvivable) {
+  // Destroy the order between the forward action and the abort: ShipOrder's
+  // inverse will fail to find it. The transaction must still finish its
+  // abort (best-effort compensation) without hanging or crashing.
+  Oid item = data.item_oids[0];
+  auto r = db.RunTransaction("t", [&](TxnCtx& ctx) -> Result<Value> {
+    SEMCC_ASSIGN_OR_RETURN(Value a, ctx.Invoke(item, "ShipOrder", {Value(1)}));
+    (void)a;
+    // Sabotage: remove the order out from under the pending compensation.
+    SEMCC_ASSIGN_OR_RETURN(Oid orders, ctx.Component(item, "Orders"));
+    SEMCC_RETURN_NOT_OK(ctx.SetRemove(orders, Value(1)));
+    return Status::PreconditionFailed("now abort");
+  });
+  EXPECT_TRUE(r.status().IsPreconditionFailed());
+  // The SetRemove leaf undo re-inserted the order; ShipOrder's inverse ran
+  // afterwards (reverse order) and found it again.
+  Oid o1 = FindOrder(&db, item, 1).ValueOrDie();
+  EXPECT_EQ(ReadStatusRaw(&db, o1).ValueOrDie(), 0);
+}
+
+TEST_F(ExecutorTest, EmptyTransactionCommits) {
+  auto r = db.RunTransaction("noop", [&](TxnCtx&) -> Result<Value> {
+    return Value(int64_t{42});
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().AsInt(), 42);
+  const TxnRecord txn = db.history()->Snapshot()[0];
+  EXPECT_EQ(txn.actions.size(), 1u);  // just the root
+}
+
+TEST_F(ExecutorTest, ScanReflectsOwnInserts) {
+  auto r = db.RunTransaction("t", [&](TxnCtx& ctx) -> Result<Value> {
+    SEMCC_ASSIGN_OR_RETURN(Value ono,
+                           ctx.Invoke(data.item_oids[0], "NewOrder",
+                                      {Value(9), Value(1)}));
+    SEMCC_ASSIGN_OR_RETURN(Oid orders, ctx.Component(data.item_oids[0], "Orders"));
+    SEMCC_ASSIGN_OR_RETURN(auto members, ctx.SetScan(orders));
+    EXPECT_EQ(members.size(), 3u);  // 2 loaded + own new order
+    return ono;
+  });
+  ASSERT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace semcc

@@ -1,0 +1,113 @@
+// Tests for the history recorder and the tree formatter.
+#include <gtest/gtest.h>
+
+#include "app/orderentry/order_entry.h"
+#include "core/database.h"
+#include "txn/history.h"
+
+namespace semcc {
+namespace {
+
+using namespace orderentry;
+
+struct HistoryTest : public ::testing::Test {
+  void SetUp() override {
+    types = Install(&db).ValueOrDie();
+    LoadSpec spec;
+    spec.num_items = 2;
+    spec.orders_per_item = 2;
+    data = Load(&db, types, spec).ValueOrDie();
+  }
+  Database db;
+  OrderEntryTypes types;
+  LoadedData data;
+};
+
+TEST_F(HistoryTest, RecordsOneEntryPerTransaction) {
+  ASSERT_TRUE(db.RunTransaction("a", T5_TotalPayment(data.item_oids[0])).ok());
+  ASSERT_TRUE(db.RunTransaction("b", T5_TotalPayment(data.item_oids[1])).ok());
+  auto snap = db.history()->Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "a");
+  EXPECT_EQ(snap[1].name, "b");
+  EXPECT_TRUE(snap[0].committed);
+}
+
+TEST_F(HistoryTest, ActionTimestampsAreMonotonePerAction) {
+  ASSERT_TRUE(
+      db.RunTransaction("t", T1_ShipTwoOrders(data.item_oids[0], 1,
+                                              data.item_oids[1], 2)).ok());
+  auto snap = db.history()->Snapshot();
+  for (const ActionRecord& a : snap[0].actions) {
+    EXPECT_LE(a.grant_seq, a.end_seq) << a.Label();
+  }
+}
+
+TEST_F(HistoryTest, ParentPointersFormATree) {
+  ASSERT_TRUE(
+      db.RunTransaction("t", T1_ShipTwoOrders(data.item_oids[0], 1,
+                                              data.item_oids[1], 2)).ok());
+  const TxnRecord txn = db.history()->Snapshot()[0];
+  int roots = 0;
+  for (const ActionRecord& a : txn.actions) {
+    if (a.id == a.parent_id) {
+      roots++;
+    } else {
+      EXPECT_NE(txn.Find(a.parent_id), nullptr) << a.Label();
+      EXPECT_EQ(a.depth, txn.Find(a.parent_id)->depth + 1);
+    }
+    EXPECT_EQ(a.root_id, txn.id);
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST_F(HistoryTest, FindLocatesActions) {
+  ASSERT_TRUE(db.RunTransaction("t", T5_TotalPayment(data.item_oids[0])).ok());
+  const TxnRecord txn = db.history()->Snapshot()[0];
+  EXPECT_NE(txn.Find(txn.id), nullptr);
+  EXPECT_EQ(txn.Find(999999), nullptr);
+}
+
+TEST_F(HistoryTest, FormatTxnTreeShowsNestingAndTimestamps) {
+  ASSERT_TRUE(
+      db.RunTransaction("T1", T1_ShipTwoOrders(data.item_oids[0], 1,
+                                               data.item_oids[1], 2)).ok());
+  std::string tree = FormatTxnTree(db.history()->Snapshot()[0]);
+  // Root at indent 0, methods at indent 2, leaves deeper.
+  EXPECT_NE(tree.find("T1"), std::string::npos);
+  EXPECT_NE(tree.find("  ShipOrder"), std::string::npos);
+  EXPECT_NE(tree.find("    ChangeStatus"), std::string::npos);
+  EXPECT_NE(tree.find("      Put"), std::string::npos);
+  EXPECT_NE(tree.find("["), std::string::npos);  // timestamps
+}
+
+TEST_F(HistoryTest, AbortedTreesMarked) {
+  (void)db.RunTransaction("t", [&](TxnCtx& ctx) -> Result<Value> {
+    SEMCC_ASSIGN_OR_RETURN(Value a,
+                           ctx.Invoke(data.item_oids[0], "ShipOrder", {Value(1)}));
+    (void)a;
+    return Status::PreconditionFailed("stop");
+  });
+  const TxnRecord txn = db.history()->Snapshot()[0];
+  EXPECT_FALSE(txn.committed);
+  std::string tree = FormatTxnTree(txn);
+  EXPECT_NE(tree.find("(compensation)"), std::string::npos);
+}
+
+TEST_F(HistoryTest, ClearEmptiesTheRecorder) {
+  ASSERT_TRUE(db.RunTransaction("t", T5_TotalPayment(data.item_oids[0])).ok());
+  EXPECT_GT(db.history()->size(), 0u);
+  db.history()->Clear();
+  EXPECT_EQ(db.history()->size(), 0u);
+}
+
+TEST(ActionRecordLabel, IncludesObjectAndArgs) {
+  ActionRecord a;
+  a.method = "ShipOrder";
+  a.object = 12;
+  a.args = {Value(3)};
+  EXPECT_EQ(a.Label(), "ShipOrder(@12, 3)");
+}
+
+}  // namespace
+}  // namespace semcc

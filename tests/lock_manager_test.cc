@@ -1,0 +1,376 @@
+// Unit tests for the lock manager: every branch of the paper's test-conflict
+// (Figure 9) plus the baseline conflict rules, FCFS, deadlock detection, and
+// timeouts — exercised directly on hand-built transaction trees.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "cc/compatibility.h"
+#include "cc/lock_manager.h"
+#include "cc/subtxn.h"
+#include "util/sync.h"
+
+namespace semcc {
+namespace {
+
+constexpr TypeId kItemT = 1;   // "Item"-like type: methods Ma, Mb
+constexpr TypeId kAtomT = 2;   // atomic leaves via generic Get/Put
+constexpr Oid kObjA = 100;     // an encapsulated object
+constexpr Oid kObjB = 200;     // an implementation atom below it
+
+struct LockManagerTest : public ::testing::Test {
+  LockManagerTest() {
+    compat.Define(kItemT, "Ma", "Mb", true);    // commuting method pair
+    compat.Define(kItemT, "Ma", "Ma", false);   // self-conflicting
+    compat.Define(kItemT, "Mb", "Mb", true);
+  }
+
+  std::unique_ptr<LockManager> Make(ProtocolOptions o) {
+    o.wait_timeout = std::chrono::milliseconds(2000);
+    return std::make_unique<LockManager>(o, &compat);
+  }
+
+  static ProtocolOptions Semantic() { return ProtocolOptions{}; }
+
+  void Complete(LockManager* lm, SubTxn* t) {
+    t->set_state(TxnState::kCommitted);
+    lm->OnSubTxnCompleted(t);
+  }
+
+  CompatibilityRegistry compat;
+};
+
+TEST_F(LockManagerTest, CommutingMethodsDoNotBlock) {
+  auto lm = Make(Semantic());
+  TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  TxnTree t2(TxnTree::NextId(), "T2", kDatabaseOid, 0);
+  SubTxn* a = t1.NewNode(t1.root(), kObjA, kItemT, "Ma", {});
+  SubTxn* b = t2.NewNode(t2.root(), kObjA, kItemT, "Mb", {});
+  ASSERT_TRUE(lm->Acquire(a, LockTarget::ForObject(kObjA), true).ok());
+  ASSERT_TRUE(lm->Acquire(b, LockTarget::ForObject(kObjA), true).ok());
+  EXPECT_EQ(lm->stats().blocked_acquires.load(), 0u);
+  EXPECT_GE(lm->stats().commute_grants.load(), 1u);
+  EXPECT_EQ(lm->LocksOn(LockTarget::ForObject(kObjA)).size(), 2u);
+}
+
+TEST_F(LockManagerTest, ConflictingMethodBlocksUntilTopLevelRelease) {
+  auto lm = Make(Semantic());
+  TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  TxnTree t2(TxnTree::NextId(), "T2", kDatabaseOid, 0);
+  SubTxn* a = t1.NewNode(t1.root(), kObjA, kItemT, "Ma", {});
+  SubTxn* b = t2.NewNode(t2.root(), kObjA, kItemT, "Ma", {});
+  ASSERT_TRUE(lm->Acquire(a, LockTarget::ForObject(kObjA), true).ok());
+  std::atomic<bool> granted{false};
+  std::thread blocked([&]() {
+    Status st = lm->Acquire(b, LockTarget::ForObject(kObjA), true);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(granted.load());
+  EXPECT_EQ(lm->NumWaiters(), 1u);
+  // Completing the holder action alone does NOT release (retained lock)...
+  Complete(lm.get(), a);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(granted.load());
+  // ...only top-level completion does.
+  Complete(lm.get(), t1.root());
+  lm->ReleaseTree(t1.root());
+  blocked.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_GE(lm->stats().root_waits.load(), 1u);
+}
+
+TEST_F(LockManagerTest, SameTransactionNeverBlocksItself) {
+  auto lm = Make(Semantic());
+  TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  SubTxn* a = t1.NewNode(t1.root(), kObjA, kItemT, "Ma", {});
+  SubTxn* b = t1.NewNode(t1.root(), kObjA, kItemT, "Ma", {});  // conflicts a
+  ASSERT_TRUE(lm->Acquire(a, LockTarget::ForObject(kObjA), true).ok());
+  ASSERT_TRUE(lm->Acquire(b, LockTarget::ForObject(kObjA), true).ok());
+  EXPECT_EQ(lm->stats().blocked_acquires.load(), 0u);
+}
+
+TEST_F(LockManagerTest, Case1CommittedCommutingAncestorGrants) {
+  auto lm = Make(Semantic());
+  TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  SubTxn* ma = t1.NewNode(t1.root(), kObjA, kItemT, "Ma", {});
+  SubTxn* put = t1.NewNode(ma, kObjB, kAtomT, generic_ops::kPut, {Value(1)});
+  ASSERT_TRUE(lm->Acquire(ma, LockTarget::ForObject(kObjA), true).ok());
+  ASSERT_TRUE(lm->Acquire(put, LockTarget::ForObject(kObjB), true).ok());
+  Complete(lm.get(), put);
+  Complete(lm.get(), ma);  // ancestor committed -> Case 1 applies
+
+  TxnTree t2(TxnTree::NextId(), "T2", kDatabaseOid, 0);
+  SubTxn* mb = t2.NewNode(t2.root(), kObjA, kItemT, "Mb", {});
+  SubTxn* get = t2.NewNode(mb, kObjB, kAtomT, generic_ops::kGet, {});
+  ASSERT_TRUE(lm->Acquire(mb, LockTarget::ForObject(kObjA), true).ok());
+  // Get conflicts with the retained Put, but (Ma, Mb) commute on kObjA and
+  // Ma is committed: grant without blocking.
+  ASSERT_TRUE(lm->Acquire(get, LockTarget::ForObject(kObjB), false).ok());
+  EXPECT_EQ(lm->stats().blocked_acquires.load(), 0u);
+  EXPECT_GE(lm->stats().case1_grants.load(), 1u);
+}
+
+TEST_F(LockManagerTest, Case2ActiveCommutingAncestorWaitsForItsCompletion) {
+  auto lm = Make(Semantic());
+  TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  SubTxn* ma = t1.NewNode(t1.root(), kObjA, kItemT, "Ma", {});
+  SubTxn* put = t1.NewNode(ma, kObjB, kAtomT, generic_ops::kPut, {Value(1)});
+  ASSERT_TRUE(lm->Acquire(ma, LockTarget::ForObject(kObjA), true).ok());
+  ASSERT_TRUE(lm->Acquire(put, LockTarget::ForObject(kObjB), true).ok());
+  Complete(lm.get(), put);
+  // Ma still active: the paper's Case 2.
+
+  TxnTree t2(TxnTree::NextId(), "T2", kDatabaseOid, 0);
+  SubTxn* mb = t2.NewNode(t2.root(), kObjA, kItemT, "Mb", {});
+  SubTxn* get = t2.NewNode(mb, kObjB, kAtomT, generic_ops::kGet, {});
+  ASSERT_TRUE(lm->Acquire(mb, LockTarget::ForObject(kObjA), true).ok());
+  std::atomic<bool> granted{false};
+  std::thread blocked([&]() {
+    EXPECT_TRUE(lm->Acquire(get, LockTarget::ForObject(kObjB), false).ok());
+    granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(granted.load());
+  // Completing just the subtransaction Ma (not the whole T1) resumes T2.
+  Complete(lm.get(), ma);
+  blocked.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_GE(lm->stats().case2_waits.load(), 1u);
+  EXPECT_FALSE(t1.root()->completed());  // T1 never committed
+}
+
+TEST_F(LockManagerTest, NoRetainModeReleasesDescendantLocksOnCompletion) {
+  ProtocolOptions o;
+  o.retain_locks = false;  // the §3 protocol
+  auto lm = Make(o);
+  TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  SubTxn* ma = t1.NewNode(t1.root(), kObjA, kItemT, "Ma", {});
+  SubTxn* put = t1.NewNode(ma, kObjB, kAtomT, generic_ops::kPut, {Value(1)});
+  ASSERT_TRUE(lm->Acquire(ma, LockTarget::ForObject(kObjA), true).ok());
+  ASSERT_TRUE(lm->Acquire(put, LockTarget::ForObject(kObjB), true).ok());
+  Complete(lm.get(), put);
+  Complete(lm.get(), ma);
+  // The Put lock is gone; only Ma's own lock remains (held by the root now).
+  EXPECT_TRUE(lm->LocksOn(LockTarget::ForObject(kObjB)).empty());
+  EXPECT_EQ(lm->LocksOn(LockTarget::ForObject(kObjA)).size(), 1u);
+  // A conflicting access from another transaction slips through — this is
+  // exactly the Figure 5 anomaly.
+  TxnTree t2(TxnTree::NextId(), "T2", kDatabaseOid, 0);
+  SubTxn* get = t2.NewNode(t2.root(), kObjB, kAtomT, generic_ops::kGet, {});
+  EXPECT_TRUE(lm->Acquire(get, LockTarget::ForObject(kObjB), false).ok());
+  EXPECT_EQ(lm->stats().blocked_acquires.load(), 0u);
+}
+
+TEST_F(LockManagerTest, FcfsQueuedRequestBlocksLaterCompatibleOne) {
+  auto lm = Make(Semantic());
+  TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  TxnTree t2(TxnTree::NextId(), "T2", kDatabaseOid, 0);
+  TxnTree t3(TxnTree::NextId(), "T3", kDatabaseOid, 0);
+  SubTxn* h = t1.NewNode(t1.root(), kObjB, kAtomT, generic_ops::kGet, {});
+  SubTxn* w = t2.NewNode(t2.root(), kObjB, kAtomT, generic_ops::kPut, {Value(1)});
+  SubTxn* r = t3.NewNode(t3.root(), kObjB, kAtomT, generic_ops::kGet, {});
+  ASSERT_TRUE(lm->Acquire(h, LockTarget::ForObject(kObjB), false).ok());
+  std::atomic<bool> w_granted{false};
+  std::atomic<bool> r_granted{false};
+  std::thread tw([&]() {
+    EXPECT_TRUE(lm->Acquire(w, LockTarget::ForObject(kObjB), true).ok());
+    w_granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread tr([&]() {
+    EXPECT_TRUE(lm->Acquire(r, LockTarget::ForObject(kObjB), false).ok());
+    r_granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // r commutes with the *held* Get but must respect the queued Put (FCFS).
+  EXPECT_FALSE(w_granted.load());
+  EXPECT_FALSE(r_granted.load());
+  Complete(lm.get(), h);
+  Complete(lm.get(), t1.root());
+  lm->ReleaseTree(t1.root());
+  tw.join();
+  EXPECT_TRUE(w_granted.load());
+  Complete(lm.get(), w);
+  Complete(lm.get(), t2.root());
+  lm->ReleaseTree(t2.root());
+  tr.join();
+  EXPECT_TRUE(r_granted.load());
+}
+
+TEST_F(LockManagerTest, AbortRequestUnblocksWaiter) {
+  auto lm = Make(Semantic());
+  TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  TxnTree t2(TxnTree::NextId(), "T2", kDatabaseOid, 0);
+  SubTxn* a = t1.NewNode(t1.root(), kObjA, kItemT, "Ma", {});
+  SubTxn* b = t2.NewNode(t2.root(), kObjA, kItemT, "Ma", {});
+  ASSERT_TRUE(lm->Acquire(a, LockTarget::ForObject(kObjA), true).ok());
+  std::thread blocked([&]() {
+    Status st = lm->Acquire(b, LockTarget::ForObject(kObjA), true);
+    EXPECT_TRUE(st.IsAborted()) << st.ToString();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  t2.root()->RequestAbort();
+  blocked.join();
+}
+
+TEST_F(LockManagerTest, DeadlockDetectedAndYoungestVictimChosen) {
+  auto lm = Make(Semantic());
+  TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  TxnTree t2(TxnTree::NextId(), "T2", kDatabaseOid, 0);
+  SubTxn* a1 = t1.NewNode(t1.root(), kObjA, kItemT, "Ma", {});
+  SubTxn* b1 = t1.NewNode(t1.root(), kObjB, kAtomT, generic_ops::kPut, {Value(1)});
+  SubTxn* a2 = t2.NewNode(t2.root(), kObjB, kAtomT, generic_ops::kPut, {Value(2)});
+  SubTxn* b2 = t2.NewNode(t2.root(), kObjA, kItemT, "Ma", {});
+  ASSERT_TRUE(lm->Acquire(a1, LockTarget::ForObject(kObjA), true).ok());
+  ASSERT_TRUE(lm->Acquire(a2, LockTarget::ForObject(kObjB), true).ok());
+  Status st1, st2;
+  // On failure each thread emulates the executor's unwind: abort the tree
+  // and release its locks so the survivor can proceed.
+  auto unwind = [&](TxnTree* tree) {
+    tree->root()->set_state(TxnState::kAborted);
+    lm->OnSubTxnCompleted(tree->root());
+    lm->ReleaseTree(tree->root());
+  };
+  std::thread th1([&]() {
+    st1 = lm->Acquire(b1, LockTarget::ForObject(kObjB), true);
+    if (!st1.ok()) unwind(&t1);
+  });
+  std::thread th2([&]() {
+    st2 = lm->Acquire(b2, LockTarget::ForObject(kObjA), true);
+    if (!st2.ok()) unwind(&t2);
+  });
+  // One side must be chosen as victim (Deadlock for the detector thread, or
+  // Aborted when the flag is observed on the other side).
+  th1.join();
+  th2.join();
+  const bool one_failed = (!st1.ok()) != (!st2.ok());
+  EXPECT_TRUE(one_failed) << "st1=" << st1.ToString()
+                          << " st2=" << st2.ToString();
+  EXPECT_GE(lm->stats().deadlocks.load(), 1u);
+  // The victim is the younger transaction (higher root id): T2.
+  if (!st2.ok()) {
+    EXPECT_TRUE(st2.IsDeadlock() || st2.IsAborted()) << st2.ToString();
+  }
+}
+
+TEST_F(LockManagerTest, WaitTimeoutFiresWithoutDetection) {
+  ProtocolOptions o;
+  o.deadlock_detection = false;
+  o.wait_timeout = std::chrono::milliseconds(150);
+  auto lm = std::make_unique<LockManager>(o, &compat);
+  TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  TxnTree t2(TxnTree::NextId(), "T2", kDatabaseOid, 0);
+  SubTxn* a = t1.NewNode(t1.root(), kObjA, kItemT, "Ma", {});
+  SubTxn* b = t2.NewNode(t2.root(), kObjA, kItemT, "Ma", {});
+  ASSERT_TRUE(lm->Acquire(a, LockTarget::ForObject(kObjA), true).ok());
+  Status st = lm->Acquire(b, LockTarget::ForObject(kObjA), true);
+  EXPECT_TRUE(st.IsTimedOut()) << st.ToString();
+  EXPECT_GE(lm->stats().timeouts.load(), 1u);
+}
+
+// --- closed nested baseline ---------------------------------------------------
+
+TEST_F(LockManagerTest, ClosedNestedInheritsToParentAndBlocksOthers) {
+  ProtocolOptions o;
+  o.protocol = Protocol::kClosedNested;
+  auto lm = Make(o);
+  TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  SubTxn* child = t1.NewNode(t1.root(), kObjB, kAtomT, generic_ops::kPut, {Value(1)});
+  ASSERT_TRUE(lm->Acquire(child, LockTarget::ForObject(kObjB), true).ok());
+  Complete(lm.get(), child);
+  // Lock anti-inherited by the root; a sibling of the same txn may pass...
+  SubTxn* sibling = t1.NewNode(t1.root(), kObjB, kAtomT, generic_ops::kGet, {});
+  ASSERT_TRUE(lm->Acquire(sibling, LockTarget::ForObject(kObjB), false).ok());
+  // ...but another transaction stays blocked until t1 ends.
+  TxnTree t2(TxnTree::NextId(), "T2", kDatabaseOid, 0);
+  SubTxn* foreign = t2.NewNode(t2.root(), kObjB, kAtomT, generic_ops::kGet, {});
+  std::atomic<bool> granted{false};
+  std::thread blocked([&]() {
+    EXPECT_TRUE(lm->Acquire(foreign, LockTarget::ForObject(kObjB), false).ok());
+    granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(granted.load());
+  Complete(lm.get(), sibling);
+  Complete(lm.get(), t1.root());
+  lm->ReleaseTree(t1.root());
+  blocked.join();
+}
+
+TEST_F(LockManagerTest, ClosedNestedSharedReadsPass) {
+  ProtocolOptions o;
+  o.protocol = Protocol::kClosedNested;
+  auto lm = Make(o);
+  TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  TxnTree t2(TxnTree::NextId(), "T2", kDatabaseOid, 0);
+  SubTxn* r1 = t1.NewNode(t1.root(), kObjB, kAtomT, generic_ops::kGet, {});
+  SubTxn* r2 = t2.NewNode(t2.root(), kObjB, kAtomT, generic_ops::kGet, {});
+  ASSERT_TRUE(lm->Acquire(r1, LockTarget::ForObject(kObjB), false).ok());
+  ASSERT_TRUE(lm->Acquire(r2, LockTarget::ForObject(kObjB), false).ok());
+  EXPECT_EQ(lm->stats().blocked_acquires.load(), 0u);
+}
+
+// --- flat 2PL baseline ---------------------------------------------------------
+
+TEST_F(LockManagerTest, FlatSharedAndExclusiveModes) {
+  ProtocolOptions o;
+  o.protocol = Protocol::kFlat2PL;
+  auto lm = Make(o);
+  TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  TxnTree t2(TxnTree::NextId(), "T2", kDatabaseOid, 0);
+  SubTxn* r1 = t1.NewNode(t1.root(), kObjB, kAtomT, generic_ops::kGet, {});
+  SubTxn* r2 = t2.NewNode(t2.root(), kObjB, kAtomT, generic_ops::kGet, {});
+  ASSERT_TRUE(lm->Acquire(r1, LockTarget::ForObject(kObjB), false).ok());
+  ASSERT_TRUE(lm->Acquire(r2, LockTarget::ForObject(kObjB), false).ok());
+  SubTxn* w = t2.NewNode(t2.root(), kObjB, kAtomT, generic_ops::kPut, {Value(1)});
+  std::atomic<bool> granted{false};
+  std::thread blocked([&]() {
+    EXPECT_TRUE(lm->Acquire(w, LockTarget::ForObject(kObjB), true).ok());
+    granted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(granted.load());  // writer waits for the foreign reader
+  Complete(lm.get(), r1);
+  Complete(lm.get(), t1.root());
+  lm->ReleaseTree(t1.root());
+  blocked.join();
+  EXPECT_TRUE(granted.load());
+}
+
+TEST_F(LockManagerTest, DistinctTargetSpacesDoNotCollide) {
+  ProtocolOptions o;
+  o.protocol = Protocol::kFlat2PL;
+  auto lm = Make(o);
+  TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  TxnTree t2(TxnTree::NextId(), "T2", kDatabaseOid, 0);
+  SubTxn* a = t1.NewNode(t1.root(), 5, kAtomT, generic_ops::kPut, {Value(1)});
+  SubTxn* b = t2.NewNode(t2.root(), 5, kAtomT, generic_ops::kPut, {Value(2)});
+  // Same numeric key in different spaces: object 5 vs page 5.
+  ASSERT_TRUE(lm->Acquire(a, LockTarget::ForObject(5), true).ok());
+  ASSERT_TRUE(lm->Acquire(b, LockTarget::ForPage(5), true).ok());
+  EXPECT_EQ(lm->stats().blocked_acquires.load(), 0u);
+}
+
+TEST(LockTarget, FactoriesAndToString) {
+  EXPECT_EQ(LockTarget::ForObject(7).ToString(), "obj:7");
+  EXPECT_EQ(LockTarget::ForPage(3).ToString(), "page:3");
+  Rid rid{2, 9};
+  LockTarget t = LockTarget::ForRecord(rid);
+  EXPECT_EQ(t.ToString(), "rec:" + std::to_string((2ull << 16) | 9));
+  EXPECT_NE(LockTargetHash()(LockTarget::ForObject(7)),
+            LockTargetHash()(LockTarget::ForPage(7)));
+}
+
+TEST(ProtocolNames, Strings) {
+  EXPECT_STREQ(ProtocolName(Protocol::kSemanticONT), "semantic-ont");
+  EXPECT_STREQ(ProtocolName(Protocol::kClosedNested), "closed-nested");
+  EXPECT_STREQ(ProtocolName(Protocol::kFlat2PL), "flat-2pl");
+  EXPECT_STREQ(GranularityName(LockGranularity::kPage), "page");
+}
+
+}  // namespace
+}  // namespace semcc

@@ -1,0 +1,197 @@
+// Functional tests of the order-entry application (paper §2): schema shape,
+// method semantics, and the five transaction types.
+#include <gtest/gtest.h>
+
+#include "app/orderentry/order_entry.h"
+#include "core/database.h"
+
+namespace semcc {
+namespace orderentry {
+namespace {
+
+struct OrderEntryTest : public ::testing::Test {
+  void SetUp() override {
+    types = Install(&db).ValueOrDie();
+    LoadSpec spec;
+    spec.num_items = 3;
+    spec.orders_per_item = 4;
+    spec.initial_qoh = 500;
+    spec.price_cents = 100;
+    data = Load(&db, types, spec).ValueOrDie();
+  }
+  Database db;
+  OrderEntryTypes types;
+  LoadedData data;
+};
+
+TEST_F(OrderEntryTest, SchemaMatchesFigure1) {
+  // DB.Items : Set<Item>; Item tuple with 5 components; Order with 4.
+  auto items_desc = db.schema()->GetByName("Items").ValueOrDie();
+  EXPECT_EQ(items_desc.kind, ObjectKind::kSet);
+  EXPECT_EQ(items_desc.key_component, "ItemNo");
+  auto item_desc = db.schema()->GetByName("Item").ValueOrDie();
+  EXPECT_TRUE(item_desc.encapsulated);
+  ASSERT_EQ(item_desc.components.size(), 5u);
+  EXPECT_EQ(item_desc.components[0].name, "ItemNo");
+  EXPECT_EQ(item_desc.components[4].name, "Orders");
+  auto order_desc = db.schema()->GetByName("Order").ValueOrDie();
+  EXPECT_TRUE(order_desc.encapsulated);
+  EXPECT_EQ(order_desc.components.size(), 4u);
+  // The Items set is populated.
+  EXPECT_EQ(db.store()->SetSize(types.items).ValueOrDie(), 3u);
+}
+
+TEST_F(OrderEntryTest, LoadCreatesOrdersWithSequentialNumbers) {
+  for (Oid item : data.item_oids) {
+    Oid orders = db.store()->Component(item, "Orders").ValueOrDie();
+    EXPECT_EQ(db.store()->SetSize(orders).ValueOrDie(), 4u);
+    for (int64_t o = 1; o <= 4; ++o) {
+      EXPECT_TRUE(db.store()->SetSelect(orders, Value(o)).ok());
+    }
+  }
+}
+
+TEST_F(OrderEntryTest, NewOrderAssignsNextNumber) {
+  Oid item = data.item_oids[0];
+  auto r = db.RunTransaction("tn", TN_EnterOrder(item, 77, 5));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie().AsInt(), 5);
+  Oid order = FindOrder(&db, item, 5).ValueOrDie();
+  Oid cust = db.store()->Component(order, "CustomerNo").ValueOrDie();
+  EXPECT_EQ(db.store()->Get(cust).ValueOrDie().AsInt(), 77);
+  EXPECT_EQ(ReadStatusRaw(&db, order).ValueOrDie(), 0);  // status "new"
+  auto r2 = db.RunTransaction("tn", TN_EnterOrder(item, 78, 2));
+  EXPECT_EQ(r2.ValueOrDie().AsInt(), 6);
+}
+
+TEST_F(OrderEntryTest, ShipOrderUpdatesQohAndStatus) {
+  Oid item = data.item_oids[0];
+  Oid order = FindOrder(&db, item, 2).ValueOrDie();
+  Oid qty_oid = db.store()->Component(order, "Quantity").ValueOrDie();
+  const int64_t qty = db.store()->Get(qty_oid).ValueOrDie().AsInt();
+  ASSERT_TRUE(db.RunTransaction("t", [&](TxnCtx& ctx) {
+                  return ctx.Invoke(item, "ShipOrder", {Value(2)});
+                }).ok());
+  EXPECT_EQ(ReadQohRaw(&db, item).ValueOrDie(), 500 - qty);
+  EXPECT_EQ(ReadStatusRaw(&db, order).ValueOrDie() & kEventShippedBit,
+            kEventShippedBit);
+}
+
+TEST_F(OrderEntryTest, PayOrderSetsPaidBitOnly) {
+  Oid item = data.item_oids[1];
+  Oid order = FindOrder(&db, item, 3).ValueOrDie();
+  ASSERT_TRUE(db.RunTransaction("t", [&](TxnCtx& ctx) {
+                  return ctx.Invoke(item, "PayOrder", {Value(3)});
+                }).ok());
+  EXPECT_EQ(ReadStatusRaw(&db, order).ValueOrDie(), kEventPaidBit);
+  EXPECT_EQ(ReadQohRaw(&db, item).ValueOrDie(), 500);  // untouched
+}
+
+TEST_F(OrderEntryTest, StatusAccumulatesAsEventSet) {
+  Oid item = data.item_oids[0];
+  Oid order = FindOrder(&db, item, 1).ValueOrDie();
+  ASSERT_TRUE(db.RunTransaction("t", T2_PayTwoOrders(item, 1, data.item_oids[1], 1)).ok());
+  ASSERT_TRUE(db.RunTransaction("t", T1_ShipTwoOrders(item, 1, data.item_oids[1], 1)).ok());
+  // "shipped&paid" — both events recorded, no ordering remembered.
+  EXPECT_EQ(ReadStatusRaw(&db, order).ValueOrDie(),
+            kEventShippedBit | kEventPaidBit);
+}
+
+TEST_F(OrderEntryTest, TotalPaymentSumsOnlyPaidOrders) {
+  Oid item = data.item_oids[0];
+  // Pay orders 1 and 3; ship order 2 (shipping alone does not count).
+  ASSERT_TRUE(db.RunTransaction("t", [&](TxnCtx& ctx) -> Result<Value> {
+                  SEMCC_ASSIGN_OR_RETURN(Value a,
+                                         ctx.Invoke(item, "PayOrder", {Value(1)}));
+                  SEMCC_ASSIGN_OR_RETURN(Value b,
+                                         ctx.Invoke(item, "PayOrder", {Value(3)}));
+                  (void)a;
+                  (void)b;
+                  return ctx.Invoke(item, "ShipOrder", {Value(2)});
+                }).ok());
+  auto total = db.RunTransaction("t5", T5_TotalPayment(item));
+  ASSERT_TRUE(total.ok());
+  Oid o1 = FindOrder(&db, item, 1).ValueOrDie();
+  Oid o3 = FindOrder(&db, item, 3).ValueOrDie();
+  int64_t q1 = db.store()
+                   ->Get(db.store()->Component(o1, "Quantity").ValueOrDie())
+                   .ValueOrDie()
+                   .AsInt();
+  int64_t q3 = db.store()
+                   ->Get(db.store()->Component(o3, "Quantity").ValueOrDie())
+                   .ValueOrDie()
+                   .AsInt();
+  EXPECT_EQ(total.ValueOrDie().AsInt(), 100 * (q1 + q3));
+}
+
+TEST_F(OrderEntryTest, TotalPaymentOfFreshItemIsZero) {
+  auto total = db.RunTransaction("t5", T5_TotalPayment(data.item_oids[2]));
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(total.ValueOrDie().AsInt(), 0);
+}
+
+TEST_F(OrderEntryTest, TestStatusReflectsEvents) {
+  Oid item1 = data.item_oids[0];
+  Oid item2 = data.item_oids[1];
+  ASSERT_TRUE(db.RunTransaction("t1", T1_ShipTwoOrders(item1, 1, item2, 1)).ok());
+  auto r3 = db.RunTransaction("t3", T3_CheckShipment(item1, 1, item2, 1));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3.ValueOrDie().AsInt(), 3);  // both shipped
+  auto r4 = db.RunTransaction("t4", T4_CheckPayment(item1, 1, item2, 1));
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(r4.ValueOrDie().AsInt(), 0);  // neither paid
+}
+
+TEST_F(OrderEntryTest, UnchangeStatusRemovesOneEvent) {
+  Oid item = data.item_oids[0];
+  Oid order = FindOrder(&db, item, 1).ValueOrDie();
+  ASSERT_TRUE(db.RunTransaction("t", [&](TxnCtx& ctx) -> Result<Value> {
+                  SEMCC_ASSIGN_OR_RETURN(
+                      Value a, ctx.Invoke(order, "ChangeStatus", {Value(kShipped)}));
+                  (void)a;
+                  return ctx.Invoke(order, "ChangeStatus", {Value(kPaid)});
+                }).ok());
+  ASSERT_TRUE(db.RunTransaction("t", [&](TxnCtx& ctx) {
+                  return ctx.Invoke(order, "UnchangeStatus", {Value(kShipped)});
+                }).ok());
+  EXPECT_EQ(ReadStatusRaw(&db, order).ValueOrDie(), kEventPaidBit);
+}
+
+TEST_F(OrderEntryTest, ChangeStatusRejectsUnknownEvent) {
+  Oid item = data.item_oids[0];
+  Oid order = FindOrder(&db, item, 1).ValueOrDie();
+  auto r = db.RunTransaction("t", [&](TxnCtx& ctx) {
+    return ctx.Invoke(order, "ChangeStatus", {Value("lost")});
+  });
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(OrderEntryTest, ShipUnknownOrderFails) {
+  auto r = db.RunTransaction("t", [&](TxnCtx& ctx) {
+    return ctx.Invoke(data.item_oids[0], "ShipOrder", {Value(int64_t{99})});
+  });
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(OrderEntryTest, EventBitMapping) {
+  EXPECT_EQ(EventBit(kShipped), kEventShippedBit);
+  EXPECT_EQ(EventBit(kPaid), kEventPaidBit);
+  EXPECT_EQ(EventBit("bogus"), 0);
+}
+
+TEST_F(OrderEntryTest, PreloadedStatusDistribution) {
+  Database db2;
+  auto types2 = Install(&db2).ValueOrDie();
+  LoadSpec spec;
+  spec.num_items = 2;
+  spec.orders_per_item = 50;
+  spec.pre_paid = 1.0;  // everything pre-paid
+  auto data2 = Load(&db2, types2, spec).ValueOrDie();
+  auto total = db2.RunTransaction("t5", T5_TotalPayment(data2.item_oids[0]));
+  ASSERT_TRUE(total.ok());
+  EXPECT_GT(total.ValueOrDie().AsInt(), 0);
+}
+
+}  // namespace
+}  // namespace orderentry
+}  // namespace semcc

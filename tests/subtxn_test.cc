@@ -1,0 +1,118 @@
+// Unit tests for subtransaction trees (nodes, ancestor chains, labels).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cc/subtxn.h"
+
+namespace semcc {
+namespace {
+
+TEST(SubTxn, RootProperties) {
+  TxnTree tree(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  SubTxn* root = tree.root();
+  EXPECT_TRUE(root->is_root());
+  EXPECT_EQ(root->parent(), nullptr);
+  EXPECT_EQ(root->root(), root);
+  EXPECT_EQ(root->depth(), 0);
+  EXPECT_EQ(root->method(), "T1");
+  EXPECT_FALSE(root->completed());
+  EXPECT_TRUE(root->AncestorChain().empty());
+}
+
+TEST(SubTxn, TreeStructureAndChains) {
+  TxnTree tree(TxnTree::NextId(), "T", kDatabaseOid, 0);
+  SubTxn* root = tree.root();
+  SubTxn* ship = tree.NewNode(root, 10, 1, "ShipOrder", {Value(1)});
+  SubTxn* cs = tree.NewNode(ship, 20, 2, "ChangeStatus", {Value("shipped")});
+  SubTxn* get = tree.NewNode(cs, 30, 3, "Get", {});
+  EXPECT_EQ(get->depth(), 3);
+  EXPECT_EQ(get->root(), root);
+  auto chain = get->AncestorChain();
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], cs);    // bottom-up: parent first...
+  EXPECT_EQ(chain[1], ship);
+  EXPECT_EQ(chain[2], root);  // ...root last
+  EXPECT_TRUE(root->IsAncestorOf(get));
+  EXPECT_TRUE(ship->IsAncestorOf(get));
+  EXPECT_FALSE(get->IsAncestorOf(ship));
+  EXPECT_FALSE(ship->IsAncestorOf(ship));  // not its own ancestor
+  EXPECT_TRUE(root->SameRootAs(get));
+}
+
+TEST(SubTxn, SeparateTreesHaveDifferentRoots) {
+  TxnTree a(TxnTree::NextId(), "A", kDatabaseOid, 0);
+  TxnTree b(TxnTree::NextId(), "B", kDatabaseOid, 0);
+  EXPECT_NE(a.root()->id(), b.root()->id());
+  EXPECT_FALSE(a.root()->SameRootAs(b.root()));
+}
+
+TEST(SubTxn, StateTransitions) {
+  TxnTree tree(TxnTree::NextId(), "T", kDatabaseOid, 0);
+  SubTxn* n = tree.NewNode(tree.root(), 1, 1, "M", {});
+  EXPECT_EQ(n->state(), TxnState::kActive);
+  EXPECT_FALSE(n->completed());
+  n->set_state(TxnState::kCommitted);
+  EXPECT_TRUE(n->completed());
+  EXPECT_TRUE(n->committed());
+  n->set_state(TxnState::kAborted);
+  EXPECT_TRUE(n->completed());
+  EXPECT_FALSE(n->committed());
+}
+
+TEST(SubTxn, AbortRequestIsSticky) {
+  TxnTree tree(TxnTree::NextId(), "T", kDatabaseOid, 0);
+  EXPECT_FALSE(tree.root()->abort_requested());
+  tree.root()->RequestAbort();
+  EXPECT_TRUE(tree.root()->abort_requested());
+}
+
+TEST(SubTxn, ChildrenSnapshots) {
+  TxnTree tree(TxnTree::NextId(), "T", kDatabaseOid, 0);
+  SubTxn* root = tree.root();
+  SubTxn* a = tree.NewNode(root, 1, 1, "A", {});
+  SubTxn* b = tree.NewNode(root, 2, 1, "B", {});
+  auto children = root->Children();
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0], a);
+  EXPECT_EQ(children[1], b);
+  a->set_state(TxnState::kCommitted);
+  auto incomplete = root->IncompleteChildren();
+  ASSERT_EQ(incomplete.size(), 1u);
+  EXPECT_EQ(incomplete[0], b);
+}
+
+TEST(SubTxn, LabelsAndPaths) {
+  TxnTree tree(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  SubTxn* ship = tree.NewNode(tree.root(), 10, 1, "ShipOrder", {Value(1)});
+  EXPECT_EQ(ship->Label(), "ShipOrder(@10, 1)");
+  EXPECT_EQ(ship->PathString(), "T1 > ShipOrder(@10, 1)");
+}
+
+TEST(SubTxn, NodeIdsAreUniqueAcrossThreads) {
+  std::vector<std::thread> threads;
+  std::vector<std::vector<TxnId>> ids(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([t, &ids]() {
+      for (int i = 0; i < 1000; ++i) ids[t].push_back(TxnTree::NextId());
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<TxnId> all;
+  for (const auto& v : ids) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), 8000u);
+}
+
+TEST(SubTxn, NodesListedInCreationOrder) {
+  TxnTree tree(TxnTree::NextId(), "T", kDatabaseOid, 0);
+  SubTxn* a = tree.NewNode(tree.root(), 1, 1, "A", {});
+  SubTxn* b = tree.NewNode(a, 2, 1, "B", {});
+  auto nodes = tree.Nodes();
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0], tree.root());
+  EXPECT_EQ(nodes[1], a);
+  EXPECT_EQ(nodes[2], b);
+}
+
+}  // namespace
+}  // namespace semcc
