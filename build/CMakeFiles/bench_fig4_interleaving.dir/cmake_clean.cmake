@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_interleaving.dir/bench/bench_fig4_interleaving.cpp.o"
+  "CMakeFiles/bench_fig4_interleaving.dir/bench/bench_fig4_interleaving.cpp.o.d"
+  "bench/bench_fig4_interleaving"
+  "bench/bench_fig4_interleaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_interleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

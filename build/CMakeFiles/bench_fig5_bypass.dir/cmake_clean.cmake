@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_bypass.dir/bench/bench_fig5_bypass.cpp.o"
+  "CMakeFiles/bench_fig5_bypass.dir/bench/bench_fig5_bypass.cpp.o.d"
+  "bench/bench_fig5_bypass"
+  "bench/bench_fig5_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matrices.dir/bench/bench_matrices.cpp.o"
+  "CMakeFiles/bench_matrices.dir/bench/bench_matrices.cpp.o.d"
+  "bench/bench_matrices"
+  "bench/bench_matrices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

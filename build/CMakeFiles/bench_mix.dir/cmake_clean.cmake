@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mix.dir/bench/bench_mix.cpp.o"
+  "CMakeFiles/bench_mix.dir/bench/bench_mix.cpp.o.d"
+  "bench/bench_mix"
+  "bench/bench_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_adt.dir/banking_adt.cpp.o"
+  "CMakeFiles/banking_adt.dir/banking_adt.cpp.o.d"
+  "banking_adt"
+  "banking_adt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_adt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

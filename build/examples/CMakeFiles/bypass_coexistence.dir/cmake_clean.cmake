@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bypass_coexistence.dir/bypass_coexistence.cpp.o"
+  "CMakeFiles/bypass_coexistence.dir/bypass_coexistence.cpp.o.d"
+  "bypass_coexistence"
+  "bypass_coexistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bypass_coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_assembly.dir/object_assembly.cpp.o"
+  "CMakeFiles/object_assembly.dir/object_assembly.cpp.o.d"
+  "object_assembly"
+  "object_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

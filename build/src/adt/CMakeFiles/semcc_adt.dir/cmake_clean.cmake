@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semcc_adt.dir/standard_adts.cc.o"
+  "CMakeFiles/semcc_adt.dir/standard_adts.cc.o.d"
+  "libsemcc_adt.a"
+  "libsemcc_adt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semcc_adt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

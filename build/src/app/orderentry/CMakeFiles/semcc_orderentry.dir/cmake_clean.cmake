@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semcc_orderentry.dir/order_entry.cc.o"
+  "CMakeFiles/semcc_orderentry.dir/order_entry.cc.o.d"
+  "CMakeFiles/semcc_orderentry.dir/scenario.cc.o"
+  "CMakeFiles/semcc_orderentry.dir/scenario.cc.o.d"
+  "CMakeFiles/semcc_orderentry.dir/workload.cc.o"
+  "CMakeFiles/semcc_orderentry.dir/workload.cc.o.d"
+  "libsemcc_orderentry.a"
+  "libsemcc_orderentry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semcc_orderentry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

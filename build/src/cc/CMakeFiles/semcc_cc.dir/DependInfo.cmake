@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/compatibility.cc" "src/cc/CMakeFiles/semcc_cc.dir/compatibility.cc.o" "gcc" "src/cc/CMakeFiles/semcc_cc.dir/compatibility.cc.o.d"
+  "/root/repo/src/cc/lock_manager.cc" "src/cc/CMakeFiles/semcc_cc.dir/lock_manager.cc.o" "gcc" "src/cc/CMakeFiles/semcc_cc.dir/lock_manager.cc.o.d"
+  "/root/repo/src/cc/subtxn.cc" "src/cc/CMakeFiles/semcc_cc.dir/subtxn.cc.o" "gcc" "src/cc/CMakeFiles/semcc_cc.dir/subtxn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/object/CMakeFiles/semcc_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/semcc_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semcc_cc.dir/compatibility.cc.o"
+  "CMakeFiles/semcc_cc.dir/compatibility.cc.o.d"
+  "CMakeFiles/semcc_cc.dir/lock_manager.cc.o"
+  "CMakeFiles/semcc_cc.dir/lock_manager.cc.o.d"
+  "CMakeFiles/semcc_cc.dir/subtxn.cc.o"
+  "CMakeFiles/semcc_cc.dir/subtxn.cc.o.d"
+  "libsemcc_cc.a"
+  "libsemcc_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semcc_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/semcc_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/semcc_core.dir/database.cc.o.d"
+  "/root/repo/src/core/serializability.cc" "src/core/CMakeFiles/semcc_core.dir/serializability.cc.o" "gcc" "src/core/CMakeFiles/semcc_core.dir/serializability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/recovery/CMakeFiles/semcc_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/semcc_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/semcc_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/semcc_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/semcc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

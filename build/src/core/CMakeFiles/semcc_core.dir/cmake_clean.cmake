@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semcc_core.dir/database.cc.o"
+  "CMakeFiles/semcc_core.dir/database.cc.o.d"
+  "CMakeFiles/semcc_core.dir/serializability.cc.o"
+  "CMakeFiles/semcc_core.dir/serializability.cc.o.d"
+  "libsemcc_core.a"
+  "libsemcc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semcc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

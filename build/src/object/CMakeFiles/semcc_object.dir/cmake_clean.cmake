@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semcc_object.dir/object_store.cc.o"
+  "CMakeFiles/semcc_object.dir/object_store.cc.o.d"
+  "CMakeFiles/semcc_object.dir/schema.cc.o"
+  "CMakeFiles/semcc_object.dir/schema.cc.o.d"
+  "CMakeFiles/semcc_object.dir/value.cc.o"
+  "CMakeFiles/semcc_object.dir/value.cc.o.d"
+  "libsemcc_object.a"
+  "libsemcc_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semcc_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semcc_query.dir/object_assembly.cc.o"
+  "CMakeFiles/semcc_query.dir/object_assembly.cc.o.d"
+  "libsemcc_query.a"
+  "libsemcc_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semcc_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

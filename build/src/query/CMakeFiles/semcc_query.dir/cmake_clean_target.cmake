@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsemcc_query.a"
+)

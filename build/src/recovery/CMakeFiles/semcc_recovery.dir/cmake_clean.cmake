@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semcc_recovery.dir/log_record.cc.o"
+  "CMakeFiles/semcc_recovery.dir/log_record.cc.o.d"
+  "CMakeFiles/semcc_recovery.dir/recovery_manager.cc.o"
+  "CMakeFiles/semcc_recovery.dir/recovery_manager.cc.o.d"
+  "CMakeFiles/semcc_recovery.dir/wal.cc.o"
+  "CMakeFiles/semcc_recovery.dir/wal.cc.o.d"
+  "libsemcc_recovery.a"
+  "libsemcc_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semcc_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

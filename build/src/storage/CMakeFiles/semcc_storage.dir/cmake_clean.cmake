@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semcc_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/semcc_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/semcc_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/semcc_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/semcc_storage.dir/page.cc.o"
+  "CMakeFiles/semcc_storage.dir/page.cc.o.d"
+  "CMakeFiles/semcc_storage.dir/record_manager.cc.o"
+  "CMakeFiles/semcc_storage.dir/record_manager.cc.o.d"
+  "libsemcc_storage.a"
+  "libsemcc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semcc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/history.cc" "src/txn/CMakeFiles/semcc_txn.dir/history.cc.o" "gcc" "src/txn/CMakeFiles/semcc_txn.dir/history.cc.o.d"
+  "/root/repo/src/txn/method_registry.cc" "src/txn/CMakeFiles/semcc_txn.dir/method_registry.cc.o" "gcc" "src/txn/CMakeFiles/semcc_txn.dir/method_registry.cc.o.d"
+  "/root/repo/src/txn/txn_context.cc" "src/txn/CMakeFiles/semcc_txn.dir/txn_context.cc.o" "gcc" "src/txn/CMakeFiles/semcc_txn.dir/txn_context.cc.o.d"
+  "/root/repo/src/txn/txn_manager.cc" "src/txn/CMakeFiles/semcc_txn.dir/txn_manager.cc.o" "gcc" "src/txn/CMakeFiles/semcc_txn.dir/txn_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cc/CMakeFiles/semcc_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/semcc_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/semcc_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semcc_txn.dir/history.cc.o"
+  "CMakeFiles/semcc_txn.dir/history.cc.o.d"
+  "CMakeFiles/semcc_txn.dir/method_registry.cc.o"
+  "CMakeFiles/semcc_txn.dir/method_registry.cc.o.d"
+  "CMakeFiles/semcc_txn.dir/txn_context.cc.o"
+  "CMakeFiles/semcc_txn.dir/txn_context.cc.o.d"
+  "CMakeFiles/semcc_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/semcc_txn.dir/txn_manager.cc.o.d"
+  "libsemcc_txn.a"
+  "libsemcc_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semcc_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

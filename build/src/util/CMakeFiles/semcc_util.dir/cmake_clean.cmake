@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semcc_util.dir/histogram.cc.o"
+  "CMakeFiles/semcc_util.dir/histogram.cc.o.d"
+  "CMakeFiles/semcc_util.dir/logging.cc.o"
+  "CMakeFiles/semcc_util.dir/logging.cc.o.d"
+  "CMakeFiles/semcc_util.dir/random.cc.o"
+  "CMakeFiles/semcc_util.dir/random.cc.o.d"
+  "CMakeFiles/semcc_util.dir/status.cc.o"
+  "CMakeFiles/semcc_util.dir/status.cc.o.d"
+  "libsemcc_util.a"
+  "libsemcc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semcc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

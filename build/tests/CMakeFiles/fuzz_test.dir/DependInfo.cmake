@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/fuzz_test.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/fuzz_test.dir/fuzz_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/orderentry/CMakeFiles/semcc_orderentry.dir/DependInfo.cmake"
+  "/root/repo/build/src/adt/CMakeFiles/semcc_adt.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/semcc_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/semcc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/semcc_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/semcc_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/semcc_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/semcc_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/semcc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderentry_test.dir/orderentry_test.cc.o"
+  "CMakeFiles/orderentry_test.dir/orderentry_test.cc.o.d"
+  "orderentry_test"
+  "orderentry_test.pdb"
+  "orderentry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderentry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

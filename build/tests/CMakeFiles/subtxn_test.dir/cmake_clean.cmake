@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subtxn_test.dir/subtxn_test.cc.o"
+  "CMakeFiles/subtxn_test.dir/subtxn_test.cc.o.d"
+  "subtxn_test"
+  "subtxn_test.pdb"
+  "subtxn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subtxn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
