@@ -24,6 +24,34 @@ Status ShipLikeInverse(TxnCtx& ctx, Oid self, const Args& args) {
   return r.ok() ? Status::OK() : r.status();
 }
 
+// Deterministic overlap verdict derived from the history's logical clock.
+// `right` overlapped `left` iff right's first top-level action completed
+// before left's root did. The commit path stamps the root's end_seq before
+// ReleaseTree wakes any waiter, so an action that had to wait for left's
+// locks always carries a strictly later end_seq — unlike a wall-clock
+// "has left committed yet?" flag, which races with the lock release that
+// happens inside left's commit.
+bool RightOverlappedLeft(Database* db, const std::string& left_name,
+                         const std::string& right_name) {
+  uint64_t left_end = 0;
+  uint64_t right_probe_end = 0;
+  for (const TxnRecord& txn : db->history()->Snapshot()) {
+    if (txn.name == left_name) {
+      for (const ActionRecord& a : txn.actions) {
+        if (a.parent_id == a.id) left_end = a.end_seq;
+      }
+    } else if (txn.name == right_name) {
+      for (const ActionRecord& a : txn.actions) {
+        if (a.depth == 1) {  // actions are in creation order: first probe
+          right_probe_end = a.end_seq;
+          break;
+        }
+      }
+    }
+  }
+  return left_end != 0 && right_probe_end != 0 && right_probe_end < left_end;
+}
+
 std::string CollectTrace(Database* db) {
   std::string out;
   for (const TxnRecord& txn : db->history()->Snapshot()) {
@@ -102,7 +130,6 @@ ScenarioOutcome RunFig4(PaperScenario* s) {
       return ctx.Invoke(s->i2, "ShipOrder", {Value(s->ono2)});
     });
     out.t_left_committed = r.ok();
-    sched.Signal("t1.committed");
   });
   std::thread t2([&]() {
     sched.WaitFor("t1.a.done");
@@ -110,7 +137,6 @@ ScenarioOutcome RunFig4(PaperScenario* s) {
       SEMCC_ASSIGN_OR_RETURN(Value a,
                              ctx.Invoke(s->i1, "PayOrder", {Value(s->ono1)}));
       (void)a;
-      out.right_overlapped_left = !sched.HasFired("t1.committed");
       sched.Signal("t2.a.done");
       return ctx.Invoke(s->i2, "PayOrder", {Value(s->ono2)});
     });
@@ -118,6 +144,7 @@ ScenarioOutcome RunFig4(PaperScenario* s) {
   });
   t1.join();
   t2.join();
+  out.right_overlapped_left = RightOverlappedLeft(db, "T1", "T2");
   out.trace = CollectTrace(db);
   out.note = db->locks()->stats().ToString();
   return out;
@@ -141,7 +168,6 @@ ScenarioOutcome RunFig5(PaperScenario* s) {
       return ctx.Invoke(s->i2, "ShipOrder", {Value(s->ono2)});
     });
     out.t_left_committed = r.ok();
-    sched.Signal("t1.committed");
   });
   std::thread t3([&]() {
     sched.WaitFor("t1.a.done");
@@ -150,7 +176,6 @@ ScenarioOutcome RunFig5(PaperScenario* s) {
       // objects of the encapsulated items (paper Figure 5).
       SEMCC_ASSIGN_OR_RETURN(Value a,
                              ctx.Invoke(s->o1, "TestStatus", {Value(kShipped)}));
-      out.right_overlapped_left = !sched.HasFired("t1.committed");
       SEMCC_ASSIGN_OR_RETURN(Value b,
                              ctx.Invoke(s->o2, "TestStatus", {Value(kShipped)}));
       return Value(static_cast<int64_t>((a.AsBool() ? 1 : 0) |
@@ -162,6 +187,7 @@ ScenarioOutcome RunFig5(PaperScenario* s) {
   });
   t1.join();
   t3.join();
+  out.right_overlapped_left = RightOverlappedLeft(db, "T1", "T3");
   out.trace = CollectTrace(db);
   out.note = "T3 observed (bit1=o1 shipped, bit2=o2 shipped): " +
              std::to_string(t3_saw) + "; " + db->locks()->stats().ToString();
@@ -186,14 +212,12 @@ ScenarioOutcome RunFig6(PaperScenario* s) {
       return ctx.Invoke(s->i2, "ShipOrder", {Value(s->ono2)});
     });
     out.t_left_committed = r.ok();
-    sched.Signal("t1.committed");
   });
   std::thread t4([&]() {
     sched.WaitFor("t1.a.done");
     auto r = db->RunTransactionOnce("T4", [&](TxnCtx& ctx) -> Result<Value> {
       SEMCC_ASSIGN_OR_RETURN(Value a,
                              ctx.Invoke(s->o1, "TestStatus", {Value(kPaid)}));
-      out.right_overlapped_left = !sched.HasFired("t1.committed");
       SEMCC_ASSIGN_OR_RETURN(Value b,
                              ctx.Invoke(s->o2, "TestStatus", {Value(kPaid)}));
       return Value(static_cast<int64_t>((a.AsBool() ? 1 : 0) |
@@ -204,6 +228,7 @@ ScenarioOutcome RunFig6(PaperScenario* s) {
   });
   t1.join();
   t4.join();
+  out.right_overlapped_left = RightOverlappedLeft(db, "T1", "T4");
   out.trace = CollectTrace(db);
   out.note = db->locks()->stats().ToString();
   return out;
@@ -227,7 +252,6 @@ ScenarioOutcome RunFig7(PaperScenario* s) {
       return ctx.Invoke(s->i2, "ShipOrder", {Value(s->ono2)});
     });
     out.t_left_committed = r.ok();
-    sched.Signal("t1.committed");
   });
   std::thread t5([&]() {
     sched.WaitFor("ship.cs.done");
@@ -235,7 +259,6 @@ ScenarioOutcome RunFig7(PaperScenario* s) {
       return ctx.Invoke(s->i1, "TotalPayment", {});
     });
     out.t_right_committed = r.ok();
-    out.right_overlapped_left = !sched.HasFired("t1.committed");
     sched.Signal("t5.done");
   });
 
@@ -257,6 +280,7 @@ ScenarioOutcome RunFig7(PaperScenario* s) {
 
   t1.join();
   t5.join();
+  out.right_overlapped_left = RightOverlappedLeft(db, "T1", "T5");
   out.trace = CollectTrace(db);
   out.note += "; " + db->locks()->stats().ToString();
   return out;

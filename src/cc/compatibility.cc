@@ -1,7 +1,6 @@
 #include "cc/compatibility.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "util/logging.h"
 
@@ -22,7 +21,7 @@ PairKey MakeKey(const std::string& m1, const std::string& m2, bool* swapped) {
 
 void CompatibilityRegistry::DeclareMethod(TypeId type,
                                           const std::string& method) {
-  std::unique_lock<std::shared_mutex> guard(mu_);
+  WriterMutexLock guard(mu_);
   auto& list = methods_[type];
   if (std::find(list.begin(), list.end(), method) == list.end()) {
     list.push_back(method);
@@ -33,7 +32,7 @@ void CompatibilityRegistry::Define(TypeId type, const std::string& m1,
                                    const std::string& m2, bool compatible) {
   bool swapped = false;
   PairKey key = MakeKey(m1, m2, &swapped);
-  std::unique_lock<std::shared_mutex> guard(mu_);
+  WriterMutexLock guard(mu_);
   Entry e;
   e.is_predicate = false;
   e.compatible = compatible;
@@ -45,7 +44,7 @@ void CompatibilityRegistry::DefinePredicate(TypeId type, const std::string& m1,
                                             Predicate pred) {
   bool swapped = false;
   PairKey key = MakeKey(m1, m2, &swapped);
-  std::unique_lock<std::shared_mutex> guard(mu_);
+  WriterMutexLock guard(mu_);
   Entry e;
   e.is_predicate = true;
   e.pred = std::move(pred);
@@ -68,7 +67,7 @@ bool CompatibilityRegistry::Commute(TypeId type, const std::string& m1,
                                     const Args& a1, const std::string& m2,
                                     const Args& a2) const {
   {
-    std::shared_lock<std::shared_mutex> guard(mu_);
+    ReaderMutexLock guard(mu_);
     bool swapped = false;
     const Entry* e = FindEntry(type, m1, m2, &swapped);
     if (e != nullptr) {
@@ -139,7 +138,7 @@ std::optional<bool> CompatibilityRegistry::GenericCommute(const std::string& m1,
 }
 
 std::vector<std::string> CompatibilityRegistry::MethodsOf(TypeId type) const {
-  std::shared_lock<std::shared_mutex> guard(mu_);
+  ReaderMutexLock guard(mu_);
   auto it = methods_.find(type);
   if (it == methods_.end()) return {};
   return it->second;
@@ -147,7 +146,7 @@ std::vector<std::string> CompatibilityRegistry::MethodsOf(TypeId type) const {
 
 std::optional<bool> CompatibilityRegistry::StaticEntry(
     TypeId type, const std::string& m1, const std::string& m2) const {
-  std::shared_lock<std::shared_mutex> guard(mu_);
+  ReaderMutexLock guard(mu_);
   bool swapped = false;
   const Entry* e = FindEntry(type, m1, m2, &swapped);
   if (e == nullptr || e->is_predicate) return std::nullopt;
@@ -156,7 +155,7 @@ std::optional<bool> CompatibilityRegistry::StaticEntry(
 
 bool CompatibilityRegistry::HasPredicate(TypeId type, const std::string& m1,
                                          const std::string& m2) const {
-  std::shared_lock<std::shared_mutex> guard(mu_);
+  ReaderMutexLock guard(mu_);
   bool swapped = false;
   const Entry* e = FindEntry(type, m1, m2, &swapped);
   return e != nullptr && e->is_predicate;

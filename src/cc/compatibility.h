@@ -13,13 +13,13 @@
 #include <functional>
 #include <map>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "object/oid.h"
 #include "object/value.h"
+#include "util/annotations.h"
 #include "util/macros.h"
 
 namespace semcc {
@@ -94,11 +94,12 @@ class CompatibilityRegistry {
   using PairKey = std::pair<std::string, std::string>;
 
   const Entry* FindEntry(TypeId type, const std::string& m1,
-                         const std::string& m2, bool* swapped) const;
+                         const std::string& m2, bool* swapped) const
+      SEMCC_REQUIRES_SHARED(mu_);
 
-  mutable std::shared_mutex mu_;
-  std::map<TypeId, std::map<PairKey, Entry>> table_;
-  std::map<TypeId, std::vector<std::string>> methods_;
+  mutable SharedMutex mu_;
+  std::map<TypeId, std::map<PairKey, Entry>> table_ SEMCC_GUARDED_BY(mu_);
+  std::map<TypeId, std::vector<std::string>> methods_ SEMCC_GUARDED_BY(mu_);
 };
 
 }  // namespace semcc

@@ -200,6 +200,26 @@ std::set<SubTxn*> LockManager::CollectBlockers(
   return blockers;
 }
 
+void LockManager::ExpandDependencies(
+    SubTxn* n, std::vector<SubTxn*>* stack, std::set<SubTxn*>* visited,
+    std::map<SubTxn*, SubTxn*>* came_from) const {
+  auto wit = waits_.find(n);
+  if (wit != waits_.end()) {
+    for (SubTxn* b : wit->second) {
+      if (visited->insert(b).second) {
+        (*came_from)[b] = n;
+        stack->push_back(b);
+      }
+    }
+  }
+  for (SubTxn* c : n->IncompleteChildren()) {
+    if (visited->insert(c).second) {
+      (*came_from)[c] = n;
+      stack->push_back(c);
+    }
+  }
+}
+
 SubTxn* LockManager::DetectDeadlock(SubTxn* t) const {
   // Completion-dependency graph: a blocked requester depends on the
   // completions in its waits-for set; an incomplete node's completion
@@ -209,25 +229,7 @@ SubTxn* LockManager::DetectDeadlock(SubTxn* t) const {
   std::set<SubTxn*> visited;
   std::map<SubTxn*, SubTxn*> came_from;
 
-  auto expand = [&](SubTxn* n) {
-    auto wit = waits_.find(n);
-    if (wit != waits_.end()) {
-      for (SubTxn* b : wit->second) {
-        if (visited.insert(b).second) {
-          came_from[b] = n;
-          stack.push_back(b);
-        }
-      }
-    }
-    for (SubTxn* c : n->IncompleteChildren()) {
-      if (visited.insert(c).second) {
-        came_from[c] = n;
-        stack.push_back(c);
-      }
-    }
-  };
-
-  expand(t);
+  ExpandDependencies(t, &stack, &visited, &came_from);
   SubTxn* cycle_end = nullptr;
   while (!stack.empty()) {
     SubTxn* n = stack.back();
@@ -237,7 +239,7 @@ SubTxn* LockManager::DetectDeadlock(SubTxn* t) const {
       break;
     }
     if (n->completed()) continue;
-    expand(n);
+    ExpandDependencies(n, &stack, &visited, &came_from);
   }
   if (cycle_end == nullptr) return nullptr;
 
@@ -255,30 +257,181 @@ SubTxn* LockManager::DetectDeadlock(SubTxn* t) const {
   return victim_root;
 }
 
+// --- debug invariant checker --------------------------------------------
+
+void LockManager::InvariantViolation(const char* kind,
+                                     const std::string& detail) {
+  SEMCC_LOG(Error) << "lock invariant violated [" << kind << "]: " << detail;
+  if (options_.invariant_violations_fatal) {
+    SEMCC_CHECK(false) << "lock invariant [" << kind << "]: " << detail;
+  }
+}
+
+void LockManager::CheckGrantInvariants(const LockQueue& q, uint64_t my_seq,
+                                       SubTxn* t, bool is_write) {
+  // Independently re-derive the grant decision: every other granted (or
+  // earlier-queued, FCFS) entry must pass test-conflict against `t`. A
+  // non-nil verdict here means the fast path granted a conflicting request.
+  for (const LockEntry& e : q.entries) {
+    if (e.acquirer == t) continue;
+    if (!e.granted && (e.seq > my_seq || t->compensation())) continue;
+    ConflictOutcome why = ConflictOutcome::kNoLock;
+    SubTxn* b = TestConflict(e, t, is_write, &why);
+    if (b != nullptr) {
+      inv_stats_.grant_violations.fetch_add(1, std::memory_order_relaxed);
+      InvariantViolation(
+          "grant",
+          "granted " + t->method() + " (txn " + std::to_string(t->id()) +
+              ") despite conflict with holder " + e.acquirer->method() +
+              " (txn " + std::to_string(e.acquirer->id()) +
+              "), verdict=" + std::to_string(static_cast<int>(why)));
+    }
+  }
+}
+
+void LockManager::CheckQueueInvariants(const LockQueue& q) {
+  for (const LockEntry& e : q.entries) {
+    // A *waiting* entry's acquirer is by construction parked inside
+    // Acquire, so it cannot have completed; a completed subtransaction
+    // showing up un-granted means an abandon path failed to withdraw the
+    // entry. (Granted entries of completed subtransactions are the retained
+    // locks of §4.1 — legal until top-level end.)
+    if (!e.granted && e.acquirer->completed()) {
+      inv_stats_.retained_violations.fetch_add(1, std::memory_order_relaxed);
+      InvariantViolation("retained", "waiting entry owned by completed txn " +
+                                         std::to_string(e.acquirer->id()) +
+                                         " (" + e.acquirer->method() + ")");
+    }
+  }
+}
+
+void LockManager::CheckNoLeakedLocks(SubTxn* root) {
+  uint64_t leaked = 0;
+  for (const auto& [target, q] : table_) {
+    for (const LockEntry& e : q.entries) {
+      if (e.acquirer->root() == root) {
+        ++leaked;
+        InvariantViolation("leak", "entry " + e.acquirer->method() +
+                                       " (txn " +
+                                       std::to_string(e.acquirer->id()) +
+                                       ") on " + target.ToString() +
+                                       " survived ReleaseTree of root " +
+                                       std::to_string(root->id()));
+      }
+    }
+  }
+  if (leaked != 0) {
+    inv_stats_.leaked_locks.fetch_add(leaked, std::memory_order_relaxed);
+  }
+}
+
+void LockManager::CheckWaitGraphAcyclic() {
+  // Whenever mu_ is released, every wait cycle must contain a root already
+  // flagged for abort: the waiter whose edge closed the cycle runs
+  // DetectDeadlock (and flags a victim) in the same critical section. DFS
+  // with gray/black coloring over waiter -> blockers ∪ incomplete children;
+  // nodes of abort-flagged roots are excluded (their cycles are resolving).
+  std::set<SubTxn*> done;
+  for (const auto& [waiter, blockers] : waits_) {
+    (void)blockers;
+    if (done.count(waiter) != 0) continue;
+    // Iterative DFS with an explicit path (gray set) for cycle detection.
+    std::vector<std::pair<SubTxn*, size_t>> path;  // node + next-child index
+    std::set<SubTxn*> on_path;
+    path.emplace_back(waiter, 0);
+    on_path.insert(waiter);
+    while (!path.empty()) {
+      auto& [node, child_idx] = path.back();
+      // Materialize node's successors once per visit level.
+      std::vector<SubTxn*> succ;
+      if (!node->completed() && !node->root()->abort_requested()) {
+        auto wit = waits_.find(node);
+        if (wit != waits_.end()) {
+          succ.insert(succ.end(), wit->second.begin(), wit->second.end());
+        }
+        const std::vector<SubTxn*> kids = node->IncompleteChildren();
+        succ.insert(succ.end(), kids.begin(), kids.end());
+      }
+      if (child_idx >= succ.size()) {
+        on_path.erase(node);
+        done.insert(node);
+        path.pop_back();
+        continue;
+      }
+      SubTxn* next = succ[child_idx++];
+      if (on_path.count(next) != 0) {
+        inv_stats_.wait_cycle_violations.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        InvariantViolation("wait-cycle",
+                           "unresolved waits-for cycle through txn " +
+                               std::to_string(next->id()) +
+                               " with no deadlock victim chosen");
+        return;  // one report per sweep is enough
+      }
+      if (done.count(next) != 0) continue;
+      path.emplace_back(next, 0);
+      on_path.insert(next);
+    }
+  }
+}
+
+void LockManager::RecordLockOrder(SubTxn* t, const LockTarget& target) {
+  SubTxn* root = t->root();
+  std::vector<LockTarget>& held = held_targets_[root];
+  if (std::find(held.begin(), held.end(), target) != held.end()) {
+    return;  // re-acquisition of a target the tree already locks: no edge
+  }
+  const uint64_t to = PackTarget(target);
+  for (const LockTarget& h : held) {
+    if (!order_graph_.AddEdge(PackTarget(h), to)) {
+      inv_stats_.order_inversions.fetch_add(1, std::memory_order_relaxed);
+      // Diagnostic, not a violation: inversions are legal here (the
+      // deadlock detector resolves them) but each is a potential deadlock.
+      SEMCC_LOG(Debug) << "lock-order inversion: " << h.ToString() << " -> "
+                       << target.ToString() << " closes an acquisition-order "
+                       << "cycle (txn " << std::to_string(root->id()) << ")";
+    }
+  }
+  held.push_back(target);
+}
+
+uint64_t LockManager::CheckInvariantsNow() {
+  MutexLock lock(mu_);
+  inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& [target, q] : table_) {
+    (void)target;
+    CheckQueueInvariants(q);
+  }
+  if (options_.deadlock_detection) CheckWaitGraphAcyclic();
+  return inv_stats_.protocol_violations();
+}
+
 // --- acquire / release --------------------------------------------------
+
+void LockManager::RemoveWaiter(const LockTarget& target, LockQueue& q,
+                               std::list<LockEntry>::iterator my_it,
+                               SubTxn* t) {
+  q.entries.erase(my_it);
+  waits_.erase(t);
+  if (q.entries.empty()) table_.erase(target);
+  cv_.NotifyAll();
+}
 
 Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
                             bool is_write) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.acquires.fetch_add(1, std::memory_order_relaxed);
   LockQueue& q = table_[target];
   const uint64_t my_seq = next_entry_seq_++;
   q.entries.push_back(LockEntry{t, t, is_write, /*granted=*/false, my_seq});
   auto my_it = std::prev(q.entries.end());
 
-  auto remove_self = [&]() {
-    q.entries.erase(my_it);
-    waits_.erase(t);
-    if (q.entries.empty()) table_.erase(target);
-    cv_.notify_all();
-  };
-
   bool first_scan = true;
   bool ever_blocked = false;
   StopWatch wait_timer;
   while (true) {
     if (t->root()->abort_requested() && !t->compensation()) {
-      remove_self();
+      RemoveWaiter(target, q, my_it, t);
       return Status::Aborted("transaction abort requested while locking " +
                              target.ToString());
     }
@@ -310,6 +463,12 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
       my_it->granted = true;
       waits_.erase(t);
       t->set_grant_seq(NextSeq());
+      if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
+        inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
+        CheckGrantInvariants(q, my_seq, t, is_write);
+        CheckQueueInvariants(q);
+        RecordLockOrder(t, target);
+      }
       if (ever_blocked) {
         stats_.wait_micros.Add(wait_timer.ElapsedMicros());
       }
@@ -327,25 +486,30 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
       if (victim != nullptr) {
         stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
         if (victim == t->root()) {
-          remove_self();
+          RemoveWaiter(target, q, my_it, t);
           return Status::Deadlock("deadlock victim at " + target.ToString());
         }
         victim->RequestAbort();
-        cv_.notify_all();
+        cv_.NotifyAll();
+      }
+      if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
+        // At this point every wait cycle must have a victim flagged.
+        inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
+        CheckWaitGraphAcyclic();
       }
     }
     if (wait_timer.ElapsedMicros() >
         static_cast<uint64_t>(options_.wait_timeout.count()) * 1000) {
       stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
-      remove_self();
+      RemoveWaiter(target, q, my_it, t);
       return Status::TimedOut("lock wait timeout on " + target.ToString());
     }
-    cv_.wait_for(lock, std::chrono::milliseconds(50));
+    cv_.WaitFor(lock, std::chrono::milliseconds(50));
   }
 }
 
 void LockManager::OnSubTxnCompleted(SubTxn* t) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   t->set_end_seq(NextSeq());
   switch (options_.protocol) {
     case Protocol::kSemanticONT:
@@ -381,13 +545,20 @@ void LockManager::OnSubTxnCompleted(SubTxn* t) {
     case Protocol::kFlat2PL:
       break;  // all locks are root-owned and strict
   }
+  if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
+    inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
+    for (const auto& [target, q] : table_) {
+      (void)target;
+      CheckQueueInvariants(q);
+    }
+  }
   // Waits-for sets shrink on completion, not on lock release: wake everyone
   // to re-evaluate.
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void LockManager::ReleaseTree(SubTxn* root) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = table_.begin(); it != table_.end();) {
     LockQueue& q = it->second;
     for (auto e = q.entries.begin(); e != q.entries.end();) {
@@ -406,12 +577,17 @@ void LockManager::ReleaseTree(SubTxn* root) {
                                   [&](SubTxn* b) { return b->root() == root; }),
                    blockers.end());
   }
-  cv_.notify_all();
+  if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
+    inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
+    CheckNoLeakedLocks(root);
+    held_targets_.erase(root);
+  }
+  cv_.NotifyAll();
 }
 
 std::vector<LockManager::LockInfo> LockManager::LocksOn(
     const LockTarget& target) const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<LockInfo> out;
   auto it = table_.find(target);
   if (it == table_.end()) return out;
@@ -424,7 +600,7 @@ std::vector<LockManager::LockInfo> LockManager::LocksOn(
 }
 
 size_t LockManager::NumWaiters() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return waits_.size();
 }
 

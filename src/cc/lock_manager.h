@@ -20,24 +20,29 @@
 // transactions [Mo85], flat strict 2PL at object/record/page granularity)
 // selected via ProtocolOptions, so benchmarks compare protocols on identical
 // infrastructure.
+//
+// All shared state is guarded by mu_ and annotated for clang's thread-safety
+// analysis; with ProtocolOptions::debug_lock_checks the manager additionally
+// re-derives the protocol invariants on every grant/release (see
+// cc/lock_invariants.h).
 #ifndef SEMCC_CC_LOCK_MANAGER_H_
 #define SEMCC_CC_LOCK_MANAGER_H_
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cc/compatibility.h"
+#include "cc/lock_invariants.h"
 #include "cc/subtxn.h"
 #include "storage/record_manager.h"
+#include "util/annotations.h"
 #include "util/histogram.h"
 #include "util/macros.h"
 #include "util/status.h"
@@ -84,6 +89,23 @@ struct ProtocolOptions {
   std::chrono::milliseconds wait_timeout{10000};
 
   bool deadlock_detection = true;
+
+  /// Debug-mode lock-invariant checker (cc/lock_invariants.h): re-derive the
+  /// protocol invariants on every grant/release and track the lock-order
+  /// graph. Default: on in debug builds and whenever the tree is compiled
+  /// with -DSEMCC_DEBUG_LOCK_CHECKS; off in release builds, where the hooks
+  /// cost one predicted-false branch per grant.
+#if defined(SEMCC_DEBUG_LOCK_CHECKS) || !defined(NDEBUG)
+  bool debug_lock_checks = true;
+#else
+  bool debug_lock_checks = false;
+#endif
+
+  /// Fail fast (SEMCC_CHECK) on a detected *protocol* violation instead of
+  /// counting + logging. Lock-order inversions are never fatal: they are
+  /// legal under this protocol (the deadlock detector resolves them) and
+  /// tracked as a diagnostic only.
+  bool invariant_violations_fatal = false;
 };
 
 /// \brief What a lock names: an object, a record, or a page.
@@ -154,21 +176,31 @@ class LockManager {
   ///
   /// `is_write` is the read/write classification used by the conventional
   /// baselines; the semantic protocol ignores it.
-  Status Acquire(SubTxn* t, const LockTarget& target, bool is_write);
+  Status Acquire(SubTxn* t, const LockTarget& target, bool is_write)
+      SEMCC_EXCLUDES(mu_);
 
   /// Figure 8, on completion of subtransaction t: convert/release per
   /// protocol and wake waiters (waits-for sets shrink on *completion*).
-  void OnSubTxnCompleted(SubTxn* t);
+  void OnSubTxnCompleted(SubTxn* t) SEMCC_EXCLUDES(mu_);
 
   /// Top-level end ("release all locks"): drop every lock owned by the tree
   /// rooted at `root` and wake waiters. Call before destroying the tree.
-  void ReleaseTree(SubTxn* root);
+  void ReleaseTree(SubTxn* root) SEMCC_EXCLUDES(mu_);
 
   /// Logical timestamp source shared with the history recorder.
   uint64_t NextSeq() { return clock_.fetch_add(1) + 1; }
 
   LockStats& stats() { return stats_; }
   const ProtocolOptions& options() const { return options_; }
+
+  /// Cumulative counters of the debug invariant checker (all zero when
+  /// ProtocolOptions::debug_lock_checks is off).
+  const LockInvariantStats& invariant_stats() const { return inv_stats_; }
+
+  /// Run the queue + wait-graph invariant sweep immediately, regardless of
+  /// debug_lock_checks; returns the cumulative protocol-violation count
+  /// afterwards. Intended for tests (e.g. at quiescent points).
+  uint64_t CheckInvariantsNow() SEMCC_EXCLUDES(mu_);
 
   /// Locks currently held/queued on `target` — introspection for tests.
   struct LockInfo {
@@ -178,10 +210,11 @@ class LockManager {
     bool granted;
     bool retained;  ///< owner completed but lock still present
   };
-  std::vector<LockInfo> LocksOn(const LockTarget& target) const;
+  std::vector<LockInfo> LocksOn(const LockTarget& target) const
+      SEMCC_EXCLUDES(mu_);
 
   /// Number of waiting (blocked) acquires right now.
-  size_t NumWaiters() const;
+  size_t NumWaiters() const SEMCC_EXCLUDES(mu_);
 
  private:
   struct LockEntry {
@@ -199,36 +232,89 @@ class LockManager {
   /// The paper's test-conflict(h, r): nil (nullptr) or the (sub)transaction
   /// whose completion r must wait for. Sets *why.
   SubTxn* TestConflict(const LockEntry& h, SubTxn* r, bool r_is_write,
-                       ConflictOutcome* why) const;
+                       ConflictOutcome* why) const SEMCC_REQUIRES(mu_);
 
   SubTxn* TestConflictSemantic(const LockEntry& h, SubTxn* r,
-                               ConflictOutcome* why) const;
+                               ConflictOutcome* why) const SEMCC_REQUIRES(mu_);
   SubTxn* TestConflictClosed(const LockEntry& h, SubTxn* r, bool r_is_write,
-                             ConflictOutcome* why) const;
+                             ConflictOutcome* why) const SEMCC_REQUIRES(mu_);
   SubTxn* TestConflictFlat(const LockEntry& h, SubTxn* r, bool r_is_write,
-                           ConflictOutcome* why) const;
+                           ConflictOutcome* why) const SEMCC_REQUIRES(mu_);
 
-  /// Blockers of `t` against queue `q` given its own entry seq. Requires mu_.
+  /// Blockers of `t` against queue `q` given its own entry seq.
   std::set<SubTxn*> CollectBlockers(const LockQueue& q, uint64_t my_seq,
                                     SubTxn* t, bool is_write,
-                                    std::vector<ConflictOutcome>* reasons) const;
+                                    std::vector<ConflictOutcome>* reasons) const
+      SEMCC_REQUIRES(mu_);
+
+  /// Withdraw `t`'s queue entry + wait edges and wake everyone (abandon
+  /// paths of Acquire: abort, deadlock victim, timeout).
+  void RemoveWaiter(const LockTarget& target, LockQueue& q,
+                    std::list<LockEntry>::iterator my_it, SubTxn* t)
+      SEMCC_REQUIRES(mu_);
 
   /// Detect a deadlock reachable from requester `t`; returns the chosen
   /// victim's root (maximal root id on the cycle = youngest transaction) or
-  /// nullptr. Requires mu_.
-  SubTxn* DetectDeadlock(SubTxn* t) const;
+  /// nullptr.
+  SubTxn* DetectDeadlock(SubTxn* t) const SEMCC_REQUIRES(mu_);
+
+  /// DFS expansion step of DetectDeadlock over the completion-dependency
+  /// graph: wait edges of `n` plus `n`'s incomplete children.
+  void ExpandDependencies(SubTxn* n, std::vector<SubTxn*>* stack,
+                          std::set<SubTxn*>* visited,
+                          std::map<SubTxn*, SubTxn*>* came_from) const
+      SEMCC_REQUIRES(mu_);
+
+  // --- debug invariant checker (cc/lock_invariants.h) ---------------------
+
+  /// Re-derive grant soundness for the entry `my_seq` of `t` that is about
+  /// to be granted: every other granted/earlier entry must pass
+  /// test-conflict.
+  void CheckGrantInvariants(const LockQueue& q, uint64_t my_seq, SubTxn* t,
+                            bool is_write) SEMCC_REQUIRES(mu_);
+
+  /// Queue-local invariants: no waiting entry may belong to a completed
+  /// subtransaction (only *granted* locks are retained past completion).
+  void CheckQueueInvariants(const LockQueue& q) SEMCC_REQUIRES(mu_);
+
+  /// Post-ReleaseTree: no entry of `root`'s tree may remain anywhere.
+  void CheckNoLeakedLocks(SubTxn* root) SEMCC_REQUIRES(mu_);
+
+  /// The waits-for graph (plus completion dependencies) must be acyclic
+  /// once nodes of abort-flagged roots (chosen victims) are excluded.
+  void CheckWaitGraphAcyclic() SEMCC_REQUIRES(mu_);
+
+  /// Record "t's transaction, holding its current targets, acquired
+  /// `target`" in the global lock-order graph; count inversions.
+  void RecordLockOrder(SubTxn* t, const LockTarget& target)
+      SEMCC_REQUIRES(mu_);
+
+  void InvariantViolation(const char* kind, const std::string& detail);
+
+  static uint64_t PackTarget(const LockTarget& t) {
+    return (t.key << 2) | static_cast<uint64_t>(t.space);
+  }
 
   const ProtocolOptions options_;
   CompatibilityRegistry* const compat_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<LockTarget, LockQueue, LockTargetHash> table_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::unordered_map<LockTarget, LockQueue, LockTargetHash> table_
+      SEMCC_GUARDED_BY(mu_);
   /// Current wait edges: blocked requester -> the completions it awaits.
-  std::map<SubTxn*, std::vector<SubTxn*>> waits_;
-  uint64_t next_entry_seq_ = 0;
+  std::map<SubTxn*, std::vector<SubTxn*>> waits_ SEMCC_GUARDED_BY(mu_);
+  uint64_t next_entry_seq_ SEMCC_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> clock_{0};
   LockStats stats_;
+
+  /// Global acquisition-order graph over lock targets (debug checker).
+  LockOrderGraph order_graph_ SEMCC_GUARDED_BY(mu_);
+  /// Targets currently locked per top-level transaction, in acquisition
+  /// order (debug checker); cleared by ReleaseTree.
+  std::map<SubTxn*, std::vector<LockTarget>> held_targets_
+      SEMCC_GUARDED_BY(mu_);
+  LockInvariantStats inv_stats_;
 };
 
 }  // namespace semcc

@@ -32,17 +32,17 @@ std::vector<SubTxn*> SubTxn::AncestorChain() const {
 }
 
 void SubTxn::AddChild(SubTxn* child) {
-  std::lock_guard<std::mutex> guard(children_mu_);
+  MutexLock guard(children_mu_);
   children_.push_back(child);
 }
 
 std::vector<SubTxn*> SubTxn::Children() const {
-  std::lock_guard<std::mutex> guard(children_mu_);
+  MutexLock guard(children_mu_);
   return children_;
 }
 
 std::vector<SubTxn*> SubTxn::IncompleteChildren() const {
-  std::lock_guard<std::mutex> guard(children_mu_);
+  MutexLock guard(children_mu_);
   std::vector<SubTxn*> out;
   for (SubTxn* c : children_) {
     if (!c->completed()) out.push_back(c);
@@ -76,7 +76,7 @@ TxnTree::TxnTree(TxnId root_id, std::string name, Oid root_object,
   auto root = std::make_unique<SubTxn>(root_id, nullptr, root_object, root_type,
                                        std::move(name), Args{});
   root_ = root.get();
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   nodes_.push_back(std::move(root));
 }
 
@@ -87,7 +87,7 @@ SubTxn* TxnTree::NewNode(SubTxn* parent, Oid object, TypeId type,
                                        std::move(method), std::move(args));
   SubTxn* raw = node.get();
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     nodes_.push_back(std::move(node));
   }
   parent->AddChild(raw);
@@ -95,7 +95,7 @@ SubTxn* TxnTree::NewNode(SubTxn* parent, Oid object, TypeId type,
 }
 
 std::vector<SubTxn*> TxnTree::Nodes() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   std::vector<SubTxn*> out;
   out.reserve(nodes_.size());
   for (const auto& n : nodes_) out.push_back(n.get());

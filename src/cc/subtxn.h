@@ -11,12 +11,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "object/oid.h"
 #include "object/value.h"
+#include "util/annotations.h"
 #include "util/macros.h"
 
 namespace semcc {
@@ -122,8 +122,8 @@ class SubTxn {
   uint64_t grant_seq_ = 0;
   uint64_t end_seq_ = 0;
 
-  mutable std::mutex children_mu_;
-  std::vector<SubTxn*> children_;
+  mutable Mutex children_mu_;
+  std::vector<SubTxn*> children_ SEMCC_GUARDED_BY(children_mu_);
 };
 
 /// \brief Owner of a transaction tree: allocates nodes, keeps them alive
@@ -146,8 +146,8 @@ class TxnTree {
   static TxnId NextId();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<SubTxn>> nodes_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<SubTxn>> nodes_ SEMCC_GUARDED_BY(mu_);
   SubTxn* root_;
 };
 

@@ -43,7 +43,7 @@ Result<Value> Database::RunTransactionOnce(const std::string& name,
 
 Status Database::SetNamedRoot(const std::string& name, Oid oid) {
   {
-    std::lock_guard<std::mutex> guard(roots_mu_);
+    MutexLock guard(roots_mu_);
     named_roots_[name] = oid;
   }
   if (recovery_ != nullptr) recovery_->OnNamedRoot(name, oid);
@@ -51,7 +51,7 @@ Status Database::SetNamedRoot(const std::string& name, Oid oid) {
 }
 
 Result<Oid> Database::GetNamedRoot(const std::string& name) const {
-  std::lock_guard<std::mutex> guard(roots_mu_);
+  MutexLock guard(roots_mu_);
   auto it = named_roots_.find(name);
   if (it == named_roots_.end()) {
     return Status::NotFound("no named root: " + name);

@@ -18,7 +18,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "cc/compatibility.h"
@@ -33,6 +32,7 @@
 #include "txn/history.h"
 #include "txn/method_registry.h"
 #include "txn/txn_manager.h"
+#include "util/annotations.h"
 #include "util/macros.h"
 
 namespace semcc {
@@ -116,8 +116,8 @@ class Database {
   std::unique_ptr<RecoveryManager> recovery_;
   std::unique_ptr<LockManager> lock_manager_;
   std::unique_ptr<TxnManager> txn_manager_;
-  mutable std::mutex roots_mu_;
-  std::map<std::string, Oid> named_roots_;
+  mutable Mutex roots_mu_;
+  std::map<std::string, Oid> named_roots_ SEMCC_GUARDED_BY(roots_mu_);
 };
 
 }  // namespace semcc

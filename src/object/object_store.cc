@@ -17,7 +17,7 @@ ObjectStore::ObjectStore(Schema* schema, RecordManager* records)
 }
 
 Result<ObjectStore::ObjectMeta*> ObjectStore::Find(Oid oid) const {
-  std::shared_lock<std::shared_mutex> guard(meta_mu_);
+  ReaderMutexLock guard(meta_mu_);
   if (oid >= objects_.size()) return Status::NotFound("unknown oid");
   ObjectMeta* meta = objects_[oid].get();
   if (meta->destroyed) return Status::NotFound("object destroyed");
@@ -36,7 +36,7 @@ Result<ObjectStore::ObjectMeta*> ObjectStore::FindOfKind(
 
 Result<Oid> ObjectStore::CreateAtomic(TypeId type, const Value& initial) {
   SEMCC_ASSIGN_OR_RETURN(Rid rid, records_->Insert(initial.Serialize()));
-  std::unique_lock<std::shared_mutex> guard(meta_mu_);
+  WriterMutexLock guard(meta_mu_);
   auto meta = std::make_unique<ObjectMeta>();
   meta->oid = objects_.size();
   meta->type = type;
@@ -73,7 +73,7 @@ Result<Oid> ObjectStore::CreateTuple(
     record.append(reinterpret_cast<const char*>(&found->second), sizeof(Oid));
   }
   SEMCC_ASSIGN_OR_RETURN(Rid rid, records_->Insert(record));
-  std::unique_lock<std::shared_mutex> guard(meta_mu_);
+  WriterMutexLock guard(meta_mu_);
   auto meta = std::make_unique<ObjectMeta>();
   meta->oid = objects_.size();
   meta->type = type;
@@ -96,7 +96,7 @@ Result<Oid> ObjectStore::CreateSet(TypeId type) {
   uint64_t count = 0;
   std::string stub(reinterpret_cast<const char*>(&count), sizeof(count));
   SEMCC_ASSIGN_OR_RETURN(Rid rid, records_->Insert(stub));
-  std::unique_lock<std::shared_mutex> guard(meta_mu_);
+  WriterMutexLock guard(meta_mu_);
   auto meta = std::make_unique<ObjectMeta>();
   meta->oid = objects_.size();
   meta->type = type;
@@ -114,7 +114,7 @@ Status ObjectStore::Destroy(Oid oid) {
     SEMCC_RETURN_NOT_OK(records_->Delete(meta->rid));
   }
   {
-    std::unique_lock<std::shared_mutex> guard(meta_mu_);
+    WriterMutexLock guard(meta_mu_);
     meta->destroyed = true;
   }
   if (listener_ != nullptr) listener_->OnDestroy(oid);
@@ -157,7 +157,7 @@ Status ObjectStore::RewriteSetStub(ObjectMeta* meta) {
 
 Status ObjectStore::SetInsert(Oid set, const Value& key, Oid member) {
   SEMCC_ASSIGN_OR_RETURN(ObjectMeta * meta, FindOfKind(set, ObjectKind::kSet));
-  std::lock_guard<std::mutex> guard(meta->set_mu);
+  MutexLock guard(meta->set_mu);
   if (meta->members.count(key) > 0) {
     return Status::AlreadyExists("duplicate key " + key.ToString());
   }
@@ -169,7 +169,7 @@ Status ObjectStore::SetInsert(Oid set, const Value& key, Oid member) {
 
 Status ObjectStore::SetRemove(Oid set, const Value& key) {
   SEMCC_ASSIGN_OR_RETURN(ObjectMeta * meta, FindOfKind(set, ObjectKind::kSet));
-  std::lock_guard<std::mutex> guard(meta->set_mu);
+  MutexLock guard(meta->set_mu);
   auto it = meta->members.find(key);
   if (it == meta->members.end()) {
     return Status::NotFound("no member with key " + key.ToString());
@@ -183,7 +183,7 @@ Status ObjectStore::SetRemove(Oid set, const Value& key) {
 
 Result<Oid> ObjectStore::SetSelect(Oid set, const Value& key) {
   SEMCC_ASSIGN_OR_RETURN(ObjectMeta * meta, FindOfKind(set, ObjectKind::kSet));
-  std::lock_guard<std::mutex> guard(meta->set_mu);
+  MutexLock guard(meta->set_mu);
   auto it = meta->members.find(key);
   if (it == meta->members.end()) {
     return Status::NotFound("no member with key " + key.ToString());
@@ -193,7 +193,7 @@ Result<Oid> ObjectStore::SetSelect(Oid set, const Value& key) {
 
 Result<std::vector<std::pair<Value, Oid>>> ObjectStore::SetScan(Oid set) {
   SEMCC_ASSIGN_OR_RETURN(ObjectMeta * meta, FindOfKind(set, ObjectKind::kSet));
-  std::lock_guard<std::mutex> guard(meta->set_mu);
+  MutexLock guard(meta->set_mu);
   std::vector<std::pair<Value, Oid>> out;
   out.reserve(meta->members.size());
   for (const auto& [k, v] : meta->members) out.emplace_back(k, v);
@@ -202,7 +202,7 @@ Result<std::vector<std::pair<Value, Oid>>> ObjectStore::SetScan(Oid set) {
 
 Result<size_t> ObjectStore::SetSize(Oid set) {
   SEMCC_ASSIGN_OR_RETURN(ObjectMeta * meta, FindOfKind(set, ObjectKind::kSet));
-  std::lock_guard<std::mutex> guard(meta->set_mu);
+  MutexLock guard(meta->set_mu);
   return meta->members.size();
 }
 
@@ -223,7 +223,7 @@ Status ObjectStore::EmplaceAt(Oid oid, std::unique_ptr<ObjectMeta> meta) {
 Status ObjectStore::RestoreAtomic(Oid oid, TypeId type, const Value& initial) {
   SEMCC_ASSIGN_OR_RETURN(Rid rid, records_->Insert(initial.Serialize()));
   {
-    std::unique_lock<std::shared_mutex> guard(meta_mu_);
+    WriterMutexLock guard(meta_mu_);
     auto meta = std::make_unique<ObjectMeta>();
     meta->oid = oid;
     meta->type = type;
@@ -244,7 +244,7 @@ Status ObjectStore::RestoreTuple(
   }
   SEMCC_ASSIGN_OR_RETURN(Rid rid, records_->Insert(record));
   {
-    std::unique_lock<std::shared_mutex> guard(meta_mu_);
+    WriterMutexLock guard(meta_mu_);
     auto meta = std::make_unique<ObjectMeta>();
     meta->oid = oid;
     meta->type = type;
@@ -254,7 +254,7 @@ Status ObjectStore::RestoreTuple(
     SEMCC_RETURN_NOT_OK(EmplaceAt(oid, std::move(meta)));
   }
   if (listener_ != nullptr) {
-    std::shared_lock<std::shared_mutex> guard(meta_mu_);
+    ReaderMutexLock guard(meta_mu_);
     listener_->OnCreateTuple(oid, type, objects_[oid]->components);
   }
   return Status::OK();
@@ -265,7 +265,7 @@ Status ObjectStore::RestoreSet(Oid oid, TypeId type) {
   std::string stub(reinterpret_cast<const char*>(&count), sizeof(count));
   SEMCC_ASSIGN_OR_RETURN(Rid rid, records_->Insert(stub));
   {
-    std::unique_lock<std::shared_mutex> guard(meta_mu_);
+    WriterMutexLock guard(meta_mu_);
     auto meta = std::make_unique<ObjectMeta>();
     meta->oid = oid;
     meta->type = type;
@@ -301,7 +301,7 @@ Result<PageId> ObjectStore::PageOf(Oid oid) const {
 }
 
 uint64_t ObjectStore::num_objects() const {
-  std::shared_lock<std::shared_mutex> guard(meta_mu_);
+  ReaderMutexLock guard(meta_mu_);
   return objects_.size();
 }
 

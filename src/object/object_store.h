@@ -12,7 +12,6 @@
 
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,6 +19,7 @@
 #include "object/schema.h"
 #include "object/value.h"
 #include "storage/record_manager.h"
+#include "util/annotations.h"
 #include "util/macros.h"
 
 namespace semcc {
@@ -121,22 +121,28 @@ class ObjectStore {
     // Tuple: immutable after creation.
     std::vector<std::pair<std::string, Oid>> components;
     // Set: mutable, guarded by set_mu.
-    std::map<Value, Oid> members;
-    mutable std::mutex set_mu;
+    mutable Mutex set_mu;
+    std::map<Value, Oid> members SEMCC_GUARDED_BY(set_mu);
   };
 
-  Result<ObjectMeta*> Find(Oid oid) const;
-  Result<ObjectMeta*> FindOfKind(Oid oid, ObjectKind kind) const;
-  Status RewriteSetStub(ObjectMeta* meta);
-  /// Place `meta` at index `oid` (padding as needed). Requires meta_mu_.
-  Status EmplaceAt(Oid oid, std::unique_ptr<ObjectMeta> meta);
+  Result<ObjectMeta*> Find(Oid oid) const SEMCC_EXCLUDES(meta_mu_);
+  Result<ObjectMeta*> FindOfKind(Oid oid, ObjectKind kind) const
+      SEMCC_EXCLUDES(meta_mu_);
+  Status RewriteSetStub(ObjectMeta* meta)
+      SEMCC_REQUIRES(meta->set_mu);
+  /// Place `meta` at index `oid` (padding as needed).
+  Status EmplaceAt(Oid oid, std::unique_ptr<ObjectMeta> meta)
+      SEMCC_REQUIRES(meta_mu_);
 
   Schema* const schema_;
   RecordManager* const records_;
   StoreListener* listener_ = nullptr;
 
-  mutable std::shared_mutex meta_mu_;
-  std::vector<std::unique_ptr<ObjectMeta>> objects_;  // index = Oid
+  mutable SharedMutex meta_mu_;
+  /// index = Oid. meta_mu_ guards the vector (growth/slot replacement); the
+  /// pointed-to ObjectMeta records are stable once published and carry their
+  /// own set_mu for the one mutable field.
+  std::vector<std::unique_ptr<ObjectMeta>> objects_ SEMCC_GUARDED_BY(meta_mu_);
 };
 
 }  // namespace semcc

@@ -15,7 +15,7 @@ Schema::Schema() {
 }
 
 Result<TypeId> Schema::Define(TypeDescriptor desc) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (by_name_.count(desc.name) > 0) {
     return Status::AlreadyExists("type already defined: " + desc.name);
   }
@@ -63,25 +63,25 @@ Result<TypeId> Schema::DefineSetType(const std::string& name,
 }
 
 Result<TypeDescriptor> Schema::Get(TypeId id) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (id >= types_.size()) return Status::NotFound("unknown type id");
   return types_[id];
 }
 
 Result<TypeDescriptor> Schema::GetByName(const std::string& name) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) return Status::NotFound("unknown type: " + name);
   return types_[it->second];
 }
 
 std::string Schema::TypeName(TypeId id) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return id < types_.size() ? types_[id].name : "?";
 }
 
 std::vector<TypeDescriptor> Schema::AllTypes() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return types_;
 }
 

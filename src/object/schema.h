@@ -8,13 +8,13 @@
 #define SEMCC_OBJECT_SCHEMA_H_
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "object/oid.h"
 #include "object/value.h"
+#include "util/annotations.h"
 #include "util/macros.h"
 #include "util/result.h"
 
@@ -67,11 +67,11 @@ class Schema {
   std::vector<TypeDescriptor> AllTypes() const;
 
  private:
-  Result<TypeId> Define(TypeDescriptor desc);
+  Result<TypeId> Define(TypeDescriptor desc) SEMCC_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<TypeDescriptor> types_;
-  std::map<std::string, TypeId> by_name_;
+  mutable Mutex mu_;
+  std::vector<TypeDescriptor> types_ SEMCC_GUARDED_BY(mu_);
+  std::map<std::string, TypeId> by_name_ SEMCC_GUARDED_BY(mu_);
 };
 
 }  // namespace semcc

@@ -18,26 +18,26 @@ RecoveryManager::RecoveryManager(WriteAheadLog* wal, RecoveryOptions options)
 RecoveryManager::~RecoveryManager() {
   if (gc_flusher_.joinable()) {
     {
-      std::lock_guard<std::mutex> guard(gc_mu_);
+      MutexLock guard(gc_mu_);
       gc_stop_ = true;
     }
-    gc_cv_.notify_all();
+    gc_cv_.NotifyAll();
     gc_flusher_.join();
   }
 }
 
 void RecoveryManager::GroupFlusherLoop() {
-  std::unique_lock<std::mutex> lock(gc_mu_);
+  MutexLock lock(gc_mu_);
   while (!gc_stop_) {
-    gc_cv_.wait(lock, [this] { return gc_pending_ || gc_stop_; });
+    while (!gc_pending_ && !gc_stop_) gc_cv_.Wait(lock);
     if (gc_stop_) break;
     // Batch: let concurrent committers pile in behind the first one.
-    lock.unlock();
+    lock.Unlock();
     std::this_thread::sleep_for(options_.group_window);
     wal_->Flush();
-    lock.lock();
+    lock.Lock();
     gc_pending_ = false;
-    gc_cv_.notify_all();
+    gc_cv_.NotifyAll();
   }
 }
 
@@ -46,10 +46,10 @@ void RecoveryManager::MakeStable(Lsn lsn) {
     wal_->Flush();
     return;
   }
-  std::unique_lock<std::mutex> lock(gc_mu_);
+  MutexLock lock(gc_mu_);
   gc_pending_ = true;
-  gc_cv_.notify_all();
-  gc_cv_.wait(lock, [this, lsn] { return wal_->stable_lsn() >= lsn; });
+  gc_cv_.NotifyAll();
+  while (wal_->stable_lsn() < lsn) gc_cv_.Wait(lock);
 }
 
 // --- physical stratum ---------------------------------------------------

@@ -26,9 +26,7 @@
 #define SEMCC_RECOVERY_RECOVERY_MANAGER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +35,7 @@
 #include "recovery/wal.h"
 #include "txn/txn_context.h"
 #include "txn/txn_manager.h"
+#include "util/annotations.h"
 #include "util/macros.h"
 
 namespace semcc {
@@ -107,17 +106,17 @@ class RecoveryManager : public StoreListener, public ActionLogger {
  private:
   LogRecord ActionBase(const SubTxn& node, LogType type);
   /// Make `lsn` stable per the commit policy (force or group).
-  void MakeStable(Lsn lsn);
-  void GroupFlusherLoop();
+  void MakeStable(Lsn lsn) SEMCC_EXCLUDES(gc_mu_);
+  void GroupFlusherLoop() SEMCC_EXCLUDES(gc_mu_);
 
   WriteAheadLog* const wal_;
   const RecoveryOptions options_;
 
   // Group-commit machinery (only used when options_.group_commit).
-  std::mutex gc_mu_;
-  std::condition_variable gc_cv_;
-  bool gc_stop_ = false;
-  bool gc_pending_ = false;
+  Mutex gc_mu_;
+  CondVar gc_cv_;
+  bool gc_stop_ SEMCC_GUARDED_BY(gc_mu_) = false;
+  bool gc_pending_ SEMCC_GUARDED_BY(gc_mu_) = false;
   std::thread gc_flusher_;
 };
 

@@ -8,7 +8,7 @@
 namespace semcc {
 
 Lsn WriteAheadLog::Append(LogRecord record) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   record.lsn = next_lsn_.fetch_add(1);
   encoded_.push_back(record.Encode());
   lsns_.push_back(record.lsn);
@@ -21,10 +21,10 @@ void WriteAheadLog::Flush() {
     // single serialized resource: concurrent flushes queue behind each
     // other — which is exactly why group commit pays off. Paid OUTSIDE the
     // append lock so writers are not stalled by the device.
-    std::lock_guard<std::mutex> device(device_mu_);
+    MutexLock device(device_mu_);
     std::this_thread::sleep_for(std::chrono::microseconds(flush_micros_));
   }
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   for (size_t i = stable_; i < encoded_.size(); ++i) {
     stable_bytes_ += encoded_[i].size();
   }
@@ -33,13 +33,13 @@ void WriteAheadLog::Flush() {
 }
 
 void WriteAheadLog::LoseVolatileTail() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   encoded_.resize(stable_);
   lsns_.resize(stable_);
 }
 
 std::vector<LogRecord> WriteAheadLog::StableRecords() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   std::vector<LogRecord> out;
   out.reserve(stable_);
   for (size_t i = 0; i < stable_; ++i) {
@@ -51,7 +51,7 @@ std::vector<LogRecord> WriteAheadLog::StableRecords() const {
 }
 
 std::vector<LogRecord> WriteAheadLog::AllRecords() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   std::vector<LogRecord> out;
   out.reserve(encoded_.size());
   for (const std::string& bytes : encoded_) {
@@ -63,27 +63,27 @@ std::vector<LogRecord> WriteAheadLog::AllRecords() const {
 }
 
 size_t WriteAheadLog::stable_count() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return stable_;
 }
 
 size_t WriteAheadLog::total_count() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return encoded_.size();
 }
 
 uint64_t WriteAheadLog::stable_bytes() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return stable_bytes_;
 }
 
 uint64_t WriteAheadLog::flush_count() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return flushes_;
 }
 
 Lsn WriteAheadLog::stable_lsn() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return stable_ == 0 ? 0 : lsns_[stable_ - 1];
 }
 

@@ -8,11 +8,11 @@
 #define SEMCC_RECOVERY_WAL_H_
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "recovery/log_record.h"
+#include "util/annotations.h"
 #include "util/macros.h"
 
 namespace semcc {
@@ -50,13 +50,18 @@ class WriteAheadLog {
 
  private:
   const uint32_t flush_micros_;
-  std::mutex device_mu_;  ///< the (single) simulated log device
-  mutable std::mutex mu_;
-  std::vector<std::string> encoded_;  // one entry per record, encoded
-  std::vector<Lsn> lsns_;             // parallel to encoded_
-  size_t stable_ = 0;                 // records [0, stable_) survive a crash
-  uint64_t stable_bytes_ = 0;
-  uint64_t flushes_ = 0;
+  /// The (single) simulated log device. Acquired before mu_ in Flush; never
+  /// held across an mu_ critical section in the other direction.
+  Mutex device_mu_ SEMCC_ACQUIRED_BEFORE(mu_);
+  mutable Mutex mu_;
+  /// One entry per record, encoded.
+  std::vector<std::string> encoded_ SEMCC_GUARDED_BY(mu_);
+  /// Parallel to encoded_.
+  std::vector<Lsn> lsns_ SEMCC_GUARDED_BY(mu_);
+  /// Records [0, stable_) survive a crash.
+  size_t stable_ SEMCC_GUARDED_BY(mu_) = 0;
+  uint64_t stable_bytes_ SEMCC_GUARDED_BY(mu_) = 0;
+  uint64_t flushes_ SEMCC_GUARDED_BY(mu_) = 0;
   std::atomic<Lsn> next_lsn_{1};
 };
 

@@ -17,7 +17,7 @@ BufferPool::BufferPool(size_t pool_size, DiskManager* disk) : disk_(disk) {
 BufferPool::~BufferPool() { FlushAll(); }
 
 Result<size_t> BufferPool::Pin(PageId id, bool* hit) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     const size_t idx = it->second;
@@ -62,7 +62,7 @@ Result<size_t> BufferPool::Pin(PageId id, bool* hit) {
 }
 
 void BufferPool::Unpin(size_t frame_idx, bool dirty) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   Frame* f = frames_[frame_idx].get();
   SEMCC_CHECK(f->pin_count > 0);
   if (dirty) f->dirty = true;
@@ -98,7 +98,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   for (auto& [id, idx] : page_table_) {
     Frame* f = frames_[idx].get();
     if (f->dirty) {

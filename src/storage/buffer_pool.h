@@ -7,12 +7,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/disk_manager.h"
 #include "storage/page.h"
+#include "util/annotations.h"
 #include "util/macros.h"
 #include "util/result.h"
 
@@ -55,20 +55,24 @@ class BufferPool {
     bool dirty = false;
   };
 
-  void Unpin(size_t frame_idx, bool dirty);
+  void Unpin(size_t frame_idx, bool dirty) SEMCC_EXCLUDES(mu_);
 
   /// Find a frame for `id`: hit, free frame, or LRU eviction. Returns the
   /// frame index with pin_count already incremented. Caller must load/init
   /// the page if `*loaded` is false.
-  Result<size_t> Pin(PageId id, bool* hit);
+  Result<size_t> Pin(PageId id, bool* hit) SEMCC_EXCLUDES(mu_);
 
   DiskManager* const disk_;
-  std::mutex mu_;
+  Mutex mu_;
+  /// Frame slots are allocated once in the constructor; mu_ guards the
+  /// bookkeeping fields inside each Frame, not the vector itself.
   std::vector<std::unique_ptr<Frame>> frames_;
-  std::unordered_map<PageId, size_t> page_table_;
-  std::list<size_t> lru_;  // front = most recent; only unpinned frames listed
-  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
-  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> page_table_ SEMCC_GUARDED_BY(mu_);
+  /// front = most recent; only unpinned frames listed
+  std::list<size_t> lru_ SEMCC_GUARDED_BY(mu_);
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_
+      SEMCC_GUARDED_BY(mu_);
+  std::vector<size_t> free_frames_ SEMCC_GUARDED_BY(mu_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
 };

@@ -10,7 +10,7 @@ DiskManager::DiskManager(uint32_t simulated_io_micros)
     : simulated_io_micros_(simulated_io_micros) {}
 
 PageId DiskManager::AllocatePage() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   const PageId id = next_page_id_.fetch_add(1);
   image_.push_back(std::make_unique<char[]>(kPageSize));
   std::memset(image_.back().get(), 0, kPageSize);
@@ -20,7 +20,7 @@ PageId DiskManager::AllocatePage() {
 Status DiskManager::ReadPage(PageId id, char* out) {
   char* src = nullptr;
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     if (id >= image_.size()) return Status::NotFound("page beyond disk image");
     src = image_[id].get();
   }
@@ -33,7 +33,7 @@ Status DiskManager::ReadPage(PageId id, char* out) {
 Status DiskManager::WritePage(PageId id, const char* data) {
   char* dst = nullptr;
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     if (id >= image_.size()) return Status::NotFound("page beyond disk image");
     dst = image_[id].get();
   }

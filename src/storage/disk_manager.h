@@ -11,10 +11,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "storage/page.h"
+#include "util/annotations.h"
 #include "util/macros.h"
 #include "util/status.h"
 
@@ -48,8 +48,8 @@ class DiskManager {
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
 
-  std::mutex mu_;  // protects image_ growth; page slots are stable pointers
-  std::vector<std::unique_ptr<char[]>> image_;
+  Mutex mu_;  // protects image_ growth; page slots are stable pointers
+  std::vector<std::unique_ptr<char[]>> image_ SEMCC_GUARDED_BY(mu_);
 };
 
 }  // namespace semcc

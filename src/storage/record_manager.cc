@@ -81,7 +81,7 @@ std::string Rid::ToString() const {
 RecordManager::RecordManager(BufferPool* pool) : pool_(pool) {}
 
 Result<Rid> RecordManager::InsertWrapped(std::string_view wrapped) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (current_page_ == kInvalidPageId) {
       SEMCC_ASSIGN_OR_RETURN(PageGuard page, pool_->NewPage());
@@ -111,7 +111,7 @@ Result<Rid> RecordManager::InsertWrapped(std::string_view wrapped) {
 
 Result<Rid> RecordManager::Insert(std::string_view record) {
   SEMCC_ASSIGN_OR_RETURN(Rid rid, InsertWrapped(WrapData(record)));
-  ++num_inserts_;
+  num_inserts_.fetch_add(1, std::memory_order_relaxed);
   return rid;
 }
 

@@ -6,13 +6,14 @@
 #ifndef SEMCC_STORAGE_RECORD_MANAGER_H_
 #define SEMCC_STORAGE_RECORD_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "storage/buffer_pool.h"
+#include "util/annotations.h"
 #include "util/macros.h"
 #include "util/result.h"
 
@@ -53,18 +54,20 @@ class RecordManager {
   Status Update(const Rid& rid, std::string_view record);
   Status Delete(const Rid& rid);
 
-  uint64_t num_inserts() const { return num_inserts_; }
+  uint64_t num_inserts() const {
+    return num_inserts_.load(std::memory_order_relaxed);
+  }
 
  private:
-  Result<Rid> InsertWrapped(std::string_view wrapped);
+  Result<Rid> InsertWrapped(std::string_view wrapped) SEMCC_EXCLUDES(mu_);
   Result<std::string> ReadRaw(const Rid& rid);
   Result<Rid> ResolveTerminal(const Rid& rid, std::string* raw);
   Status UpdateInPage(const Rid& rid, std::string_view wrapped);
 
   BufferPool* const pool_;
-  std::mutex mu_;  // serializes the choice of insertion target page
-  PageId current_page_ = kInvalidPageId;
-  uint64_t num_inserts_ = 0;
+  Mutex mu_;  // serializes the choice of insertion target page
+  PageId current_page_ SEMCC_GUARDED_BY(mu_) = kInvalidPageId;
+  std::atomic<uint64_t> num_inserts_{0};
 };
 
 }  // namespace semcc

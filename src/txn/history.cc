@@ -43,22 +43,22 @@ void HistoryRecorder::RecordTree(TxnTree* tree, bool committed) {
     a.compensation = node->compensation();
     rec.actions.push_back(std::move(a));
   }
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   txns_.push_back(std::move(rec));
 }
 
 std::vector<TxnRecord> HistoryRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return txns_;
 }
 
 size_t HistoryRecorder::size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return txns_.size();
 }
 
 void HistoryRecorder::Clear() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   txns_.clear();
 }
 

@@ -4,11 +4,11 @@
 #define SEMCC_TXN_HISTORY_H_
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cc/subtxn.h"
+#include "util/annotations.h"
 #include "util/macros.h"
 
 namespace semcc {
@@ -61,8 +61,8 @@ class HistoryRecorder {
 
  private:
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mu_;
-  std::vector<TxnRecord> txns_;
+  mutable Mutex mu_;
+  std::vector<TxnRecord> txns_ SEMCC_GUARDED_BY(mu_);
 };
 
 /// Render a finished transaction tree as an indented trace (used by the

@@ -12,7 +12,7 @@ Status MethodRegistry::Register(MethodDef def) {
         "committed subtransactions; physical undo would wipe out commuting "
         "updates of other transactions)");
   }
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto key = std::make_pair(def.type, def.name);
   if (methods_.count(key) > 0) {
     return Status::AlreadyExists("method already registered: " + def.name);
@@ -23,7 +23,7 @@ Status MethodRegistry::Register(MethodDef def) {
 
 Result<const MethodDef*> MethodRegistry::Find(TypeId type,
                                               const std::string& name) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = methods_.find(std::make_pair(type, name));
   if (it == methods_.end()) {
     return Status::NotFound("no method " + name + " on type " +
@@ -33,12 +33,12 @@ Result<const MethodDef*> MethodRegistry::Find(TypeId type,
 }
 
 bool MethodRegistry::Has(TypeId type, const std::string& name) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return methods_.count(std::make_pair(type, name)) > 0;
 }
 
 std::vector<std::string> MethodRegistry::MethodsOf(TypeId type) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   std::vector<std::string> out;
   for (const auto& [key, def] : methods_) {
     if (key.first == type) out.push_back(key.second);

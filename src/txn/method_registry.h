@@ -10,13 +10,13 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "object/oid.h"
 #include "object/value.h"
+#include "util/annotations.h"
 #include "util/macros.h"
 #include "util/result.h"
 
@@ -52,8 +52,9 @@ class MethodRegistry {
   std::vector<std::string> MethodsOf(TypeId type) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::pair<TypeId, std::string>, MethodDef> methods_;
+  mutable Mutex mu_;
+  std::map<std::pair<TypeId, std::string>, MethodDef> methods_
+      SEMCC_GUARDED_BY(mu_);
 };
 
 }  // namespace semcc

@@ -27,7 +27,7 @@ uint64_t Histogram::BucketUpperBound(int bucket) {
 }
 
 void Histogram::Add(uint64_t value) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   buckets_[BucketFor(value)]++;
   if (count_ == 0 || value < min_) min_ = value;
   if (count_ == 0 || value > max_) max_ = value;
@@ -36,44 +36,59 @@ void Histogram::Add(uint64_t value) {
 }
 
 void Histogram::Merge(const Histogram& other) {
-  std::scoped_lock guard(mu_, other.mu_);
-  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
-  if (other.count_ > 0) {
-    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
-    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  // Snapshot `other` under its own lock, then fold the copy in under ours.
+  // Locking the two mutexes one at a time (instead of together) keeps the
+  // lock-order graph trivially acyclic and lets the thread-safety analysis
+  // verify both scopes; Merge is not atomic with respect to concurrent Adds
+  // on `other`, which no caller relies on (it is a post-run aggregation).
+  std::vector<uint64_t> other_buckets;
+  uint64_t other_count, other_sum, other_min, other_max;
+  {
+    MutexLock guard(other.mu_);
+    other_buckets = other.buckets_;
+    other_count = other.count_;
+    other_sum = other.sum_;
+    other_min = other.min_;
+    other_max = other.max_;
   }
-  count_ += other.count_;
-  sum_ += other.sum_;
+  MutexLock guard(mu_);
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other_buckets[i];
+  if (other_count > 0) {
+    if (count_ == 0 || other_min < min_) min_ = other_min;
+    if (count_ == 0 || other_max > max_) max_ = other_max;
+  }
+  count_ += other_count;
+  sum_ += other_sum;
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = sum_ = min_ = max_ = 0;
 }
 
 uint64_t Histogram::count() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return count_;
 }
 
 double Histogram::mean() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
 uint64_t Histogram::min() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return min_;
 }
 
 uint64_t Histogram::max() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return max_;
 }
 
 uint64_t Histogram::Percentile(double p) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (count_ == 0) return 0;
   uint64_t threshold =
       static_cast<uint64_t>(static_cast<double>(count_) * p / 100.0);

@@ -3,9 +3,10 @@
 #define SEMCC_UTIL_HISTOGRAM_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/annotations.h"
 
 namespace semcc {
 
@@ -36,12 +37,12 @@ class Histogram {
   static int BucketFor(uint64_t value);
   static uint64_t BucketUpperBound(int bucket);
 
-  mutable std::mutex mu_;
-  std::vector<uint64_t> buckets_;
-  uint64_t count_ = 0;
-  uint64_t sum_ = 0;
-  uint64_t min_ = 0;
-  uint64_t max_ = 0;
+  mutable Mutex mu_;
+  std::vector<uint64_t> buckets_ SEMCC_GUARDED_BY(mu_);
+  uint64_t count_ SEMCC_GUARDED_BY(mu_) = 0;
+  uint64_t sum_ SEMCC_GUARDED_BY(mu_) = 0;
+  uint64_t min_ SEMCC_GUARDED_BY(mu_) = 0;
+  uint64_t max_ SEMCC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace semcc

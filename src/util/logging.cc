@@ -1,13 +1,14 @@
 #include "util/logging.h"
 
 #include <atomic>
-#include <mutex>
+
+#include "util/annotations.h"
 
 namespace semcc {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;  // serializes writes to stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -52,7 +53,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::lock_guard<std::mutex> guard(g_log_mutex);
+    MutexLock guard(g_log_mutex);
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
     std::fflush(stderr);
   }

@@ -1,14 +1,16 @@
 // Synchronization helpers: semaphore, count-down latch, and a scripted
 // schedule used by scenario tests to force the paper's exact interleavings.
+//
+// All three are built on the annotated semcc::Mutex/CondVar so that a clang
+// -Werror=thread-safety build verifies their locking discipline.
 #ifndef SEMCC_UTIL_SYNC_H_
 #define SEMCC_UTIL_SYNC_H_
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <set>
 #include <string>
 
+#include "util/annotations.h"
 #include "util/macros.h"
 
 namespace semcc {
@@ -20,33 +22,39 @@ class Semaphore {
   explicit Semaphore(int initial = 0) : count_(initial) {}
   SEMCC_DISALLOW_COPY_AND_ASSIGN(Semaphore);
 
-  void Post(int n = 1) {
-    std::lock_guard<std::mutex> guard(mu_);
+  void Post(int n = 1) SEMCC_EXCLUDES(mu_) {
+    MutexLock guard(mu_);
     count_ += n;
     if (n == 1) {
-      cv_.notify_one();
+      cv_.NotifyOne();
     } else {
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
   }
 
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return count_ > 0; });
+  void Wait() SEMCC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (count_ <= 0) cv_.Wait(lock);
     --count_;
   }
 
-  bool WaitFor(std::chrono::milliseconds timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!cv_.wait_for(lock, timeout, [&] { return count_ > 0; })) return false;
+  bool WaitFor(std::chrono::milliseconds timeout) SEMCC_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (count_ <= 0) {
+      if (cv_.WaitUntil(lock, deadline) == std::cv_status::timeout &&
+          count_ <= 0) {
+        return false;
+      }
+    }
     --count_;
     return true;
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int count_;
+  Mutex mu_;
+  CondVar cv_;
+  int count_ SEMCC_GUARDED_BY(mu_);
 };
 
 /// \brief One-shot count-down latch.
@@ -55,20 +63,20 @@ class CountDownLatch {
   explicit CountDownLatch(int count) : count_(count) {}
   SEMCC_DISALLOW_COPY_AND_ASSIGN(CountDownLatch);
 
-  void CountDown() {
-    std::lock_guard<std::mutex> guard(mu_);
-    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  void CountDown() SEMCC_EXCLUDES(mu_) {
+    MutexLock guard(mu_);
+    if (count_ > 0 && --count_ == 0) cv_.NotifyAll();
   }
 
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return count_ == 0; });
+  void Wait() SEMCC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (count_ != 0) cv_.Wait(lock);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int count_;
+  Mutex mu_;
+  CondVar cv_;
+  int count_ SEMCC_GUARDED_BY(mu_);
 };
 
 /// \brief A set of named events used to script multi-thread interleavings.
@@ -82,28 +90,34 @@ class ScriptedSchedule {
   ScriptedSchedule() = default;
   SEMCC_DISALLOW_COPY_AND_ASSIGN(ScriptedSchedule);
 
-  void Signal(const std::string& event) {
-    std::lock_guard<std::mutex> guard(mu_);
+  void Signal(const std::string& event) SEMCC_EXCLUDES(mu_) {
+    MutexLock guard(mu_);
     fired_.insert(event);
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   bool WaitFor(const std::string& event,
-               std::chrono::milliseconds timeout = std::chrono::seconds(10)) {
-    std::unique_lock<std::mutex> lock(mu_);
-    return cv_.wait_for(lock, timeout,
-                        [&] { return fired_.count(event) > 0; });
+               std::chrono::milliseconds timeout = std::chrono::seconds(10))
+      SEMCC_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (fired_.count(event) == 0) {
+      if (cv_.WaitUntil(lock, deadline) == std::cv_status::timeout) {
+        return fired_.count(event) > 0;
+      }
+    }
+    return true;
   }
 
-  bool HasFired(const std::string& event) {
-    std::lock_guard<std::mutex> guard(mu_);
+  bool HasFired(const std::string& event) SEMCC_EXCLUDES(mu_) {
+    MutexLock guard(mu_);
     return fired_.count(event) > 0;
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::set<std::string> fired_;
+  Mutex mu_;
+  CondVar cv_;
+  std::set<std::string> fired_ SEMCC_GUARDED_BY(mu_);
 };
 
 }  // namespace semcc

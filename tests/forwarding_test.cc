@@ -117,7 +117,11 @@ TEST(WalConcurrency, FlushRacesWithAppends) {
   WriteAheadLog wal;
   std::atomic<bool> stop{false};
   std::thread appender([&]() {
-    while (!stop.load()) {
+    // Bounded producer: an unthrottled append loop can outrun the flush
+    // loop indefinitely on a loaded single-core machine (StableRecords
+    // decodes everything stable, so the log must stay bounded for the test
+    // to terminate). 200k appends still overlap all 200 flushes.
+    for (int i = 0; i < 200000 && !stop.load(); ++i) {
       LogRecord rec;
       rec.type = LogType::kTxnBegin;
       wal.Append(rec);

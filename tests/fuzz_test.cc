@@ -10,6 +10,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
 #include "storage/record_manager.h"
+#include "test_env.h"
 #include "util/random.h"
 
 namespace semcc {
@@ -24,7 +25,8 @@ TEST_P(SeededFuzz, PageMatchesReferenceModel) {
   Page page;
   page.Reset(1);
   std::map<uint16_t, std::string> model;
-  for (int step = 0; step < 4000; ++step) {
+  const int steps = test_env::IterCount("SEMCC_FUZZ_ITERS", 4000);
+  for (int step = 0; step < steps; ++step) {
     const uint64_t op = rng.Uniform(100);
     if (op < 40) {  // insert
       std::string rec(rng.Uniform(120) + 1, static_cast<char>('a' + rng.Uniform(26)));
@@ -76,7 +78,8 @@ TEST_P(SeededFuzz, RecordManagerMatchesReferenceModel) {
   RecordManager rm(&pool);
   std::map<std::string, std::string> model;  // key = rid string
   std::map<std::string, Rid> rids;
-  for (int step = 0; step < 3000; ++step) {
+  const int steps = test_env::IterCount("SEMCC_FUZZ_ITERS", 3000);
+  for (int step = 0; step < steps; ++step) {
     const uint64_t op = rng.Uniform(100);
     if (op < 45) {
       std::string rec = "v" + std::to_string(rng.Next() % 100000);
@@ -119,7 +122,8 @@ TEST_P(SeededFuzz, SetOperationsMatchReferenceModel) {
   TypeId bag = schema.DefineSetType("Bag", num, "k").ValueOrDie();
   Oid set = store.CreateSet(bag).ValueOrDie();
   std::map<int64_t, Oid> model;
-  for (int step = 0; step < 3000; ++step) {
+  const int steps = test_env::IterCount("SEMCC_FUZZ_ITERS", 3000);
+  for (int step = 0; step < steps; ++step) {
     const int64_t key = static_cast<int64_t>(rng.Uniform(64));
     const uint64_t op = rng.Uniform(100);
     if (op < 40) {
@@ -164,7 +168,8 @@ TEST_P(SeededFuzz, SetOperationsMatchReferenceModel) {
 
 TEST_P(SeededFuzz, ValueCodecRoundTripsRandomValues) {
   Random rng(GetParam() ^ 0xc0dec);
-  for (int i = 0; i < 2000; ++i) {
+  const int steps = test_env::IterCount("SEMCC_FUZZ_ITERS", 2000);
+  for (int i = 0; i < steps; ++i) {
     Value v;
     switch (rng.Uniform(6)) {
       case 0:

@@ -89,8 +89,10 @@ class WorkloadProperty : public ::testing::TestWithParam<ProtocolParam> {
       // (3) Status bits: shipped/paid set iff some committed transaction
       //     shipped/paid that order (bits are monotone; pre-loaded bits are
       //     accounted via the initial scan below).
-      for (const auto& [key, order_oid] :
-           db->store()->SetScan(orders).ValueOrDie()) {
+      // Materialize the scan: iterating `SetScan(...).ValueOrDie()` directly
+      // dangles in C++20 — the temporary Result dies before the loop body.
+      const auto scan = db->store()->SetScan(orders).ValueOrDie();
+      for (const auto& [key, order_oid] : scan) {
         const int64_t status = ReadStatusRaw(db.get(), order_oid).ValueOrDie();
         const auto k = std::make_pair(item, key.AsInt());
         if (ships.count(k) > 0) {

@@ -9,6 +9,7 @@
 #include "app/orderentry/workload.h"
 #include "core/database.h"
 #include "core/serializability.h"
+#include "test_env.h"
 #include "util/sync.h"
 
 namespace semcc {
@@ -110,9 +111,10 @@ TEST(FcfsStress, WritersAndReadersAllComplete) {
   Oid atom = db.store()->CreateAtomic(num, Value(int64_t{0})).ValueOrDie();
   std::atomic<int> failures{0};
   std::vector<std::thread> threads;
+  const int iters = test_env::IterCount("SEMCC_STRESS_ITERS", 100);
   for (int w = 0; w < 4; ++w) {
     threads.emplace_back([&]() {
-      for (int i = 0; i < 100; ++i) {
+      for (int i = 0; i < iters; ++i) {
         auto r = db.RunTransaction("w", [&](TxnCtx& ctx) -> Result<Value> {
           SEMCC_ASSIGN_OR_RETURN(Value v, ctx.Get(atom));
           SEMCC_RETURN_NOT_OK(ctx.Put(atom, Value(v.AsInt() + 1)));
@@ -124,7 +126,7 @@ TEST(FcfsStress, WritersAndReadersAllComplete) {
   }
   for (int rdr = 0; rdr < 4; ++rdr) {
     threads.emplace_back([&]() {
-      for (int i = 0; i < 100; ++i) {
+      for (int i = 0; i < iters; ++i) {
         auto r = db.RunTransaction("r", [&](TxnCtx& ctx) {
           return ctx.Get(atom);
         });
@@ -136,7 +138,7 @@ TEST(FcfsStress, WritersAndReadersAllComplete) {
   EXPECT_EQ(failures.load(), 0);
   // No lost updates despite the read-then-write upgrade pattern (deadlock
   // victims retried by Run()).
-  EXPECT_EQ(db.store()->Get(atom).ValueOrDie().AsInt(), 400);
+  EXPECT_EQ(db.store()->Get(atom).ValueOrDie().AsInt(), 4 * iters);
   EXPECT_EQ(db.locks()->stats().timeouts.load(), 0u);
 }
 
@@ -175,8 +177,10 @@ TEST(LongRun, MixedWorkloadThousandsOfTxns) {
   wopts.seed = 31337;
   orderentry::OrderEntryWorkload workload(&db, types, wopts);
   ASSERT_TRUE(workload.Setup().ok());
-  auto result = workload.Run(8, 250);
-  EXPECT_GT(result.committed, 1900u);
+  const int txns = test_env::IterCount("SEMCC_STRESS_ITERS", 250);
+  auto result = workload.Run(8, txns);
+  // RunTransactionOnce-style failures are rare; expect ~95%+ commits.
+  EXPECT_GT(result.committed, static_cast<uint64_t>(8 * txns) * 95 / 100);
   EXPECT_EQ(db.locks()->stats().timeouts.load(), 0u);
   EXPECT_EQ(db.locks()->NumWaiters(), 0u);  // nothing stuck
   SemanticSerializabilityChecker checker(db.compat());

@@ -1,0 +1,28 @@
+// Environment-tunable iteration counts for the long-running tests.
+//
+// Sanitizer builds run 10-20x slower than native; rather than letting the
+// stress/fuzz tests time out there, CI sets SEMCC_STRESS_ITERS /
+// SEMCC_FUZZ_ITERS to shrink the workloads while exercising the same code
+// paths. Unset (the default everywhere else) keeps the full counts, and all
+// count-derived assertions scale with the override.
+#ifndef SEMCC_TESTS_TEST_ENV_H_
+#define SEMCC_TESTS_TEST_ENV_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace semcc {
+namespace test_env {
+
+/// The value of env var `name` if set to a positive integer, else `def`.
+inline int IterCount(const char* name, int def) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return def;
+  const int v = std::atoi(raw);
+  return v > 0 ? v : def;
+}
+
+}  // namespace test_env
+}  // namespace semcc
+
+#endif  // SEMCC_TESTS_TEST_ENV_H_
