@@ -3,6 +3,7 @@
 #define SEMCC_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -77,7 +78,86 @@ struct RunSummary {
   uint64_t case2 = 0;
   uint64_t deadlocks = 0;
   uint64_t retries = 0;
+  uint64_t wait_p50_us = 0;
   uint64_t wait_p95_us = 0;
+  uint64_t wait_p99_us = 0;
+};
+
+/// Per-thread transaction count, overridable via SEMCC_BENCH_TXNS (the CI
+/// perf-smoke leg shortens the runs this way).
+inline int TxnsPerThread(int default_count) {
+  const char* env = std::getenv("SEMCC_BENCH_TXNS");
+  if (env != nullptr && env[0] != '\0') {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return default_count;
+}
+
+/// Machine-readable result sink: when `--json=<path>` is passed or
+/// SEMCC_BENCH_JSON is set, every recorded row is written as one object of
+/// a JSON array at that path (see scripts/run_bench.sh, which tracks the
+/// repo's perf trajectory in the committed BENCH_*.json files). Disabled —
+/// zero-cost — otherwise.
+class JsonSink {
+ public:
+  JsonSink(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--json=", 0) == 0) path_ = arg.substr(7);
+    }
+    if (path_.empty()) {
+      const char* env = std::getenv("SEMCC_BENCH_JSON");
+      if (env != nullptr && env[0] != '\0') path_ = env;
+    }
+  }
+  ~JsonSink() { Flush(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// `label` distinguishes sweep points sharing a protocol name (e.g.
+  /// "theta=0.90"); keep it free of JSON-significant characters.
+  void Add(const RunSummary& s, const std::string& label = "") {
+    if (!enabled()) return;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  {\"protocol\": \"%s\", \"label\": \"%s\", \"threads\": %d, "
+        "\"throughput_tps\": %.2f, \"committed\": %llu, \"failed\": %llu, "
+        "\"blocked\": %llu, \"deadlocks\": %llu, \"retries\": %llu, "
+        "\"wait_p50_us\": %llu, \"wait_p95_us\": %llu, \"wait_p99_us\": %llu}",
+        s.protocol.c_str(), label.c_str(), s.threads, s.tps,
+        static_cast<unsigned long long>(s.committed),
+        static_cast<unsigned long long>(s.failed),
+        static_cast<unsigned long long>(s.blocked),
+        static_cast<unsigned long long>(s.deadlocks),
+        static_cast<unsigned long long>(s.retries),
+        static_cast<unsigned long long>(s.wait_p50_us),
+        static_cast<unsigned long long>(s.wait_p95_us),
+        static_cast<unsigned long long>(s.wait_p99_us));
+    rows_.push_back(buf);
+  }
+
+  void Flush() {
+    if (!enabled() || rows_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    rows_.clear();
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> rows_;
 };
 
 /// Build a fresh database + workload for one configuration and run it.
@@ -110,7 +190,9 @@ inline RunSummary RunWorkload(const ProtocolConfig& proto,
   s.case2 = db.locks()->stats().case2_waits.load();
   s.deadlocks = db.locks()->stats().deadlocks.load();
   s.retries = db.txns()->stats().retries.load();
+  s.wait_p50_us = db.locks()->stats().wait_micros.Percentile(50);
   s.wait_p95_us = db.locks()->stats().wait_micros.Percentile(95);
+  s.wait_p99_us = db.locks()->stats().wait_micros.Percentile(99);
   return s;
 }
 

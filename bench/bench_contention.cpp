@@ -8,7 +8,9 @@
 using namespace semcc;
 using namespace semcc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonSink json(argc, argv);
+  const int txns = TxnsPerThread(100);
   std::printf("== Contention sweep: skew (8 threads, 16 items, 1 ms think) ==\n\n");
   for (double theta : {0.0, 0.6, 0.9, 0.99}) {
     std::printf("--- zipf theta = %.2f ---\n", theta);
@@ -22,7 +24,11 @@ int main() {
       wopts.zipf_theta = theta;
       wopts.think_micros = 1000;
       wopts.seed = 2;
-      PrintRow(RunWorkload(proto, wopts, 8, 100));
+      RunSummary s = RunWorkload(proto, wopts, 8, txns);
+      PrintRow(s);
+      char label[32];
+      std::snprintf(label, sizeof(label), "theta=%.2f", theta);
+      json.Add(s, label);
     }
     std::printf("\n");
   }
@@ -41,7 +47,11 @@ int main() {
       wopts.zipf_theta = 0.9;
       wopts.think_micros = 1000;
       wopts.seed = 3;
-      PrintRow(RunWorkload(proto, wopts, 8, 100));
+      RunSummary s = RunWorkload(proto, wopts, 8, txns);
+      PrintRow(s);
+      char label[32];
+      std::snprintf(label, sizeof(label), "items=%d", items);
+      json.Add(s, label);
     }
     std::printf("\n");
   }

@@ -12,7 +12,9 @@
 using namespace semcc;
 using namespace semcc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonSink json(argc, argv);
+  const int txns = TxnsPerThread(120);
   std::printf("== Throughput vs. concurrency (order-entry mix, 8 items, "
               "zipf 0.8, 2 ms think time) ==\n\n");
   orderentry::WorkloadOptions wopts;
@@ -27,8 +29,9 @@ int main() {
   PrintHeader();
   for (const ProtocolConfig& proto : AllProtocols()) {
     for (int threads : {1, 2, 4, 8, 16}) {
-      RunSummary s = RunWorkload(proto, wopts, threads, 120);
+      RunSummary s = RunWorkload(proto, wopts, threads, txns);
       PrintRow(s);
+      json.Add(s);
     }
     std::printf("\n");
   }

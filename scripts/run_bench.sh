@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Run the experiment benches and write the machine-readable perf-trajectory
+# files BENCH_throughput.json and BENCH_contention.json at the repo root.
+#
+# Usage:
+#   scripts/run_bench.sh [build-dir]
+#
+# Environment:
+#   SEMCC_BENCH_TXNS   shorten runs (per-thread transaction count); used by
+#                      the CI perf-smoke leg.
+#
+# The build directory must be a Release build (cmake -DCMAKE_BUILD_TYPE=Release)
+# or the numbers are meaningless.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${BUILD_DIR:-$repo_root/build-rel}}"
+
+for bench in bench_throughput bench_contention; do
+  if [[ ! -x "$build_dir/bench/$bench" ]]; then
+    echo "error: $build_dir/bench/$bench not found (build with" >&2
+    echo "  cmake -B $build_dir -S $repo_root -DCMAKE_BUILD_TYPE=Release" >&2
+    echo "  cmake --build $build_dir -j)" >&2
+    exit 1
+  fi
+done
+
+"$build_dir/bench/bench_throughput" --json="$repo_root/BENCH_throughput.json"
+"$build_dir/bench/bench_contention" --json="$repo_root/BENCH_contention.json"
+
+echo
+echo "wrote $repo_root/BENCH_throughput.json"
+echo "wrote $repo_root/BENCH_contention.json"

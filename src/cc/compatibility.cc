@@ -21,6 +21,7 @@ PairKey MakeKey(const std::string& m1, const std::string& m2, bool* swapped) {
 
 void CompatibilityRegistry::DeclareMethod(TypeId type,
                                           const std::string& method) {
+  MethodInterner::Global().Intern(method);
   WriterMutexLock guard(mu_);
   auto& list = methods_[type];
   if (std::find(list.begin(), list.end(), method) == list.end()) {
@@ -37,6 +38,7 @@ void CompatibilityRegistry::Define(TypeId type, const std::string& m1,
   e.is_predicate = false;
   e.compatible = compatible;
   table_[type][key] = std::move(e);
+  Recompile();
 }
 
 void CompatibilityRegistry::DefinePredicate(TypeId type, const std::string& m1,
@@ -50,6 +52,62 @@ void CompatibilityRegistry::DefinePredicate(TypeId type, const std::string& m1,
   e.pred = std::move(pred);
   e.swapped = swapped;
   table_[type][key] = std::move(e);
+  Recompile();
+}
+
+void CompatibilityRegistry::Recompile() {
+  auto compiled = std::make_unique<Compiled>();
+  MethodInterner& interner = MethodInterner::Global();
+  for (const auto& [type, entries] : table_) {
+    Compiled::TypeTable table;
+    // Every registered name is interned here (cold path), so the table
+    // covers all ids the conflict test can ever present for this type;
+    // names interned later read kUnknown via the dim bound check.
+    for (const auto& [key, entry] : entries) {
+      interner.Intern(key.first);
+      interner.Intern(key.second);
+    }
+    table.dim = static_cast<uint32_t>(interner.size());
+    table.cells.assign(static_cast<size_t>(table.dim) * table.dim,
+                       static_cast<uint8_t>(kUnknown));
+    for (const auto& [key, entry] : entries) {
+      const MethodId a = interner.Lookup(key.first);
+      const MethodId b = interner.Lookup(key.second);
+      SEMCC_CHECK(a != kInvalidMethodId && b != kInvalidMethodId);
+      const Cell cell = entry.is_predicate
+                            ? kPredicate
+                            : (entry.compatible ? kCompatible : kConflict);
+      table.cells[static_cast<size_t>(a) * table.dim + b] =
+          static_cast<uint8_t>(cell);
+      table.cells[static_cast<size_t>(b) * table.dim + a] =
+          static_cast<uint8_t>(cell);
+      if (entry.is_predicate) {
+        // (a, b) is the canonical (sorted) key; entry.swapped says whether
+        // the registration order was reversed relative to it. Store both
+        // query directions with the arg order pre-resolved so the lookup
+        // does no canonicalization: querying in registration order hands
+        // args through unchanged.
+        PredRef fwd;  // query (a, b): a1 belongs to canonical-first method
+        fwd.pred = entry.pred;
+        fwd.args_in_order = !entry.swapped;
+        PredRef rev;  // query (b, a)
+        rev.pred = entry.pred;
+        rev.args_in_order = entry.swapped;
+        table.preds.emplace(std::make_pair(a, b), std::move(fwd));
+        if (a != b) table.preds.emplace(std::make_pair(b, a), std::move(rev));
+      }
+    }
+    if (type <= kMaxDenseTypeId) {
+      if (compiled->dense_types.size() <= type) {
+        compiled->dense_types.resize(type + 1);
+      }
+      compiled->dense_types[type] = std::move(table);
+    } else {
+      compiled->overflow_types.emplace(type, std::move(table));
+    }
+  }
+  compiled_.store(compiled.get(), std::memory_order_release);
+  snapshots_.push_back(std::move(compiled));
 }
 
 const CompatibilityRegistry::Entry* CompatibilityRegistry::FindEntry(
@@ -63,22 +121,26 @@ const CompatibilityRegistry::Entry* CompatibilityRegistry::FindEntry(
   return &eit->second;
 }
 
-bool CompatibilityRegistry::Commute(TypeId type, const std::string& m1,
-                                    const Args& a1, const std::string& m2,
-                                    const Args& a2) const {
-  {
-    ReaderMutexLock guard(mu_);
-    bool swapped = false;
-    const Entry* e = FindEntry(type, m1, m2, &swapped);
-    if (e != nullptr) {
-      if (!e->is_predicate) return e->compatible;
-      // The predicate was registered for (m1', m2') in canonical order with
-      // e->swapped recording whether the registration order was reversed.
-      // Normalize the query the same way so the predicate always sees the
-      // args of its first registered method first.
-      const bool query_swapped = swapped;
-      const bool give_a1_first = (query_swapped == e->swapped);
-      return give_a1_first ? e->pred(a1, a2) : e->pred(a2, a1);
+bool CompatibilityRegistry::Commute(TypeId type, MethodId m1, const Args& a1,
+                                    MethodId m2, const Args& a2) const {
+  const Compiled* compiled = compiled_.load(std::memory_order_acquire);
+  if (compiled != nullptr) {
+    const Compiled::TypeTable* table = compiled->TableFor(type);
+    if (table != nullptr) {
+      switch (table->CellAt(m1, m2)) {
+        case kCompatible:
+          return true;
+        case kConflict:
+          return false;
+        case kPredicate: {
+          auto it = table->preds.find({m1, m2});
+          SEMCC_CHECK(it != table->preds.end());
+          const PredRef& ref = it->second;
+          return ref.args_in_order ? ref.pred(a1, a2) : ref.pred(a2, a1);
+        }
+        case kUnknown:
+          break;
+      }
     }
   }
   std::optional<bool> generic = GenericCommute(m1, a1, m2, a2);
@@ -86,55 +148,61 @@ bool CompatibilityRegistry::Commute(TypeId type, const std::string& m1,
   return false;  // safe default: conflict
 }
 
-std::optional<bool> CompatibilityRegistry::GenericCommute(const std::string& m1,
-                                                          const Args& a1,
-                                                          const std::string& m2,
-                                                          const Args& a2) {
-  using namespace generic_ops;
-  auto is = [](const std::string& m, const char* name) { return m == name; };
-  auto key_of = [](const Args& a) -> const Value* {
-    return a.empty() ? nullptr : &a[0];
-  };
-  auto keys_differ = [&](const Args& x, const Args& y) {
-    const Value* kx = key_of(x);
-    const Value* ky = key_of(y);
-    if (kx == nullptr || ky == nullptr) return false;  // unknown: assume clash
-    return !(*kx == *ky);
-  };
+bool CompatibilityRegistry::Commute(TypeId type, const std::string& m1,
+                                    const Args& a1, const std::string& m2,
+                                    const Args& a2) const {
+  MethodInterner& interner = MethodInterner::Global();
+  return Commute(type, interner.Intern(m1), a1, interner.Intern(m2), a2);
+}
 
-  const bool m1_generic = is(m1, kGet) || is(m1, kPut) || is(m1, kInsert) ||
-                          is(m1, kRemove) || is(m1, kSelect) || is(m1, kScan) ||
-                          is(m1, kSize);
-  const bool m2_generic = is(m2, kGet) || is(m2, kPut) || is(m2, kInsert) ||
-                          is(m2, kRemove) || is(m2, kSelect) || is(m2, kScan) ||
-                          is(m2, kSize);
-  if (!m1_generic || !m2_generic) return std::nullopt;
+std::optional<bool> CompatibilityRegistry::GenericCommute(MethodId m1,
+                                                          const Args& a1,
+                                                          MethodId m2,
+                                                          const Args& a2) {
+  using namespace generic_ids;
+  if (m1 >= kNumGenericOps || m2 >= kNumGenericOps) return std::nullopt;
+
+  auto keys_differ = [](const Args& x, const Args& y) {
+    if (x.empty() || y.empty()) return false;  // unknown: assume clash
+    return !(x[0] == y[0]);
+  };
 
   // Atomic objects: only Get/Get commutes.
-  if (is(m1, kGet) && is(m2, kGet)) return true;
-  if ((is(m1, kGet) || is(m1, kPut)) && (is(m2, kGet) || is(m2, kPut))) {
-    return false;
-  }
-  if (is(m1, kGet) || is(m1, kPut) || is(m2, kGet) || is(m2, kPut)) {
+  if (m1 == kGet && m2 == kGet) return true;
+  const bool m1_atomic = (m1 == kGet || m1 == kPut);
+  const bool m2_atomic = (m2 == kGet || m2 == kPut);
+  if (m1_atomic && m2_atomic) return false;
+  if (m1_atomic || m2_atomic) {
     return false;  // atomic op vs set op: nonsensical pairing, be safe
   }
 
   // Set objects.
-  const bool m1_read = is(m1, kSelect) || is(m1, kScan) || is(m1, kSize);
-  const bool m2_read = is(m2, kSelect) || is(m2, kScan) || is(m2, kSize);
+  const bool m1_read = (m1 == kSelect || m1 == kScan || m1 == kSize);
+  const bool m2_read = (m2 == kSelect || m2 == kScan || m2 == kSize);
   if (m1_read && m2_read) return true;
   // One side updates (Insert/Remove).
-  const std::string& upd = m1_read ? m2 : m1;
-  const std::string& other = m1_read ? m1 : m2;
+  const MethodId other = m1_read ? m1 : m2;
   const Args& upd_args = m1_read ? a2 : a1;
   const Args& other_args = m1_read ? a1 : a2;
-  (void)upd;
-  if (is(other, kScan) || is(other, kSize)) {
+  if (other == kScan || other == kSize) {
     return false;  // membership-sensitive reads conflict with updates
   }
   // Key-addressed pairs (Insert/Remove/Select in any combination): commute
   // iff they address different keys.
   return keys_differ(upd_args, other_args);
+}
+
+std::optional<bool> CompatibilityRegistry::GenericCommute(const std::string& m1,
+                                                          const Args& a1,
+                                                          const std::string& m2,
+                                                          const Args& a2) {
+  MethodInterner& interner = MethodInterner::Global();
+  const MethodId i1 = interner.Lookup(m1);
+  const MethodId i2 = interner.Lookup(m2);
+  // Generic ops are pre-interned at fixed ids; anything unknown to the
+  // interner is certainly not generic.
+  if (i1 == kInvalidMethodId || i2 == kInvalidMethodId) return std::nullopt;
+  return GenericCommute(i1, a1, i2, a2);
 }
 
 std::vector<std::string> CompatibilityRegistry::MethodsOf(TypeId type) const {

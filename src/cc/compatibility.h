@@ -7,16 +7,28 @@
 // matrix entry or as a parameter-dependent predicate ("taking into account
 // the actual input parameters of operations"), e.g. ChangeStatus(o, e1)
 // commutes with TestStatus(o, e2) iff e1 != e2 (paper Figure 3).
+//
+// Hot-path layout: every Define/DefinePredicate recompiles the registered
+// entries into an immutable snapshot of dense per-type tables indexed by
+// interned MethodId pairs (cc/method_interner.h). The id-based Commute()
+// overload — the one the lock manager's conflict test calls — is an atomic
+// snapshot-pointer load plus two indexed loads for static entries; only
+// predicate entries and the string-keyed legacy overload ever take a lock.
+// Old snapshots are kept alive until the registry dies, so readers never
+// synchronize with writers.
 #ifndef SEMCC_CC_COMPATIBILITY_H_
 #define SEMCC_CC_COMPATIBILITY_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "cc/method_interner.h"
 #include "object/oid.h"
 #include "object/value.h"
 #include "util/annotations.h"
@@ -62,13 +74,25 @@ class CompatibilityRegistry {
   void DeclareMethod(TypeId type, const std::string& method);
 
   /// Do invocations (m1, a1) and (m2, a2) on the same object of `type`
-  /// commute? Checks the per-type table first, then the built-in rules for
-  /// generic operations, else conflicts.
+  /// commute? Hot path: dense compiled tables over interned ids; static
+  /// entries never lock or hash, predicates fall back to the id-keyed
+  /// snapshot entry, unknown pairs fall through to the generic rules, else
+  /// conflict.
+  bool Commute(TypeId type, MethodId m1, const Args& a1, MethodId m2,
+               const Args& a2) const;
+
+  /// String-keyed convenience overload (tests, matrix printing, callers
+  /// without a cached id). Interns and delegates.
   bool Commute(TypeId type, const std::string& m1, const Args& a1,
                const std::string& m2, const Args& a2) const;
 
-  /// Built-in commutativity of generic operations; nullopt if (m1, m2) is
-  /// not a generic pair.
+  /// Built-in commutativity of generic operations by fixed id
+  /// (generic_ids); nullopt if (m1, m2) is not a generic pair.
+  static std::optional<bool> GenericCommute(MethodId m1, const Args& a1,
+                                            MethodId m2, const Args& a2);
+
+  /// Built-in commutativity of generic operations by name; nullopt if
+  /// (m1, m2) is not a generic pair.
   static std::optional<bool> GenericCommute(const std::string& m1,
                                             const Args& a1,
                                             const std::string& m2,
@@ -93,13 +117,68 @@ class CompatibilityRegistry {
   };
   using PairKey = std::pair<std::string, std::string>;
 
+  /// One dense cell of a compiled per-type table.
+  enum Cell : uint8_t {
+    kUnknown = 0,     ///< pair not registered: generic rules, else conflict
+    kCompatible = 1,  ///< static entry: commute
+    kConflict = 2,    ///< static entry: conflict
+    kPredicate = 3,   ///< parameter-dependent: see preds
+  };
+
+  /// A predicate reference with the argument order pre-resolved for one
+  /// query direction (the predicate contract hands the first registered
+  /// method's args first).
+  struct PredRef {
+    Predicate pred;
+    bool args_in_order;  ///< pred(a1, a2) if true, pred(a2, a1) otherwise
+  };
+
+  /// Immutable compiled snapshot of the registry.
+  struct Compiled {
+    /// Dense id-pair tables for types in [0, dense_types.size()).
+    struct TypeTable {
+      uint32_t dim = 0;                ///< interner size at compile time
+      std::vector<uint8_t> cells;      ///< dim * dim Cell values
+      /// Directional predicate refs keyed by (m1, m2) ids; consulted only
+      /// when the cell says kPredicate.
+      std::map<std::pair<MethodId, MethodId>, PredRef> preds;
+
+      Cell CellAt(MethodId m1, MethodId m2) const {
+        if (m1 >= dim || m2 >= dim) return kUnknown;
+        return static_cast<Cell>(cells[static_cast<size_t>(m1) * dim + m2]);
+      }
+    };
+    std::vector<TypeTable> dense_types;
+    /// Types whose id exceeded the dense bound (never in practice; schema
+    /// ids are sequential and small).
+    std::map<TypeId, TypeTable> overflow_types;
+
+    const TypeTable* TableFor(TypeId type) const {
+      if (type < dense_types.size()) return &dense_types[type];
+      if (overflow_types.empty()) return nullptr;
+      auto it = overflow_types.find(type);
+      return it == overflow_types.end() ? nullptr : &it->second;
+    }
+  };
+
+  /// Largest TypeId stored in the dense vector (inclusive).
+  static constexpr TypeId kMaxDenseTypeId = 4095;
+
   const Entry* FindEntry(TypeId type, const std::string& m1,
                          const std::string& m2, bool* swapped) const
       SEMCC_REQUIRES_SHARED(mu_);
 
+  /// Rebuild the compiled snapshot from table_ and publish it.
+  void Recompile() SEMCC_REQUIRES(mu_);
+
   mutable SharedMutex mu_;
   std::map<TypeId, std::map<PairKey, Entry>> table_ SEMCC_GUARDED_BY(mu_);
   std::map<TypeId, std::vector<std::string>> methods_ SEMCC_GUARDED_BY(mu_);
+
+  /// Published snapshot; old versions stay alive in snapshots_ so readers
+  /// can keep dereferencing a stale pointer without coordination.
+  std::atomic<const Compiled*> compiled_{nullptr};
+  std::vector<std::unique_ptr<Compiled>> snapshots_ SEMCC_GUARDED_BY(mu_);
 };
 
 }  // namespace semcc

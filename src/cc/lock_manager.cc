@@ -61,7 +61,34 @@ std::string LockStats::ToString() const {
 
 LockManager::LockManager(const ProtocolOptions& options,
                          CompatibilityRegistry* compat)
-    : options_(options), compat_(compat) {}
+    : options_(options), compat_(compat) {
+  int n = options.lock_table_shards;
+  if (n < 1) n = 1;
+  if (n > kMaxShards) n = kMaxShards;
+  int pow2 = 1;
+  while (pow2 < n) pow2 <<= 1;
+  shards_.reserve(pow2);
+  for (int i = 0; i < pow2; ++i) {
+    shards_.push_back(std::make_unique<LockShard>());
+  }
+  shard_mask_ = static_cast<uint32_t>(pow2 - 1);
+}
+
+LockManager::~LockManager() = default;
+
+void LockManager::NotifyShards(const ShardSet& s) {
+  if (s.none()) return;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!s.test(i)) continue;
+    LockShard& shard = *shards_[i];
+    // Lock-then-notify: a registering waiter holds its shard mutex
+    // continuously from its blocker scan until the condvar wait parks it,
+    // so acquiring the mutex here serializes us after that window — the
+    // notification cannot fall between a waiter's scan and its sleep.
+    MutexLock l(shard.mu);
+    shard.cv.NotifyAll();
+  }
+}
 
 // --- test-conflict -----------------------------------------------------
 
@@ -77,8 +104,8 @@ SubTxn* LockManager::TestConflictSemantic(const LockEntry& h, SubTxn* r,
   }
   // "if h and r commute ... return nil". Both act on the same object, so the
   // object type is shared and the compatibility spec of that type applies.
-  if (compat_->Commute(holder->type(), holder->method(), holder->args(),
-                       r->method(), r->args())) {
+  if (compat_->Commute(holder->type(), h.method_id, holder->args(),
+                       r->method_id(), r->args())) {
     *why = ConflictOutcome::kCommute;
     return nullptr;
   }
@@ -86,14 +113,17 @@ SubTxn* LockManager::TestConflictSemantic(const LockEntry& h, SubTxn* r,
     // "for all h' in the ancestor chain of h do for all r' in the ancestor
     // chain of r do if h' and r' commute ..." — a pair commutes only if it
     // acts on the *same* object (semantic knowledge exists per object); the
-    // walk is bottom-up on both chains.
-    const std::vector<SubTxn*> h_chain = holder->AncestorChain();
-    const std::vector<SubTxn*> r_chain = r->AncestorChain();
-    for (SubTxn* h_anc : h_chain) {
-      for (SubTxn* r_anc : r_chain) {
+    // walk is bottom-up on both chains, chasing parent pointers directly
+    // (this runs per (holder, requester) pair per scan — materializing the
+    // chains would allocate on every conflict test).
+    for (SubTxn* h_anc = holder->parent(); h_anc != nullptr;
+         h_anc = h_anc->parent()) {
+      for (SubTxn* r_anc = r->parent(); r_anc != nullptr;
+           r_anc = r_anc->parent()) {
         if (h_anc->object() != r_anc->object()) continue;
-        if (!compat_->Commute(h_anc->type(), h_anc->method(), h_anc->args(),
-                              r_anc->method(), r_anc->args())) {
+        if (!compat_->Commute(h_anc->type(), h_anc->method_id(),
+                              h_anc->args(), r_anc->method_id(),
+                              r_anc->args())) {
           continue;
         }
         if (h_anc->committed()) {
@@ -172,10 +202,11 @@ SubTxn* LockManager::TestConflict(const LockEntry& h, SubTxn* r,
   return nullptr;
 }
 
-std::set<SubTxn*> LockManager::CollectBlockers(
-    const LockQueue& q, uint64_t my_seq, SubTxn* t, bool is_write,
-    std::vector<ConflictOutcome>* reasons) const {
-  std::set<SubTxn*> blockers;
+void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
+                                  uint64_t my_seq, SubTxn* t, bool is_write,
+                                  bool count_stats, ScanResult* out) {
+  (void)shard;  // capability-only parameter (REQUIRES(shard.mu))
+  out->Clear();
   for (const LockEntry& e : q.entries) {
     if (e.acquirer == t) continue;
     // Test against held locks and earlier-queued requests (FCFS, paper
@@ -190,14 +221,37 @@ std::set<SubTxn*> LockManager::CollectBlockers(
     // here: a just-aborted subtransaction must not look like a grant. The
     // wait loop re-derives the verdict from fresh state on every wake-up.
     if (b != nullptr) {
-      blockers.insert(b);
-      if (reasons != nullptr) reasons->push_back(why);
-    } else if (reasons != nullptr && (why == ConflictOutcome::kCase1Grant ||
-                                      why == ConflictOutcome::kCommute)) {
-      reasons->push_back(why);
+      if (std::find(out->blockers.begin(), out->blockers.end(), b) ==
+          out->blockers.end()) {
+        out->blockers.push_back(b);
+        // Classify the wake event at scan time: a blocker still incomplete
+        // NOW completes later — the pre-sleep revalidation must re-check it
+        // under the graph mutex. One already completed is awaiting
+        // ReleaseTree, which purges this queue under this shard's mutex and
+        // so cannot be missed by a sleeping waiter.
+        if (!b->completed()) out->completion_watch.push_back(b);
+      }
+      if (count_stats) {
+        switch (why) {
+          case ConflictOutcome::kCase2Wait:
+            stats_.case2_waits.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case ConflictOutcome::kRootWait:
+            stats_.root_waits.fetch_add(1, std::memory_order_relaxed);
+            break;
+          default:
+            break;
+        }
+      }
+    } else if (count_stats && (why == ConflictOutcome::kCase1Grant ||
+                               why == ConflictOutcome::kCommute)) {
+      if (why == ConflictOutcome::kCase1Grant) {
+        stats_.case1_grants.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stats_.commute_grants.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
-  return blockers;
 }
 
 void LockManager::ExpandDependencies(
@@ -205,7 +259,7 @@ void LockManager::ExpandDependencies(
     std::map<SubTxn*, SubTxn*>* came_from) const {
   auto wit = waits_.find(n);
   if (wit != waits_.end()) {
-    for (SubTxn* b : wit->second) {
+    for (SubTxn* b : wit->second.blockers) {
       if (visited->insert(b).second) {
         (*came_from)[b] = n;
         stack->push_back(b);
@@ -224,7 +278,10 @@ SubTxn* LockManager::DetectDeadlock(SubTxn* t) const {
   // Completion-dependency graph: a blocked requester depends on the
   // completions in its waits-for set; an incomplete node's completion
   // depends on its incomplete children (Figure 8 executes children before
-  // completing). A cycle through `t` means deadlock.
+  // completing). A cycle through `t` means deadlock. Running the DFS on
+  // every (re-)registration is sufficient: a new cycle's chronologically
+  // last edge is always a waits-edge, and its registrant is the thread
+  // standing here.
   std::vector<SubTxn*> stack;
   std::set<SubTxn*> visited;
   std::map<SubTxn*, SubTxn*> came_from;
@@ -267,8 +324,10 @@ void LockManager::InvariantViolation(const char* kind,
   }
 }
 
-void LockManager::CheckGrantInvariants(const LockQueue& q, uint64_t my_seq,
+void LockManager::CheckGrantInvariants(const LockShard& shard,
+                                       const LockQueue& q, uint64_t my_seq,
                                        SubTxn* t, bool is_write) {
+  (void)shard;
   // Independently re-derive the grant decision: every other granted (or
   // earlier-queued, FCFS) entry must pass test-conflict against `t`. A
   // non-nil verdict here means the fast path granted a conflicting request.
@@ -289,7 +348,9 @@ void LockManager::CheckGrantInvariants(const LockQueue& q, uint64_t my_seq,
   }
 }
 
-void LockManager::CheckQueueInvariants(const LockQueue& q) {
+void LockManager::CheckQueueInvariants(const LockShard& shard,
+                                       const LockQueue& q) {
+  (void)shard;
   for (const LockEntry& e : q.entries) {
     // A *waiting* entry's acquirer is by construction parked inside
     // Acquire, so it cannot have completed; a completed subtransaction
@@ -305,9 +366,9 @@ void LockManager::CheckQueueInvariants(const LockQueue& q) {
   }
 }
 
-void LockManager::CheckNoLeakedLocks(SubTxn* root) {
+void LockManager::CheckNoLeakedLocks(const LockShard& shard, SubTxn* root) {
   uint64_t leaked = 0;
-  for (const auto& [target, q] : table_) {
+  for (const auto& [target, q] : shard.table) {
     for (const LockEntry& e : q.entries) {
       if (e.acquirer->root() == root) {
         ++leaked;
@@ -326,14 +387,15 @@ void LockManager::CheckNoLeakedLocks(SubTxn* root) {
 }
 
 void LockManager::CheckWaitGraphAcyclic() {
-  // Whenever mu_ is released, every wait cycle must contain a root already
-  // flagged for abort: the waiter whose edge closed the cycle runs
-  // DetectDeadlock (and flags a victim) in the same critical section. DFS
-  // with gray/black coloring over waiter -> blockers ∪ incomplete children;
-  // nodes of abort-flagged roots are excluded (their cycles are resolving).
+  // Whenever the graph mutex is released, every wait cycle must contain a
+  // root already flagged for abort: the waiter whose edge closed the cycle
+  // runs DetectDeadlock (and flags a victim) in the same critical section.
+  // DFS with gray/black coloring over waiter -> blockers ∪ incomplete
+  // children; nodes of abort-flagged roots are excluded (their cycles are
+  // resolving).
   std::set<SubTxn*> done;
-  for (const auto& [waiter, blockers] : waits_) {
-    (void)blockers;
+  for (const auto& [waiter, rec] : waits_) {
+    (void)rec;
     if (done.count(waiter) != 0) continue;
     // Iterative DFS with an explicit path (gray set) for cycle detection.
     std::vector<std::pair<SubTxn*, size_t>> path;  // node + next-child index
@@ -347,7 +409,8 @@ void LockManager::CheckWaitGraphAcyclic() {
       if (!node->completed() && !node->root()->abort_requested()) {
         auto wit = waits_.find(node);
         if (wit != waits_.end()) {
-          succ.insert(succ.end(), wit->second.begin(), wit->second.end());
+          succ.insert(succ.end(), wit->second.blockers.begin(),
+                      wit->second.blockers.end());
         }
         const std::vector<SubTxn*> kids = node->IncompleteChildren();
         succ.insert(succ.end(), kids.begin(), kids.end());
@@ -395,81 +458,96 @@ void LockManager::RecordLockOrder(SubTxn* t, const LockTarget& target) {
   held.push_back(target);
 }
 
-uint64_t LockManager::CheckInvariantsNow() {
-  MutexLock lock(mu_);
-  inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
-  for (const auto& [target, q] : table_) {
-    (void)target;
-    CheckQueueInvariants(q);
+// The loop-carried all-shards acquisition is invisible to the thread-safety
+// analysis; AssertHeld re-establishes the per-shard capability for the
+// checks inside.
+uint64_t LockManager::CheckInvariantsNow() SEMCC_NO_THREAD_SAFETY_ANALYSIS {
+  // Stop the world: every shard mutex in index order — the only place two
+  // shard mutexes are ever held at once — then the graph mutex. No other
+  // thread can be mid-acquire anywhere while we hold them all.
+  for (auto& sp : shards_) sp->mu.Lock();
+  {
+    MutexLock g(graph_mu_);
+    inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
+    for (auto& sp : shards_) {
+      LockShard& shard = *sp;
+      shard.mu.AssertHeld();
+      for (const auto& [target, q] : shard.table) {
+        (void)target;
+        CheckQueueInvariants(shard, q);
+      }
+    }
+    if (options_.deadlock_detection) CheckWaitGraphAcyclic();
   }
-  if (options_.deadlock_detection) CheckWaitGraphAcyclic();
+  for (auto& sp : shards_) sp->mu.Unlock();
   return inv_stats_.protocol_violations();
 }
 
 // --- acquire / release --------------------------------------------------
 
-void LockManager::RemoveWaiter(const LockTarget& target, LockQueue& q,
-                               std::list<LockEntry>::iterator my_it,
-                               SubTxn* t) {
+namespace {
+/// True when `SubTxn::lock_shards()` says shard `idx` may hold entries of
+/// the tree. With more than 64 shards, bits alias (idx mod 64) and the test
+/// is conservative — never a false negative.
+inline bool MaskHasShard(uint64_t mask, size_t idx) {
+  return ((mask >> (idx & 63)) & 1) != 0;
+}
+}  // namespace
+
+void LockManager::RemoveWaiter(LockShard& shard, const LockTarget& target,
+                               LockQueue& q,
+                               std::list<LockEntry>::iterator my_it) {
   q.entries.erase(my_it);
+  if (q.entries.empty()) shard.table.erase(target);
+  // Our waiting entry may have been blocking later-queued requests (FCFS);
+  // wake this shard so they re-scan.
+  shard.cv.NotifyAll();
+}
+
+void LockManager::EraseWaitRecord(SubTxn* t) {
+  MutexLock g(graph_mu_);
   waits_.erase(t);
-  if (q.entries.empty()) table_.erase(target);
-  cv_.NotifyAll();
 }
 
 Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
                             bool is_write) {
-  MutexLock lock(mu_);
   stats_.acquires.fetch_add(1, std::memory_order_relaxed);
-  LockQueue& q = table_[target];
-  const uint64_t my_seq = next_entry_seq_++;
-  q.entries.push_back(LockEntry{t, t, is_write, /*granted=*/false, my_seq});
+  const uint32_t shard_idx = ShardIndexOf(target);
+  t->root()->NoteLockShard(shard_idx);
+  LockShard& shard = *shards_[shard_idx];
+  MutexLock lock(shard.mu);
+  LockQueue& q = shard.table[target];
+  const uint64_t my_seq = shard.next_entry_seq++;
+  q.entries.push_back(LockEntry{t, t, t->method_id(), is_write,
+                                /*granted=*/false, my_seq});
   auto my_it = std::prev(q.entries.end());
 
   bool first_scan = true;
   bool ever_blocked = false;
   StopWatch wait_timer;
+  std::chrono::steady_clock::time_point deadline{};
+  ScanResult scan;
   while (true) {
     if (t->root()->abort_requested() && !t->compensation()) {
-      RemoveWaiter(target, q, my_it, t);
+      RemoveWaiter(shard, target, q, my_it);
+      EraseWaitRecord(t);
       return Status::Aborted("transaction abort requested while locking " +
                              target.ToString());
     }
-    std::vector<ConflictOutcome> reasons;
-    std::set<SubTxn*> blockers =
-        CollectBlockers(q, my_seq, t, is_write, first_scan ? &reasons : nullptr);
-    if (first_scan) {
-      for (ConflictOutcome why : reasons) {
-        switch (why) {
-          case ConflictOutcome::kCommute:
-            stats_.commute_grants.fetch_add(1, std::memory_order_relaxed);
-            break;
-          case ConflictOutcome::kCase1Grant:
-            stats_.case1_grants.fetch_add(1, std::memory_order_relaxed);
-            break;
-          case ConflictOutcome::kCase2Wait:
-            stats_.case2_waits.fetch_add(1, std::memory_order_relaxed);
-            break;
-          case ConflictOutcome::kRootWait:
-            stats_.root_waits.fetch_add(1, std::memory_order_relaxed);
-            break;
-          default:
-            break;
-        }
-      }
-      first_scan = false;
-    }
-    if (blockers.empty()) {
+    CollectBlockers(shard, q, my_seq, t, is_write, first_scan, &scan);
+    first_scan = false;
+    if (scan.blockers.empty()) {
       my_it->granted = true;
-      waits_.erase(t);
       t->set_grant_seq(NextSeq());
       if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
         inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
-        CheckGrantInvariants(q, my_seq, t, is_write);
-        CheckQueueInvariants(q);
+        CheckGrantInvariants(shard, q, my_seq, t, is_write);
+        CheckQueueInvariants(shard, q);
+        MutexLock g(graph_mu_);
         RecordLockOrder(t, target);
       }
       if (ever_blocked) {
+        EraseWaitRecord(t);
         stats_.wait_micros.Add(wait_timer.ElapsedMicros());
       }
       return Status::OK();
@@ -478,39 +556,99 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
       ever_blocked = true;
       stats_.blocked_acquires.fetch_add(1, std::memory_order_relaxed);
       wait_timer.Restart();
+      deadline = std::chrono::steady_clock::now() + options_.wait_timeout;
     }
-    // Record the waits-for set (Figure 8), then sleep until a completion.
-    waits_[t] = std::vector<SubTxn*>(blockers.begin(), blockers.end());
-    if (options_.deadlock_detection) {
-      SubTxn* victim = DetectDeadlock(t);
-      if (victim != nullptr) {
-        stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
-        if (victim == t->root()) {
-          RemoveWaiter(target, q, my_it, t);
-          return Status::Deadlock("deadlock victim at " + target.ToString());
+    // Register the waits-for set (Figure 8) and run deadlock detection.
+    // Still holding shard.mu: any event that purges our blockers' queue
+    // entries must take it, so it cannot complete between the scan above
+    // and the condvar wait below. Completion events touch no shard mutex,
+    // so those are closed out by re-checking the watched blockers under
+    // the graph mutex — a completer publishes state before its own
+    // graph-mutex scan of waits_, hence either it sees our registration
+    // (and notifies our shard) or we see its completion here and retry.
+    bool revalidate = false;
+    bool self_victim = false;
+    ShardSet wake;
+    {
+      MutexLock g(graph_mu_);
+      if (t->root()->abort_requested() && !t->compensation()) {
+        revalidate = true;  // flagged since the loop-top check; don't sleep
+      } else {
+        for (SubTxn* b : scan.completion_watch) {
+          if (b->completed()) {
+            revalidate = true;
+            break;
+          }
         }
-        victim->RequestAbort();
-        cv_.NotifyAll();
       }
-      if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
-        // At this point every wait cycle must have a victim flagged.
-        inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
-        CheckWaitGraphAcyclic();
+      if (!revalidate) {
+        WaitRecord& rec = waits_[t];
+        rec.blockers.assign(scan.blockers.begin(), scan.blockers.end());
+        rec.shard = shard_idx;
+        if (options_.deadlock_detection) {
+          SubTxn* victim = DetectDeadlock(t);
+          if (victim != nullptr) {
+            if (victim == t->root()) {
+              stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+              waits_.erase(t);
+              self_victim = true;
+            } else if (!victim->abort_requested()) {
+              // First detector to see this cycle: flag the victim (under
+              // the graph mutex, so registering waiters re-check it before
+              // sleeping) and wake its blocked actions.
+              stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+              victim->RequestAbort();
+              for (const auto& [waiter, wrec] : waits_) {
+                if (waiter->root() == victim) wake.set(wrec.shard);
+              }
+              revalidate = true;
+            }
+            // Otherwise the victim is already flagged and its waiters
+            // woken by the first detector; sleep normally.
+          }
+          if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
+            // At this point every wait cycle must have a victim flagged.
+            inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
+            CheckWaitGraphAcyclic();
+          }
+        }
       }
     }
-    if (wait_timer.ElapsedMicros() >
-        static_cast<uint64_t>(options_.wait_timeout.count()) * 1000) {
+    if (self_victim) {
+      RemoveWaiter(shard, target, q, my_it);
+      return Status::Deadlock("deadlock victim at " + target.ToString());
+    }
+    if (wake.any()) {
+      // Wake the victim's waiters. Our own shard can be notified while its
+      // mutex is held; foreign shards require dropping it first (a thread
+      // never holds two shard mutexes). q and my_it survive the unlocked
+      // gap: our queue entry keeps the queue non-empty so it cannot be
+      // erased, and list iterators are stable.
+      if (wake.test(shard_idx)) {
+        shard.cv.NotifyAll();
+        wake.reset(shard_idx);
+      }
+      if (wake.any()) {
+        lock.Unlock();
+        NotifyShards(wake);
+        lock.Lock();
+      }
+      continue;
+    }
+    if (revalidate) continue;
+    if (std::chrono::steady_clock::now() >= deadline) {
       stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
-      RemoveWaiter(target, q, my_it, t);
+      RemoveWaiter(shard, target, q, my_it);
+      EraseWaitRecord(t);
       return Status::TimedOut("lock wait timeout on " + target.ToString());
     }
-    cv_.WaitFor(lock, std::chrono::milliseconds(50));
+    shard.cv.WaitUntil(lock, deadline);
   }
 }
 
 void LockManager::OnSubTxnCompleted(SubTxn* t) {
-  MutexLock lock(mu_);
   t->set_end_seq(NextSeq());
+  ShardSet wake;
   switch (options_.protocol) {
     case Protocol::kSemanticONT:
       if (!options_.retain_locks) {
@@ -518,26 +656,44 @@ void LockManager::OnSubTxnCompleted(SubTxn* t) {
         // released upon the completion of the subtransaction" — drop every
         // lock owned by a proper descendant of t; t's own lock remains until
         // t's parent completes (only the root's semantic locks survive to
-        // the end of the transaction).
-        for (auto it = table_.begin(); it != table_.end();) {
-          LockQueue& q = it->second;
-          for (auto e = q.entries.begin(); e != q.entries.end();) {
-            if (e->granted && t->IsAncestorOf(e->acquirer)) {
-              e = q.entries.erase(e);
-            } else {
-              ++e;
+        // the end of the transaction). Shards are swept one at a time (a
+        // thread never holds two shard mutexes); shards the tree never
+        // touched are skipped via the root's shard mask.
+        const uint64_t mask = t->root()->lock_shards();
+        for (size_t i = 0; i < shards_.size(); ++i) {
+          if (!MaskHasShard(mask, i)) continue;
+          LockShard& shard = *shards_[i];
+          MutexLock l(shard.mu);
+          bool changed = false;
+          for (auto it = shard.table.begin(); it != shard.table.end();) {
+            LockQueue& q = it->second;
+            for (auto e = q.entries.begin(); e != q.entries.end();) {
+              if (e->granted && t->IsAncestorOf(e->acquirer)) {
+                e = q.entries.erase(e);
+                changed = true;
+              } else {
+                ++e;
+              }
             }
+            it = q.entries.empty() ? shard.table.erase(it) : std::next(it);
           }
-          it = q.entries.empty() ? table_.erase(it) : std::next(it);
+          if (changed) wake.set(i);
         }
       }
       break;
     case Protocol::kClosedNested:
       // Anti-inheritance: the parent adopts the completed child's locks.
       if (t->parent() != nullptr) {
-        for (auto& [target, q] : table_) {
-          for (LockEntry& e : q.entries) {
-            if (e.owner == t && e.granted) e.owner = t->parent();
+        const uint64_t mask = t->root()->lock_shards();
+        for (size_t i = 0; i < shards_.size(); ++i) {
+          if (!MaskHasShard(mask, i)) continue;
+          LockShard& shard = *shards_[i];
+          MutexLock l(shard.mu);
+          for (auto& [target, q] : shard.table) {
+            (void)target;
+            for (LockEntry& e : q.entries) {
+              if (e.owner == t && e.granted) e.owner = t->parent();
+            }
           }
         }
       }
@@ -547,50 +703,106 @@ void LockManager::OnSubTxnCompleted(SubTxn* t) {
   }
   if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
     inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
-    for (const auto& [target, q] : table_) {
-      (void)target;
-      CheckQueueInvariants(q);
+    for (auto& sp : shards_) {
+      LockShard& shard = *sp;
+      MutexLock l(shard.mu);
+      for (const auto& [target, q] : shard.table) {
+        (void)target;
+        CheckQueueInvariants(shard, q);
+      }
     }
   }
-  // Waits-for sets shrink on completion, not on lock release: wake everyone
-  // to re-evaluate.
-  cv_.NotifyAll();
+  // Waits-for sets shrink on completion, not on lock release: wake exactly
+  // the shards hosting a waiter that waits for t. The retained-lock fast
+  // path (the common case) therefore touches no shard mutex at all before
+  // this point.
+  {
+    MutexLock g(graph_mu_);
+    for (const auto& [waiter, rec] : waits_) {
+      (void)waiter;
+      for (SubTxn* b : rec.blockers) {
+        if (b == t) {
+          wake.set(rec.shard);
+          break;
+        }
+      }
+    }
+  }
+  NotifyShards(wake);
 }
 
 void LockManager::ReleaseTree(SubTxn* root) {
-  MutexLock lock(mu_);
-  for (auto it = table_.begin(); it != table_.end();) {
-    LockQueue& q = it->second;
-    for (auto e = q.entries.begin(); e != q.entries.end();) {
-      if (e->acquirer->root() == root) {
-        e = q.entries.erase(e);
-      } else {
-        ++e;
+  ShardSet wake;
+  // Skip shards the tree never touched — except under debug checks, where
+  // the full sweep lets CheckNoLeakedLocks catch a shard-mask bug.
+  const uint64_t mask = root->lock_shards();
+  const bool sweep_all = SEMCC_PREDICT_FALSE(options_.debug_lock_checks);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!sweep_all && !MaskHasShard(mask, i)) continue;
+    LockShard& shard = *shards_[i];
+    MutexLock l(shard.mu);
+    bool changed = false;
+    for (auto it = shard.table.begin(); it != shard.table.end();) {
+      LockQueue& q = it->second;
+      for (auto e = q.entries.begin(); e != q.entries.end();) {
+        if (e->acquirer->root() == root) {
+          e = q.entries.erase(e);
+          changed = true;
+        } else {
+          ++e;
+        }
       }
+      it = q.entries.empty() ? shard.table.erase(it) : std::next(it);
     }
-    it = q.entries.empty() ? table_.erase(it) : std::next(it);
+    if (changed) wake.set(i);
+    if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
+      inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
+      CheckNoLeakedLocks(shard, root);
+    }
   }
   // Purge dangling blocker pointers into the departing tree; the blocked
   // threads re-derive their waits-for sets when they wake.
-  for (auto& [waiter, blockers] : waits_) {
-    blockers.erase(std::remove_if(blockers.begin(), blockers.end(),
-                                  [&](SubTxn* b) { return b->root() == root; }),
-                   blockers.end());
+  {
+    MutexLock g(graph_mu_);
+    for (auto& [waiter, rec] : waits_) {
+      (void)waiter;
+      std::vector<SubTxn*>& blockers = rec.blockers;
+      const size_t before = blockers.size();
+      blockers.erase(
+          std::remove_if(blockers.begin(), blockers.end(),
+                         [&](SubTxn* b) { return b->root() == root; }),
+          blockers.end());
+      if (blockers.size() != before) wake.set(rec.shard);
+    }
+    if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
+      held_targets_.erase(root);
+    }
   }
-  if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
-    inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
-    CheckNoLeakedLocks(root);
-    held_targets_.erase(root);
+  NotifyShards(wake);
+}
+
+void LockManager::OnAbortRequested(SubTxn* root) {
+  ShardSet wake;
+  {
+    // Publish the flag under the graph mutex: a registering waiter either
+    // re-checks abort_requested after us (and refuses to sleep) or
+    // registered before us (and is woken below).
+    MutexLock g(graph_mu_);
+    root->RequestAbort();
+    for (const auto& [waiter, rec] : waits_) {
+      if (waiter->root() == root) wake.set(rec.shard);
+    }
   }
-  cv_.NotifyAll();
+  NotifyShards(wake);
 }
 
 std::vector<LockManager::LockInfo> LockManager::LocksOn(
     const LockTarget& target) const {
-  MutexLock lock(mu_);
+  LockShard& shard = ShardFor(target);
+  MutexLock lock(shard.mu);
   std::vector<LockInfo> out;
-  auto it = table_.find(target);
-  if (it == table_.end()) return out;
+  auto it = shard.table.find(target);
+  if (it == shard.table.end()) return out;
   for (const LockEntry& e : it->second.entries) {
     out.push_back(LockInfo{e.acquirer->id(), e.acquirer->root()->id(),
                            e.acquirer->method(), e.granted,
@@ -600,7 +812,7 @@ std::vector<LockManager::LockInfo> LockManager::LocksOn(
 }
 
 size_t LockManager::NumWaiters() const {
-  MutexLock lock(mu_);
+  MutexLock lock(graph_mu_);
   return waits_.size();
 }
 

@@ -21,18 +21,30 @@
 // selected via ProtocolOptions, so benchmarks compare protocols on identical
 // infrastructure.
 //
-// All shared state is guarded by mu_ and annotated for clang's thread-safety
-// analysis; with ProtocolOptions::debug_lock_checks the manager additionally
+// Concurrency structure (see DESIGN.md §5, "Lock-manager internals"): the
+// lock table is split into ProtocolOptions::lock_table_shards shards, each
+// with its own mutex + condvar guarding that shard's queues, while the
+// waits-for graph, deadlock detection, and the lock-order diagnostics live
+// behind a separate graph mutex. The lock order is
+//     shard.mu  →  graph_mu_  →  SubTxn::children_mu_
+// and a thread never holds two shard mutexes at once (the stop-the-world
+// invariant sweep, which locks every shard in index order while holding
+// nothing else, is the only exception). Waiters sleep on their shard's
+// condvar and are woken only when an event (completion, release, abort
+// request) can actually unblock that shard — there is no broadcast-and-poll
+// path. With ProtocolOptions::debug_lock_checks the manager additionally
 // re-derives the protocol invariants on every grant/release (see
 // cc/lock_invariants.h).
 #ifndef SEMCC_CC_LOCK_MANAGER_H_
 #define SEMCC_CC_LOCK_MANAGER_H_
 
 #include <atomic>
+#include <bitset>
 #include <chrono>
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -40,6 +52,7 @@
 
 #include "cc/compatibility.h"
 #include "cc/lock_invariants.h"
+#include "cc/method_interner.h"
 #include "cc/subtxn.h"
 #include "storage/record_manager.h"
 #include "util/annotations.h"
@@ -90,6 +103,10 @@ struct ProtocolOptions {
 
   bool deadlock_detection = true;
 
+  /// Number of lock-table shards (clamped to a power of two in [1, 256]).
+  /// 1 reproduces the pre-sharding single-mutex behavior for ablations.
+  int lock_table_shards = 16;
+
   /// Debug-mode lock-invariant checker (cc/lock_invariants.h): re-derive the
   /// protocol invariants on every grant/release and track the lock-order
   /// graph. Default: on in debug builds and whenever the tree is compiled
@@ -127,9 +144,19 @@ struct LockTarget {
   std::string ToString() const;
 };
 
+/// Hash over (space, key) with a splitmix64 finalizer so that the
+/// structured keys this system produces — sequential Oids, Rids whose low
+/// 16 bits are a slot, page ids — spread over both hash-table buckets and
+/// lock-table shards (which use the LOW bits). A multiplicative-only hash
+/// clusters them: e.g. `ForRecord({page, 0})` keys are all multiples of
+/// 1<<16 and would land every record of slot 0 in shard 0.
 struct LockTargetHash {
   size_t operator()(const LockTarget& t) const {
-    return std::hash<uint64_t>()(t.key * 3 + static_cast<uint64_t>(t.space));
+    uint64_t x = (t.key << 2) ^ static_cast<uint64_t>(t.space);
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(x ^ (x >> 31));
   }
 };
 
@@ -163,7 +190,11 @@ struct LockStats {
 /// \brief The lock manager. One instance per database.
 class LockManager {
  public:
+  /// Hard upper bound on lock_table_shards (size of the wake bitmask).
+  static constexpr int kMaxShards = 256;
+
   LockManager(const ProtocolOptions& options, CompatibilityRegistry* compat);
+  ~LockManager();
   SEMCC_DISALLOW_COPY_AND_ASSIGN(LockManager);
 
   /// Acquire a lock for action `t` on `target` (Figure 8: "a lock on
@@ -176,16 +207,24 @@ class LockManager {
   ///
   /// `is_write` is the read/write classification used by the conventional
   /// baselines; the semantic protocol ignores it.
-  Status Acquire(SubTxn* t, const LockTarget& target, bool is_write)
-      SEMCC_EXCLUDES(mu_);
+  Status Acquire(SubTxn* t, const LockTarget& target, bool is_write);
 
   /// Figure 8, on completion of subtransaction t: convert/release per
-  /// protocol and wake waiters (waits-for sets shrink on *completion*).
-  void OnSubTxnCompleted(SubTxn* t) SEMCC_EXCLUDES(mu_);
+  /// protocol and wake exactly the waiters whose waits-for sets contain t
+  /// (waits-for sets shrink on *completion*).
+  void OnSubTxnCompleted(SubTxn* t);
 
   /// Top-level end ("release all locks"): drop every lock owned by the tree
-  /// rooted at `root` and wake waiters. Call before destroying the tree.
-  void ReleaseTree(SubTxn* root) SEMCC_EXCLUDES(mu_);
+  /// rooted at `root` and wake affected waiters. Call before destroying the
+  /// tree.
+  void ReleaseTree(SubTxn* root);
+
+  /// Flag `root` for abort and wake its blocked actions so they return
+  /// Aborted promptly. External abort requests MUST go through here (not
+  /// through SubTxn::RequestAbort directly): the flag is published under the
+  /// graph mutex, which is what lets sleeping waiters observe it without
+  /// polling.
+  void OnAbortRequested(SubTxn* root);
 
   /// Logical timestamp source shared with the history recorder.
   uint64_t NextSeq() { return clock_.fetch_add(1) + 1; }
@@ -193,14 +232,22 @@ class LockManager {
   LockStats& stats() { return stats_; }
   const ProtocolOptions& options() const { return options_; }
 
+  /// Actual shard count after clamping (power of two in [1, kMaxShards]).
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Shard index `target` maps to — exposed for dispersion tests.
+  uint32_t ShardIndexOf(const LockTarget& target) const {
+    return static_cast<uint32_t>(LockTargetHash{}(target)) & shard_mask_;
+  }
+
   /// Cumulative counters of the debug invariant checker (all zero when
   /// ProtocolOptions::debug_lock_checks is off).
   const LockInvariantStats& invariant_stats() const { return inv_stats_; }
 
   /// Run the queue + wait-graph invariant sweep immediately, regardless of
   /// debug_lock_checks; returns the cumulative protocol-violation count
-  /// afterwards. Intended for tests (e.g. at quiescent points).
-  uint64_t CheckInvariantsNow() SEMCC_EXCLUDES(mu_);
+  /// afterwards. Stop-the-world: locks every shard (in index order) plus the
+  /// graph mutex. Intended for tests (e.g. at quiescent points).
+  uint64_t CheckInvariantsNow();
 
   /// Locks currently held/queued on `target` — introspection for tests.
   struct LockInfo {
@@ -210,84 +257,142 @@ class LockManager {
     bool granted;
     bool retained;  ///< owner completed but lock still present
   };
-  std::vector<LockInfo> LocksOn(const LockTarget& target) const
-      SEMCC_EXCLUDES(mu_);
+  std::vector<LockInfo> LocksOn(const LockTarget& target) const;
 
   /// Number of waiting (blocked) acquires right now.
-  size_t NumWaiters() const SEMCC_EXCLUDES(mu_);
+  size_t NumWaiters() const SEMCC_EXCLUDES(graph_mu_);
 
  private:
   struct LockEntry {
     SubTxn* acquirer;  ///< the action that requested the lock (mode source)
     SubTxn* owner;     ///< current owner (differs from acquirer only after
                        ///< closed-nested anti-inheritance)
+    MethodId method_id;  ///< acquirer->method_id(), cached for locality
     bool is_write;
     bool granted;
-    uint64_t seq;  ///< FCFS arrival order
+    uint64_t seq;  ///< FCFS arrival order (per shard)
   };
   struct LockQueue {
     std::list<LockEntry> entries;
   };
 
+  /// One lock-table shard: a slice of the target space with its own mutex
+  /// and condvar. Waiters on this shard's queues sleep on `cv`; events wake
+  /// a shard only when they may unblock one of its queues.
+  struct LockShard {
+    mutable Mutex mu;
+    CondVar cv;
+    std::unordered_map<LockTarget, LockQueue, LockTargetHash> table
+        SEMCC_GUARDED_BY(mu);
+    uint64_t next_entry_seq SEMCC_GUARDED_BY(mu) = 0;
+  };
+
+  /// Set of shard indices to notify once all locks are dropped.
+  using ShardSet = std::bitset<kMaxShards>;
+
+  /// A blocked requester's registration in the waits-for graph.
+  struct WaitRecord {
+    std::vector<SubTxn*> blockers;  ///< the completions it awaits
+    uint32_t shard = 0;             ///< where its condvar wait parks
+  };
+
+  /// Result of one blocker scan over a queue; reused across wait-loop
+  /// iterations so steady-state re-scans allocate nothing.
+  struct ScanResult {
+    std::vector<SubTxn*> blockers;  ///< deduplicated verdicts
+    /// Blockers that were still incomplete at scan time: their *completion*
+    /// is the wake event, so the pre-sleep revalidation re-checks them. A
+    /// blocker already completed at scan time is awaiting ReleaseTree,
+    /// which purges queue entries under this shard's mutex and therefore
+    /// cannot be missed.
+    std::vector<SubTxn*> completion_watch;
+    void Clear() {
+      blockers.clear();
+      completion_watch.clear();
+    }
+  };
+
+  LockShard& ShardFor(const LockTarget& target) const {
+    return *shards_[ShardIndexOf(target)];
+  }
+
+  /// Notify the condvars of every shard in `s`. Must be called with no lock
+  /// manager mutex held: it locks each shard's mutex (one at a time) before
+  /// notifying, which guarantees delivery to any waiter that registered
+  /// before the triggering event — a registering waiter holds its shard
+  /// mutex continuously from its blocker scan until the condvar wait parks
+  /// it, so we cannot slip into that window.
+  void NotifyShards(const ShardSet& s);
+
   /// The paper's test-conflict(h, r): nil (nullptr) or the (sub)transaction
-  /// whose completion r must wait for. Sets *why.
+  /// whose completion r must wait for. Sets *why. Reads only SubTxn state
+  /// (atomics) and the compatibility registry — no lock-manager mutex.
   SubTxn* TestConflict(const LockEntry& h, SubTxn* r, bool r_is_write,
-                       ConflictOutcome* why) const SEMCC_REQUIRES(mu_);
+                       ConflictOutcome* why) const;
 
   SubTxn* TestConflictSemantic(const LockEntry& h, SubTxn* r,
-                               ConflictOutcome* why) const SEMCC_REQUIRES(mu_);
+                               ConflictOutcome* why) const;
   SubTxn* TestConflictClosed(const LockEntry& h, SubTxn* r, bool r_is_write,
-                             ConflictOutcome* why) const SEMCC_REQUIRES(mu_);
+                             ConflictOutcome* why) const;
   SubTxn* TestConflictFlat(const LockEntry& h, SubTxn* r, bool r_is_write,
-                           ConflictOutcome* why) const SEMCC_REQUIRES(mu_);
+                           ConflictOutcome* why) const;
 
-  /// Blockers of `t` against queue `q` given its own entry seq.
-  std::set<SubTxn*> CollectBlockers(const LockQueue& q, uint64_t my_seq,
-                                    SubTxn* t, bool is_write,
-                                    std::vector<ConflictOutcome>* reasons) const
-      SEMCC_REQUIRES(mu_);
+  /// Blockers of `t` against queue `q` given its own entry seq, written
+  /// into *out (cleared first). With count_stats, classify each verdict
+  /// into stats_ (first scan of an Acquire only).
+  void CollectBlockers(const LockShard& shard, const LockQueue& q,
+                       uint64_t my_seq, SubTxn* t, bool is_write,
+                       bool count_stats, ScanResult* out)
+      SEMCC_REQUIRES(shard.mu);
 
-  /// Withdraw `t`'s queue entry + wait edges and wake everyone (abandon
-  /// paths of Acquire: abort, deadlock victim, timeout).
-  void RemoveWaiter(const LockTarget& target, LockQueue& q,
-                    std::list<LockEntry>::iterator my_it, SubTxn* t)
-      SEMCC_REQUIRES(mu_);
+  /// Withdraw `t`'s queue entry and wake this shard (abandon paths of
+  /// Acquire: abort, deadlock victim, timeout). The caller separately
+  /// erases t's wait record.
+  void RemoveWaiter(LockShard& shard, const LockTarget& target, LockQueue& q,
+                    std::list<LockEntry>::iterator my_it)
+      SEMCC_REQUIRES(shard.mu);
+
+  /// Erase t's wait record (if any) under the graph mutex.
+  void EraseWaitRecord(SubTxn* t) SEMCC_EXCLUDES(graph_mu_);
 
   /// Detect a deadlock reachable from requester `t`; returns the chosen
-  /// victim's root (maximal root id on the cycle = youngest transaction) or
-  /// nullptr.
-  SubTxn* DetectDeadlock(SubTxn* t) const SEMCC_REQUIRES(mu_);
+  /// victim's root (maximal priority rank on the cycle = youngest
+  /// transaction) or nullptr.
+  SubTxn* DetectDeadlock(SubTxn* t) const SEMCC_REQUIRES(graph_mu_);
 
   /// DFS expansion step of DetectDeadlock over the completion-dependency
   /// graph: wait edges of `n` plus `n`'s incomplete children.
   void ExpandDependencies(SubTxn* n, std::vector<SubTxn*>* stack,
                           std::set<SubTxn*>* visited,
                           std::map<SubTxn*, SubTxn*>* came_from) const
-      SEMCC_REQUIRES(mu_);
+      SEMCC_REQUIRES(graph_mu_);
 
   // --- debug invariant checker (cc/lock_invariants.h) ---------------------
 
   /// Re-derive grant soundness for the entry `my_seq` of `t` that is about
   /// to be granted: every other granted/earlier entry must pass
   /// test-conflict.
-  void CheckGrantInvariants(const LockQueue& q, uint64_t my_seq, SubTxn* t,
-                            bool is_write) SEMCC_REQUIRES(mu_);
+  void CheckGrantInvariants(const LockShard& shard, const LockQueue& q,
+                            uint64_t my_seq, SubTxn* t, bool is_write)
+      SEMCC_REQUIRES(shard.mu);
 
   /// Queue-local invariants: no waiting entry may belong to a completed
   /// subtransaction (only *granted* locks are retained past completion).
-  void CheckQueueInvariants(const LockQueue& q) SEMCC_REQUIRES(mu_);
+  void CheckQueueInvariants(const LockShard& shard, const LockQueue& q)
+      SEMCC_REQUIRES(shard.mu);
 
-  /// Post-ReleaseTree: no entry of `root`'s tree may remain anywhere.
-  void CheckNoLeakedLocks(SubTxn* root) SEMCC_REQUIRES(mu_);
+  /// Post-ReleaseTree, per shard: no entry of `root`'s tree may remain.
+  void CheckNoLeakedLocks(const LockShard& shard, SubTxn* root)
+      SEMCC_REQUIRES(shard.mu);
 
   /// The waits-for graph (plus completion dependencies) must be acyclic
   /// once nodes of abort-flagged roots (chosen victims) are excluded.
-  void CheckWaitGraphAcyclic() SEMCC_REQUIRES(mu_);
+  void CheckWaitGraphAcyclic() SEMCC_REQUIRES(graph_mu_);
 
   /// Record "t's transaction, holding its current targets, acquired
   /// `target`" in the global lock-order graph; count inversions.
   void RecordLockOrder(SubTxn* t, const LockTarget& target)
-      SEMCC_REQUIRES(mu_);
+      SEMCC_REQUIRES(graph_mu_);
 
   void InvariantViolation(const char* kind, const std::string& detail);
 
@@ -298,22 +403,25 @@ class LockManager {
   const ProtocolOptions options_;
   CompatibilityRegistry* const compat_;
 
-  mutable Mutex mu_;
-  CondVar cv_;
-  std::unordered_map<LockTarget, LockQueue, LockTargetHash> table_
-      SEMCC_GUARDED_BY(mu_);
-  /// Current wait edges: blocked requester -> the completions it awaits.
-  std::map<SubTxn*, std::vector<SubTxn*>> waits_ SEMCC_GUARDED_BY(mu_);
-  uint64_t next_entry_seq_ SEMCC_GUARDED_BY(mu_) = 0;
+  /// Immutable after construction; shard state is guarded per shard.
+  std::vector<std::unique_ptr<LockShard>> shards_;
+  uint32_t shard_mask_ = 0;
+
+  /// Guards the waits-for graph and the debug lock-order diagnostics.
+  /// Ordering: acquired after a shard mutex, never before one.
+  mutable Mutex graph_mu_;
+  /// Current wait edges: blocked requester -> its registration.
+  std::map<SubTxn*, WaitRecord> waits_ SEMCC_GUARDED_BY(graph_mu_);
+
   std::atomic<uint64_t> clock_{0};
   LockStats stats_;
 
   /// Global acquisition-order graph over lock targets (debug checker).
-  LockOrderGraph order_graph_ SEMCC_GUARDED_BY(mu_);
+  LockOrderGraph order_graph_ SEMCC_GUARDED_BY(graph_mu_);
   /// Targets currently locked per top-level transaction, in acquisition
   /// order (debug checker); cleared by ReleaseTree.
   std::map<SubTxn*, std::vector<LockTarget>> held_targets_
-      SEMCC_GUARDED_BY(mu_);
+      SEMCC_GUARDED_BY(graph_mu_);
   LockInvariantStats inv_stats_;
 };
 

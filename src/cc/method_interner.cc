@@ -1,0 +1,60 @@
+#include "cc/method_interner.h"
+
+#include "cc/compatibility.h"
+#include "util/logging.h"
+
+namespace semcc {
+
+MethodInterner& MethodInterner::Global() {
+  static MethodInterner* interner = new MethodInterner();
+  return *interner;
+}
+
+MethodInterner::MethodInterner() {
+  // Pre-intern the generic operations at their fixed ids (generic_ids).
+  const char* kGenericNames[] = {
+      generic_ops::kGet,    generic_ops::kPut,  generic_ops::kInsert,
+      generic_ops::kRemove, generic_ops::kSelect, generic_ops::kScan,
+      generic_ops::kSize};
+  WriterMutexLock guard(mu_);
+  for (const char* name : kGenericNames) {
+    const MethodId id = static_cast<MethodId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(name, id);
+  }
+  SEMCC_CHECK(names_.size() == generic_ids::kNumGenericOps);
+}
+
+MethodId MethodInterner::Intern(const std::string& name) {
+  {
+    ReaderMutexLock guard(mu_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+  }
+  WriterMutexLock guard(mu_);
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const MethodId id = static_cast<MethodId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+MethodId MethodInterner::Lookup(const std::string& name) const {
+  ReaderMutexLock guard(mu_);
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidMethodId : it->second;
+}
+
+std::string MethodInterner::NameOf(MethodId id) const {
+  ReaderMutexLock guard(mu_);
+  if (id >= names_.size()) return "?";
+  return names_[id];
+}
+
+size_t MethodInterner::size() const {
+  ReaderMutexLock guard(mu_);
+  return names_.size();
+}
+
+}  // namespace semcc

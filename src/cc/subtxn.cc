@@ -16,6 +16,7 @@ SubTxn::SubTxn(TxnId id, SubTxn* parent, Oid object, TypeId type,
       object_(object),
       type_(type),
       method_(std::move(method)),
+      method_id_(MethodInterner::Global().Intern(method_)),
       args_(std::move(args)) {}
 
 bool SubTxn::IsAncestorOf(const SubTxn* other) const {

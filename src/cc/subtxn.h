@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "cc/method_interner.h"
 #include "object/oid.h"
 #include "object/value.h"
 #include "util/annotations.h"
@@ -55,6 +56,9 @@ class SubTxn {
   Oid object() const { return object_; }
   TypeId type() const { return type_; }
   const std::string& method() const { return method_; }
+  /// Interned id of method(), cached at construction so the lock manager's
+  /// conflict test never hashes strings.
+  MethodId method_id() const { return method_id_; }
   const Args& args() const { return args_; }
 
   TxnState state() const { return state_.load(std::memory_order_acquire); }
@@ -90,6 +94,17 @@ class SubTxn {
   /// Incomplete children only (deadlock detector's completion dependencies).
   std::vector<SubTxn*> IncompleteChildren() const;
 
+  // --- lock-manager scratch (maintained on the ROOT node only) ------------
+  /// Shards of the sharded lock table that may hold entries of this tree
+  /// (bit `shard mod 64`); lets the release sweeps skip untouched shards.
+  void NoteLockShard(uint32_t shard_idx) {
+    lock_shards_.fetch_or(uint64_t{1} << (shard_idx & 63),
+                          std::memory_order_relaxed);
+  }
+  uint64_t lock_shards() const {
+    return lock_shards_.load(std::memory_order_relaxed);
+  }
+
   // --- timestamps for the history / serializability checker --------------
   uint64_t grant_seq() const { return grant_seq_; }
   void set_grant_seq(uint64_t s) { grant_seq_ = s; }
@@ -115,9 +130,11 @@ class SubTxn {
   const Oid object_;
   const TypeId type_;
   const std::string method_;
+  const MethodId method_id_;
   const Args args_;
   std::atomic<TxnState> state_{TxnState::kActive};
   std::atomic<bool> abort_requested_{false};
+  std::atomic<uint64_t> lock_shards_{0};
   bool compensation_ = false;
   uint64_t grant_seq_ = 0;
   uint64_t end_seq_ = 0;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <thread>
 
 #include "app/orderentry/workload.h"
@@ -57,7 +58,10 @@ constexpr TypeId kAtomT = 2;
 constexpr Oid kObjA = 100;
 constexpr Oid kObjB = 200;
 
-struct LockInvariantTest : public ::testing::Test {
+// Parameterized over the shard count: the whole suite must hold for the
+// default sharded table AND for lock_table_shards = 1 (the single-shard
+// configuration equivalent to the pre-sharding lock manager).
+struct LockInvariantTest : public ::testing::TestWithParam<int> {
   LockInvariantTest() {
     compat.Define(kItemT, "Ma", "Mb", true);
     compat.Define(kItemT, "Ma", "Ma", false);
@@ -68,6 +72,7 @@ struct LockInvariantTest : public ::testing::Test {
     ProtocolOptions o;
     o.debug_lock_checks = true;  // force on even in release builds
     o.wait_timeout = std::chrono::milliseconds(2000);
+    o.lock_table_shards = GetParam();
     return std::make_unique<LockManager>(o, &compat);
   }
 
@@ -79,7 +84,7 @@ struct LockInvariantTest : public ::testing::Test {
   CompatibilityRegistry compat;
 };
 
-TEST_F(LockInvariantTest, RetainedLocksPassTheChecker) {
+TEST_P(LockInvariantTest, RetainedLocksPassTheChecker) {
   auto lm = Make();
   TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
   SubTxn* ma = t1.NewNode(t1.root(), kObjA, kItemT, "Ma", {});
@@ -100,7 +105,7 @@ TEST_F(LockInvariantTest, RetainedLocksPassTheChecker) {
   EXPECT_EQ(lm->invariant_stats().leaked_locks.load(), 0u);
 }
 
-TEST_F(LockInvariantTest, Case1GrantPathPassesTheChecker) {
+TEST_P(LockInvariantTest, Case1GrantPathPassesTheChecker) {
   auto lm = Make();
   TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
   SubTxn* ma = t1.NewNode(t1.root(), kObjA, kItemT, "Ma", {});
@@ -124,7 +129,7 @@ TEST_F(LockInvariantTest, Case1GrantPathPassesTheChecker) {
   EXPECT_EQ(lm->invariant_stats().protocol_violations(), 0u);
 }
 
-TEST_F(LockInvariantTest, ForcedLockOrderInversionIsCounted) {
+TEST_P(LockInvariantTest, ForcedLockOrderInversionIsCounted) {
   auto lm = Make();
   // T1 locks A then B; T2 locks B then A. All four methods commute, so both
   // transactions get their grants without blocking — a silent inversion of
@@ -146,7 +151,7 @@ TEST_F(LockInvariantTest, ForcedLockOrderInversionIsCounted) {
   lm->ReleaseTree(t2.root());
 }
 
-TEST_F(LockInvariantTest, ConsistentOrderProducesNoInversions) {
+TEST_P(LockInvariantTest, ConsistentOrderProducesNoInversions) {
   auto lm = Make();
   TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
   TxnTree t2(TxnTree::NextId(), "T2", kDatabaseOid, 0);
@@ -162,6 +167,12 @@ TEST_F(LockInvariantTest, ConsistentOrderProducesNoInversions) {
   lm->ReleaseTree(t1.root());
   lm->ReleaseTree(t2.root());
 }
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, LockInvariantTest,
+                         ::testing::Values(1, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
 
 // --- checker over a real concurrent workload -----------------------------
 

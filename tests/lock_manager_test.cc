@@ -213,8 +213,11 @@ TEST_F(LockManagerTest, AbortRequestUnblocksWaiter) {
     EXPECT_TRUE(st.IsAborted()) << st.ToString();
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  t2.root()->RequestAbort();
+  // External aborts must go through the lock manager so the sleeping waiter
+  // is actually woken (there is no polling fallback).
+  lm->OnAbortRequested(t2.root());
   blocked.join();
+  EXPECT_TRUE(t2.root()->abort_requested());
 }
 
 TEST_F(LockManagerTest, DeadlockDetectedAndYoungestVictimChosen) {

@@ -180,17 +180,20 @@ TEST_F(QueryEval, AssemblyIsBlockedByConflictingRetainedLocks) {
     sched.Signal("updater.committed");
   });
   sched.WaitFor("shipped");
-  bool was_blocked = false;
+  // Robust blocking witness: the lock manager's counter, not a race between
+  // the woken reader and the updater thread reaching its post-commit signal.
+  const uint64_t blocked_before = db.locks()->stats().blocked_acquires.load();
   auto r = db.RunTransaction("assemble", [&](TxnCtx& ctx) -> Result<Value> {
     auto assembled = Assemble(ctx, data.item_oids[0]);
     if (!assembled.ok()) return assembled.status();
-    was_blocked = sched.HasFired("updater.committed");
     return Value();
   });
   sched.Signal("assembled");
   updater.join();
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_TRUE(was_blocked);  // query completed only after the commit
+  // The query blocked on the retained Put and completed only after the
+  // commit released it (the serializability check below validates the order).
+  EXPECT_GT(db.locks()->stats().blocked_acquires.load(), blocked_before);
   SemanticSerializabilityChecker checker(db.compat());
   EXPECT_TRUE(checker.Check(db.history()->Snapshot()).serializable);
 }
