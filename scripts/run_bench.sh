@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Run the experiment benches and write the machine-readable perf-trajectory
-# files BENCH_throughput.json and BENCH_contention.json at the repo root.
+# files BENCH_throughput.json, BENCH_contention.json, and BENCH_recovery.json
+# (logging overhead, restart cost, group commit, file-backed log) at the
+# repo root.
 #
 # Usage:
 #   scripts/run_bench.sh [build-dir]
@@ -16,7 +18,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${BUILD_DIR:-$repo_root/build-rel}}"
 
-for bench in bench_throughput bench_contention; do
+for bench in bench_throughput bench_contention bench_recovery; do
   if [[ ! -x "$build_dir/bench/$bench" ]]; then
     echo "error: $build_dir/bench/$bench not found (build with" >&2
     echo "  cmake -B $build_dir -S $repo_root -DCMAKE_BUILD_TYPE=Release" >&2
@@ -27,7 +29,9 @@ done
 
 "$build_dir/bench/bench_throughput" --json="$repo_root/BENCH_throughput.json"
 "$build_dir/bench/bench_contention" --json="$repo_root/BENCH_contention.json"
+"$build_dir/bench/bench_recovery" --json="$repo_root/BENCH_recovery.json"
 
 echo
 echo "wrote $repo_root/BENCH_throughput.json"
 echo "wrote $repo_root/BENCH_contention.json"
+echo "wrote $repo_root/BENCH_recovery.json"

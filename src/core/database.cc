@@ -1,19 +1,33 @@
 #include "core/database.h"
 
+#include "recovery/file_log_device.h"
+#include "util/logging.h"
+
 namespace semcc {
 
 Database::Database(DatabaseOptions options)
-    : options_(options), disk_(options.simulated_io_micros) {
+    : options_(std::move(options)), disk_(options_.simulated_io_micros) {
   buffer_pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages, &disk_);
   records_ = std::make_unique<RecordManager>(buffer_pool_.get());
   store_ = std::make_unique<ObjectStore>(&schema_, records_.get());
   history_.SetEnabled(options_.record_history);
   if (options_.enable_wal) {
-    wal_ = std::make_unique<WriteAheadLog>(options_.wal_flush_micros);
-    RecoveryOptions ropts;
-    ropts.group_commit = options_.group_commit;
-    ropts.group_window =
-        std::chrono::microseconds(options_.group_commit_window_micros);
+    const RecoveryOptions& ropts = options_.recovery;
+    WalOptions wopts;
+    wopts.max_flush_attempts = ropts.max_flush_attempts;
+    wopts.flush_retry_backoff = ropts.flush_retry_backoff;
+    if (!ropts.log_dir.empty()) {
+      FileLogDeviceOptions fopts;
+      fopts.segment_bytes = ropts.log_segment_bytes;
+      auto device = FileLogDevice::Open(ropts.log_dir, fopts);
+      SEMCC_CHECK(device.ok()) << "cannot open log directory " << ropts.log_dir
+                               << ": " << device.status().ToString();
+      wal_ = std::make_unique<WriteAheadLog>(std::move(device).ValueUnsafe(),
+                                             wopts);
+    } else {
+      wal_ = std::make_unique<WriteAheadLog>(
+          std::make_unique<InMemoryLogDevice>(ropts.wal_flush_micros), wopts);
+    }
     recovery_ = std::make_unique<RecoveryManager>(wal_.get(), ropts);
     store_->SetListener(recovery_.get());
   }
@@ -71,7 +85,43 @@ Result<RecoveryManager::RecoveryStats> Database::RecoverFrom(
   };
   auto stats = RecoveryManager::Recover(log, store_.get(), &methods_,
                                         txn_manager_.get(), sink);
-  if (stats.ok() && wal_ != nullptr) wal_->Flush();
+  if (stats.ok() && wal_ != nullptr) {
+    SEMCC_RETURN_NOT_OK(wal_->Flush());
+  }
+  return stats;
+}
+
+Result<RecoveryManager::RecoveryStats> Database::RestartFromLog() {
+  if (wal_ == nullptr) {
+    return Status::PreconditionFailed("RestartFromLog needs enable_wal");
+  }
+  if (store_->num_objects() > 1) {
+    return Status::PreconditionFailed(
+        "RestartFromLog needs an object-empty database (register types and "
+        "methods only, then restart)");
+  }
+  SEMCC_ASSIGN_OR_RETURN(std::vector<LogRecord> log, wal_->RecoverAtStartup());
+  // REDO must not re-log: the physical records it replays are already in
+  // this log. The compensation pass runs with the listener reattached so
+  // loser compensation is logged like any online abort.
+  store_->SetListener(nullptr);
+  auto reattach = [this]() { store_->SetListener(recovery_.get()); };
+  // Named roots are replayed, not re-bound: update the in-memory directory
+  // without appending fresh kNamedRoot records.
+  auto sink = [this](const std::string& name, Oid oid) {
+    MutexLock guard(roots_mu_);
+    named_roots_[name] = oid;
+  };
+  auto stats = RecoveryManager::Recover(log, store_.get(), &methods_,
+                                        txn_manager_.get(), sink, reattach);
+  store_->SetListener(recovery_.get());
+  if (!stats.ok()) return stats;
+  // Mark every compensated loser abort-complete (and force), so the next
+  // restart replays original + compensation records and skips re-undo.
+  for (TxnId loser : stats.ValueOrDie().loser_ids) {
+    recovery_->OnTxnAbort(loser);
+  }
+  SEMCC_RETURN_NOT_OK(recovery_->health());
   return stats;
 }
 

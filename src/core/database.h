@@ -43,11 +43,9 @@ struct DatabaseOptions {
   /// recovery/recovery_manager.h). Off by default: the paper defers
   /// recovery; this is the future-work extension.
   bool enable_wal = false;
-  /// Simulated stable-storage latency per log force (an fsync; 0 = free).
-  uint32_t wal_flush_micros = 0;
-  /// Batch commit forces in a group flusher instead of one per commit.
-  bool group_commit = false;
-  uint32_t group_commit_window_micros = 200;
+  /// Durability policy and log device selection (group commit, file-backed
+  /// vs in-memory log, flush retry) — see RecoveryOptions.
+  RecoveryOptions recovery;
   size_t buffer_pool_pages = 4096;
   /// Busy-wait per simulated page I/O (0 = pure in-memory).
   uint32_t simulated_io_micros = 0;
@@ -99,8 +97,18 @@ class Database {
 
   /// Rebuild this (freshly constructed, schema- and method-installed but
   /// object-empty) database from a log. See RecoveryManager::Recover.
+  /// Re-logs everything into this database's own WAL (if enabled), so the
+  /// new log is self-contained — a chained checkpoint.
   Result<RecoveryManager::RecoveryStats> RecoverFrom(
       const std::vector<LogRecord>& log);
+
+  /// Restart in place from this database's own log device: scan the
+  /// durable image (truncating a torn tail, refusing mid-log corruption),
+  /// REDO the physical records, compensate the losers, and mark each loser
+  /// abort-complete in the same log. Requires enable_wal and an
+  /// object-empty database; with options.recovery.log_dir set this is the
+  /// real restart-after-crash path.
+  Result<RecoveryManager::RecoveryStats> RestartFromLog();
 
  private:
   const DatabaseOptions options_;

@@ -1,0 +1,80 @@
+#include "recovery/fault_injector.h"
+
+#include <algorithm>
+#include <string>
+
+namespace semcc {
+
+Status FaultInjector::Append(std::string_view bytes) {
+  MutexLock guard(mu_);
+  if (powered_off_) return Status::IOError("simulated power loss");
+  if (plan_.power_cut_after_bytes >= 0) {
+    const uint64_t position = inner_->written_bytes();
+    const auto cut = static_cast<uint64_t>(plan_.power_cut_after_bytes);
+    if (position + bytes.size() >= cut) {
+      // The bytes up to the cut offset reached the platter (worst case for
+      // tearing: the write was mid-frame); everything after is gone.
+      const uint64_t budget = cut > position ? cut - position : 0;
+      (void)inner_->Append(bytes.substr(0, budget));
+      (void)inner_->Sync();
+      powered_off_ = true;
+      return Status::IOError("simulated power loss at log byte " +
+                             std::to_string(cut));
+    }
+  }
+  if (plan_.short_write_bytes >= 0) {
+    const auto n = std::min<uint64_t>(
+        static_cast<uint64_t>(plan_.short_write_bytes), bytes.size());
+    plan_.short_write_bytes = -1;
+    short_writes_++;
+    (void)inner_->Append(bytes.substr(0, n));
+    return Status::IOError("injected short write (" + std::to_string(n) +
+                           " of " + std::to_string(bytes.size()) + " bytes)");
+  }
+  return inner_->Append(bytes);
+}
+
+Status FaultInjector::Sync() {
+  MutexLock guard(mu_);
+  if (powered_off_) return Status::IOError("simulated power loss");
+  if (plan_.fail_all_syncs || plan_.fail_next_syncs > 0) {
+    if (plan_.fail_next_syncs > 0) plan_.fail_next_syncs--;
+    sync_failures_++;
+    return Status::IOError("injected fsync failure");
+  }
+  return inner_->Sync();
+}
+
+Result<std::string> FaultInjector::ReadDurable() {
+  MutexLock guard(mu_);
+  // Post-reboot view: works even after a power cut.
+  return inner_->ReadDurable();
+}
+
+Status FaultInjector::Truncate(uint64_t size) {
+  MutexLock guard(mu_);
+  if (powered_off_) return Status::IOError("simulated power loss");
+  return inner_->Truncate(size);
+}
+
+void FaultInjector::SetPlan(FaultPlan plan) {
+  MutexLock guard(mu_);
+  plan_ = plan;
+}
+
+bool FaultInjector::powered_off() const {
+  MutexLock guard(mu_);
+  return powered_off_;
+}
+
+uint64_t FaultInjector::injected_sync_failures() const {
+  MutexLock guard(mu_);
+  return sync_failures_;
+}
+
+uint64_t FaultInjector::injected_short_writes() const {
+  MutexLock guard(mu_);
+  return short_writes_;
+}
+
+}  // namespace semcc

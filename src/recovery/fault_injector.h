@@ -1,0 +1,79 @@
+// FaultInjector: a LogDevice decorator that makes the failure modes of a
+// real log device happen deterministically, on demand:
+//
+//   * short writes — the next Append passes only a prefix to the inner
+//     device and fails, leaving a torn frame exactly as an interrupted
+//     write() would;
+//   * fsync EIO — the next N (or all) Sync calls fail without syncing the
+//     inner device, modelling a transient or dead disk;
+//   * power cuts — once the cumulative byte stream reaches a configured
+//     offset, the bytes up to that offset are forced onto the inner device
+//     (the worst case: the torn prefix did reach the platter) and every
+//     further operation fails with "power lost". ReadDurable keeps working:
+//     it is the post-reboot view.
+//
+// The injector composes: WriteAheadLog owns the injector, the injector owns
+// the inner device, and tests reconfigure the plan mid-run through its own
+// lock (devices are otherwise externally serialized by the WAL).
+#ifndef SEMCC_RECOVERY_FAULT_INJECTOR_H_
+#define SEMCC_RECOVERY_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "recovery/log_device.h"
+#include "util/annotations.h"
+
+namespace semcc {
+
+struct FaultPlan {
+  /// ≥ 0: simulate power loss once this many total bytes have been
+  /// appended; bytes up to the offset reach the inner device (and are
+  /// force-synced), everything after is gone. -1 = off.
+  int64_t power_cut_after_bytes = -1;
+  /// ≥ 0: the next Append passes only this many of its bytes to the inner
+  /// device, then fails (one-shot torn write). -1 = off.
+  int64_t short_write_bytes = -1;
+  /// Fail this many upcoming Sync calls with IOError, then recover
+  /// (transient fsync EIO).
+  int fail_next_syncs = 0;
+  /// Fail every Sync (dead device).
+  bool fail_all_syncs = false;
+};
+
+class FaultInjector : public LogDevice {
+ public:
+  explicit FaultInjector(std::unique_ptr<LogDevice> inner,
+                         FaultPlan plan = FaultPlan())
+      : inner_(std::move(inner)), plan_(plan) {}
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(FaultInjector);
+
+  Status Append(std::string_view bytes) override SEMCC_EXCLUDES(mu_);
+  Status Sync() override SEMCC_EXCLUDES(mu_);
+  Result<std::string> ReadDurable() override SEMCC_EXCLUDES(mu_);
+  Status Truncate(uint64_t size) override SEMCC_EXCLUDES(mu_);
+
+  uint64_t written_bytes() const override { return inner_->written_bytes(); }
+  uint64_t synced_bytes() const override { return inner_->synced_bytes(); }
+  uint64_t sync_count() const override { return inner_->sync_count(); }
+
+  /// Replace the pending plan (counters keep accumulating).
+  void SetPlan(FaultPlan plan) SEMCC_EXCLUDES(mu_);
+
+  LogDevice* inner() { return inner_.get(); }
+  bool powered_off() const SEMCC_EXCLUDES(mu_);
+  uint64_t injected_sync_failures() const SEMCC_EXCLUDES(mu_);
+  uint64_t injected_short_writes() const SEMCC_EXCLUDES(mu_);
+
+ private:
+  const std::unique_ptr<LogDevice> inner_;
+  mutable Mutex mu_;
+  FaultPlan plan_ SEMCC_GUARDED_BY(mu_);
+  bool powered_off_ SEMCC_GUARDED_BY(mu_) = false;
+  uint64_t sync_failures_ SEMCC_GUARDED_BY(mu_) = 0;
+  uint64_t short_writes_ SEMCC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_RECOVERY_FAULT_INJECTOR_H_

@@ -1,0 +1,118 @@
+#include "recovery/log_device.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/logging.h"
+
+namespace semcc {
+
+namespace logframe {
+
+namespace {
+
+/// The CRC stored in a frame header is masked (rotated plus a constant) so
+/// that payload bytes which happen to carry the CRC's own fixed points
+/// cannot self-validate as frames. Concretely: CRC32C of a run of 0xff
+/// bytes (an encoded kInvalidOid!) is 0xffffffff, so without masking the
+/// byte pattern `len | ff ff ff ff | ff...` inside a torn record tail
+/// parses as an intact frame — and an "intact" frame after damage is
+/// exactly what makes the scanner refuse a log as mid-log corrupt.
+constexpr uint32_t kCrcMaskDelta = 0xa282ead8u;
+
+uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kCrcMaskDelta;
+}
+
+}  // namespace
+
+void AppendFrame(std::string* dst, std::string_view payload) {
+  SEMCC_CHECK(!payload.empty()) << "log frames carry non-empty payloads";
+  SEMCC_CHECK(payload.size() <= kMaxPayload);
+  PutU32(dst, static_cast<uint32_t>(payload.size()));
+  PutU32(dst, MaskCrc(crc32c::Value(payload)));
+  dst->append(payload.data(), payload.size());
+}
+
+namespace {
+
+/// Parse + CRC-validate a frame at `pos`; on success sets *len.
+bool FrameAt(std::string_view image, size_t pos, uint32_t* len) {
+  if (image.size() - pos < kHeaderSize) return false;
+  uint32_t n = 0;
+  uint32_t crc = 0;
+  std::memcpy(&n, image.data() + pos, sizeof(n));
+  std::memcpy(&crc, image.data() + pos + sizeof(n), sizeof(crc));
+  if (n == 0 || n > kMaxPayload) return false;
+  if (image.size() - pos - kHeaderSize < n) return false;
+  if (MaskCrc(crc32c::Value(image.data() + pos + kHeaderSize, n)) != crc) {
+    return false;
+  }
+  *len = n;
+  return true;
+}
+
+}  // namespace
+
+Result<Scan> ScanFrames(std::string_view image) {
+  Scan out;
+  size_t off = 0;
+  while (off < image.size()) {
+    uint32_t len = 0;
+    if (FrameAt(image, off, &len)) {
+      out.payloads.emplace_back(image.substr(off + kHeaderSize, len));
+      off += kHeaderSize + len;
+      continue;
+    }
+    // Bad frame at `off`. An intact frame anywhere after the damage means
+    // later bytes survived — that is mid-log corruption, not a tear.
+    for (size_t probe = off + 1; probe + kHeaderSize <= image.size(); ++probe) {
+      uint32_t ignored = 0;
+      if (FrameAt(image, probe, &ignored)) {
+        return Status::Corruption(
+            "log corrupt at byte " + std::to_string(off) +
+            " with intact frames after it (not a torn tail) — refusing to "
+            "replay around the hole");
+      }
+    }
+    out.valid_bytes = off;
+    out.truncated_tail = true;
+    return out;
+  }
+  out.valid_bytes = off;
+  return out;
+}
+
+}  // namespace logframe
+
+// --- InMemoryLogDevice ----------------------------------------------------
+
+Status InMemoryLogDevice::Append(std::string_view bytes) {
+  image_.append(bytes.data(), bytes.size());
+  return Status::OK();
+}
+
+Status InMemoryLogDevice::Sync() {
+  if (sync_micros_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sync_micros_));
+  }
+  synced_ = image_.size();
+  syncs_++;
+  return Status::OK();
+}
+
+Result<std::string> InMemoryLogDevice::ReadDurable() {
+  return image_.substr(0, synced_);
+}
+
+Status InMemoryLogDevice::Truncate(uint64_t size) {
+  if (size < image_.size()) image_.resize(size);
+  synced_ = std::min<uint64_t>(synced_, size);
+  return Status::OK();
+}
+
+}  // namespace semcc

@@ -1,0 +1,139 @@
+// LogDevice: the byte-level stable-storage abstraction underneath the WAL.
+//
+// The WAL thinks in records; a device thinks in bytes. Append() adds bytes
+// to the device image (think: the OS page cache — nothing is promised until
+// Sync() returns OK), Sync() is the fsync, and ReadDurable() is what a
+// restart after a crash would read back. Any call may fail part-way: a torn
+// Append leaves a partial frame on the image, a failed Sync leaves bytes in
+// the cache that a power loss would drop. Recovery owns those failure modes
+// (see logframe::ScanFrames and WriteAheadLog::RecoverAtStartup); devices
+// just report them honestly through Status.
+//
+// Implementations: InMemoryLogDevice (below, the unit-test default),
+// FileLogDevice (file_log_device.h, append-only segment files), and
+// FaultInjector (fault_injector.h, a decorator that injects short writes,
+// fsync EIO, and power cuts deterministically).
+//
+// Thread-safety: devices are externally serialized — the WAL calls them
+// only under its device mutex. FaultInjector adds its own lock because
+// tests reconfigure it concurrently.
+#ifndef SEMCC_RECOVERY_LOG_DEVICE_H_
+#define SEMCC_RECOVERY_LOG_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace semcc {
+
+class LogDevice {
+ public:
+  virtual ~LogDevice() = default;
+
+  /// Append bytes at the end of the device image. On failure a *prefix* of
+  /// `bytes` may have reached the image (a torn write).
+  virtual Status Append(std::string_view bytes) = 0;
+
+  /// Make every appended byte durable (the fsync).
+  virtual Status Sync() = 0;
+
+  /// The image a restart would read back: everything a successful Sync has
+  /// covered, plus — device permitting — torn bytes that happened to reach
+  /// the medium before a crash.
+  virtual Result<std::string> ReadDurable() = 0;
+
+  /// Drop everything after the first `size` bytes (tail repair after a
+  /// detected torn write).
+  virtual Status Truncate(uint64_t size) = 0;
+
+  /// Bytes accepted by Append so far (including torn prefixes).
+  virtual uint64_t written_bytes() const = 0;
+  /// Bytes covered by the last successful Sync.
+  virtual uint64_t synced_bytes() const = 0;
+  /// Successful Sync calls.
+  virtual uint64_t sync_count() const = 0;
+};
+
+// --- record framing -------------------------------------------------------
+
+namespace logframe {
+
+/// Frame layout: u32 payload length | u32 masked CRC32C(payload) | payload.
+/// Little-endian, matching util/coding.h. Payloads are never empty (an
+/// encoded LogRecord has a fixed header), which ScanFrames relies on to
+/// reject runs of zeros as frames. The stored CRC is masked (rotate +
+/// constant) so payload byte patterns that hit the CRC's fixed points —
+/// e.g. 0xff runs, whose CRC32C is 0xffffffff — cannot self-validate as
+/// frames inside a torn tail.
+constexpr size_t kHeaderSize = 8;
+/// Sanity cap on a single payload; a length field above this is corruption,
+/// not a frame.
+constexpr uint32_t kMaxPayload = 1u << 30;
+
+/// Append one framed payload to `*dst`.
+void AppendFrame(std::string* dst, std::string_view payload);
+
+struct Scan {
+  /// Payload bytes of every intact frame, in log order.
+  std::vector<std::string> payloads;
+  /// Length of the image prefix that framed cleanly.
+  uint64_t valid_bytes = 0;
+  /// True if a torn/corrupt tail was dropped at valid_bytes.
+  bool truncated_tail = false;
+};
+
+/// Walk `image` frame by frame, CRC-checking each payload.
+///
+/// The tail-truncation rule: a bad frame (short header, short payload,
+/// implausible length, or CRC mismatch) with *no intact frame after it* is
+/// a torn tail — the crash interrupted the last device write — and the scan
+/// succeeds with everything before it. A bad frame *followed by* an intact
+/// frame cannot be a tear (bytes after the damage survived), so the scan
+/// refuses with Corruption rather than replaying around a hole.
+Result<Scan> ScanFrames(std::string_view image);
+
+}  // namespace logframe
+
+// --- in-memory device -----------------------------------------------------
+
+/// \brief The unit-test default device: a byte string plus a synced
+/// watermark. ReadDurable returns only the synced prefix (a reboot loses
+/// the cache), so a failed Sync genuinely loses bytes here too.
+class InMemoryLogDevice : public LogDevice {
+ public:
+  /// \param sync_micros simulated stable-storage latency per Sync (models an
+  /// fsync; 0 = free). With a non-zero cost, group commit pays off.
+  explicit InMemoryLogDevice(uint32_t sync_micros = 0)
+      : sync_micros_(sync_micros) {}
+  /// Device with pre-existing durable content — how the crash-offset sweep
+  /// materializes "the first k bytes reached the platter".
+  explicit InMemoryLogDevice(std::string preloaded, uint32_t sync_micros = 0)
+      : sync_micros_(sync_micros),
+        image_(std::move(preloaded)),
+        synced_(image_.size()) {}
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(InMemoryLogDevice);
+
+  Status Append(std::string_view bytes) override;
+  Status Sync() override;
+  Result<std::string> ReadDurable() override;
+  Status Truncate(uint64_t size) override;
+
+  uint64_t written_bytes() const override { return image_.size(); }
+  uint64_t synced_bytes() const override { return synced_; }
+  uint64_t sync_count() const override { return syncs_; }
+
+ private:
+  const uint32_t sync_micros_;
+  std::string image_;
+  uint64_t synced_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_RECOVERY_LOG_DEVICE_H_

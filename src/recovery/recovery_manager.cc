@@ -15,41 +15,91 @@ RecoveryManager::RecoveryManager(WriteAheadLog* wal, RecoveryOptions options)
   }
 }
 
-RecoveryManager::~RecoveryManager() {
-  if (gc_flusher_.joinable()) {
-    {
-      MutexLock guard(gc_mu_);
-      gc_stop_ = true;
-    }
-    gc_cv_.NotifyAll();
-    gc_flusher_.join();
+RecoveryManager::~RecoveryManager() { Shutdown(); }
+
+void RecoveryManager::Shutdown() {
+  if (!gc_flusher_.joinable()) return;
+  {
+    MutexLock guard(gc_mu_);
+    gc_stop_ = true;
   }
+  gc_cv_.NotifyAll();
+  gc_flusher_.join();
 }
 
 void RecoveryManager::GroupFlusherLoop() {
   MutexLock lock(gc_mu_);
-  while (!gc_stop_) {
-    while (!gc_pending_ && !gc_stop_) gc_cv_.Wait(lock);
-    if (gc_stop_) break;
-    // Batch: let concurrent committers pile in behind the first one.
+  while (true) {
+    // Sleep until there is unflushed demand. The demand signal is the
+    // requested-LSN watermark compared against what is already stable, so
+    // a request that arrives while a flush is in flight stays visible — a
+    // boolean batch flag would be wiped by the post-flush reset and leave
+    // that committer waiting forever.
+    while (!gc_stop_ && gc_requested_ <= wal_->stable_lsn()) {
+      gc_cv_.Wait(lock);
+    }
+    // On stop, drain: keep flushing until the watermark is stable, so a
+    // committer already waiting in MakeStable is never abandoned.
+    if (gc_requested_ <= wal_->stable_lsn()) break;
+    if (!gc_stop_) {
+      // Batching window: let concurrent committers pile in behind the
+      // first one. Interruptible (a stop request cuts it short) — the old
+      // uninterruptible sleep also missed every record appended after the
+      // flush snapshot it preceded; waiting on the condvar keeps the
+      // window exact without losing wakeups, because the watermark re-check
+      // above catches anything that arrived meanwhile.
+      const auto deadline =
+          std::chrono::steady_clock::now() + options_.group_window;
+      while (!gc_stop_ &&
+             gc_cv_.WaitUntil(lock, deadline) != std::cv_status::timeout) {
+      }
+    }
     lock.Unlock();
-    std::this_thread::sleep_for(options_.group_window);
-    wal_->Flush();
+    const Status st = wal_->Flush();
     lock.Lock();
-    gc_pending_ = false;
+    if (!st.ok()) {
+      gc_status_ = st;
+      break;
+    }
     gc_cv_.NotifyAll();
   }
+  gc_exited_ = true;
+  gc_cv_.NotifyAll();
 }
 
-void RecoveryManager::MakeStable(Lsn lsn) {
-  if (!options_.group_commit) {
-    wal_->Flush();
-    return;
+Status RecoveryManager::MakeStable(Lsn lsn) {
+  if (lsn == kInvalidLsn) {
+    // The WAL refused the append: it is degraded. Surface why.
+    const Status st = wal_->health();
+    return st.ok() ? Status::IOError("log append failed") : st;
   }
+  if (!options_.group_commit) return wal_->Flush();
   MutexLock lock(gc_mu_);
-  gc_pending_ = true;
+  if (gc_requested_ < lsn) gc_requested_ = lsn;
   gc_cv_.NotifyAll();
-  while (wal_->stable_lsn() < lsn) gc_cv_.Wait(lock);
+  while (wal_->stable_lsn() < lsn) {
+    if (!gc_status_.ok()) return gc_status_;
+    if (gc_exited_) {
+      return Status::Aborted("log flusher stopped before LSN " +
+                             std::to_string(lsn) + " became stable");
+    }
+    gc_cv_.Wait(lock);
+  }
+  return Status::OK();
+}
+
+Status RecoveryManager::health() const {
+  {
+    MutexLock guard(gc_mu_);
+    if (!health_.ok()) return health_;
+  }
+  return wal_->health();
+}
+
+void RecoveryManager::RecordFailure(const Status& st) {
+  SEMCC_LOG(Error) << "commit durability lost: " << st.ToString();
+  MutexLock guard(gc_mu_);
+  if (health_.ok()) health_ = st;
 }
 
 // --- physical stratum ---------------------------------------------------
@@ -121,7 +171,9 @@ void RecoveryManager::OnNamedRoot(const std::string& name, Oid oid) {
   rec.name = name;
   rec.object = oid;
   wal_->Append(std::move(rec));
-  wal_->Flush();  // directory entries are rare and precious
+  // Directory entries are rare and precious: force individually.
+  const Status st = wal_->Flush();
+  if (!st.ok()) RecordFailure(st);
 }
 
 // --- transactional stratum -------------------------------------------------
@@ -138,7 +190,9 @@ void RecoveryManager::OnTxnCommit(TxnId txn) {
   rec.type = LogType::kTxnCommit;
   rec.txn = txn;
   const Lsn lsn = wal_->Append(std::move(rec));
-  MakeStable(lsn);  // force at commit (individually or via group commit)
+  // Force at commit (individually or via group commit).
+  const Status st = MakeStable(lsn);
+  if (!st.ok()) RecordFailure(st);
 }
 
 void RecoveryManager::OnTxnAbort(TxnId txn) {
@@ -146,7 +200,9 @@ void RecoveryManager::OnTxnAbort(TxnId txn) {
   rec.type = LogType::kTxnAbort;
   rec.txn = txn;
   const Lsn lsn = wal_->Append(std::move(rec));
-  MakeStable(lsn);  // abort is complete: restart must not re-undo
+  // Abort is complete: restart must not re-undo.
+  const Status st = MakeStable(lsn);
+  if (!st.ok()) RecordFailure(st);
 }
 
 LogRecord RecoveryManager::ActionBase(const SubTxn& node, LogType type) {
@@ -202,7 +258,8 @@ std::string RecoveryManager::RecoveryStats::ToString() const {
 Result<RecoveryManager::RecoveryStats> RecoveryManager::Recover(
     const std::vector<LogRecord>& log, ObjectStore* store,
     MethodRegistry* methods, TxnManager* txns,
-    const std::function<void(const std::string&, Oid)>& named_root_sink) {
+    const std::function<void(const std::string&, Oid)>& named_root_sink,
+    const std::function<void()>& between_passes) {
   RecoveryStats stats;
   stats.records = log.size();
 
@@ -260,6 +317,8 @@ Result<RecoveryManager::RecoveryStats> RecoveryManager::Recover(
     }
   }
 
+  if (between_passes) between_passes();
+
   // Pass 2 — UNDO the losers: begun, neither committed nor abort-complete.
   std::set<TxnId> losers;
   for (TxnId t : begun) {
@@ -267,6 +326,7 @@ Result<RecoveryManager::RecoveryStats> RecoveryManager::Recover(
   }
   stats.winners = begun.size() - losers.size();
   stats.losers = losers.size();
+  stats.loser_ids.assign(losers.begin(), losers.end());
   if (losers.empty()) return stats;
 
   // Subtransactions of losers that committed WITH a registered total
@@ -325,11 +385,14 @@ Result<RecoveryManager::RecoveryStats> RecoveryManager::Recover(
         stats.leaf_undos++;
         break;
       }
-      case LogType::kLeafSetRemove:
-        SEMCC_RETURN_NOT_OK(
-            store->SetInsert(rec.object, rec.args[0], rec.aux_oid));
+      case LogType::kLeafSetRemove: {
+        // AlreadyExists: the crash hit between the undo record and the
+        // physical remove, so the member never left the set.
+        Status st = store->SetInsert(rec.object, rec.args[0], rec.aux_oid);
+        if (!st.ok() && !st.IsAlreadyExists()) return st;
         stats.leaf_undos++;
         break;
+      }
       default:
         break;
     }

@@ -40,7 +40,8 @@
 
 namespace semcc {
 
-/// \brief Commit-durability policy of the RecoveryManager.
+/// \brief Commit-durability policy of the RecoveryManager, plus the log
+/// device configuration the Database uses to build the WAL.
 struct RecoveryOptions {
   /// false: every commit forces the log individually (simplest, one device
   /// write per transaction). true: commits enqueue and a group flusher
@@ -50,6 +51,19 @@ struct RecoveryOptions {
   bool group_commit = false;
   /// Batching window of the group flusher.
   std::chrono::microseconds group_window{200};
+  /// Empty: in-memory log device (tests, perf baselines). Non-empty:
+  /// durable file-backed log in this directory — append-only segment files
+  /// written through POSIX write/fsync (see file_log_device.h).
+  std::string log_dir;
+  /// Segment rotation threshold of the file-backed device.
+  uint64_t log_segment_bytes = 4u << 20;
+  /// In-memory device only: simulated stable-storage latency per sync.
+  uint32_t wal_flush_micros = 0;
+  /// Flush attempts (first try + retries) before the WAL degrades to the
+  /// failed read-only state (see WalOptions).
+  int max_flush_attempts = 4;
+  /// Backoff before the first flush retry; doubles per further retry.
+  std::chrono::microseconds flush_retry_backoff{200};
 };
 
 class RecoveryManager : public StoreListener, public ActionLogger {
@@ -72,7 +86,10 @@ class RecoveryManager : public StoreListener, public ActionLogger {
 
   // --- ActionLogger (transactional undo stratum) -------------------------
   void OnTxnBegin(TxnId txn) override;
-  void OnTxnCommit(TxnId txn) override;  // forces the log
+  /// Forces the log (individually or via group commit). A durability
+  /// failure cannot stop the in-memory commit — the interface is void — so
+  /// it is recorded sticky in health() and logged loudly instead.
+  void OnTxnCommit(TxnId txn) override;
   void OnTxnAbort(TxnId txn) override;
   void OnMethodCommitted(const SubTxn& node, const Value& result,
                          bool has_total_inverse) override;
@@ -85,6 +102,15 @@ class RecoveryManager : public StoreListener, public ActionLogger {
 
   WriteAheadLog* wal() { return wal_; }
 
+  /// OK, or the first durability failure observed on a commit/abort force
+  /// (also surfaces the WAL's own degraded state). Sticky.
+  Status health() const SEMCC_EXCLUDES(gc_mu_);
+
+  /// Stop the group flusher, draining pending flush requests first (a
+  /// commit waiting in MakeStable either becomes stable or is failed — it
+  /// is never left sleeping). Idempotent; the destructor calls it.
+  void Shutdown() SEMCC_EXCLUDES(gc_mu_);
+
   struct RecoveryStats {
     size_t records = 0;
     size_t redo_applied = 0;
@@ -92,31 +118,52 @@ class RecoveryManager : public StoreListener, public ActionLogger {
     size_t losers = 0;
     size_t inverses_run = 0;
     size_t leaf_undos = 0;
+    /// Ids of the loser transactions (in-place restart logs a kTxnAbort
+    /// marker for each once their compensation completed).
+    std::vector<TxnId> loser_ids;
     std::string ToString() const;
   };
 
   /// Rebuild state from `log` into the (freshly constructed, schema- and
   /// method-installed, object-empty) target components. `named_root_sink`
-  /// receives replayed named-root bindings.
+  /// receives replayed named-root bindings. `between_passes`, if set, runs
+  /// after the physical REDO pass and before loser compensation — in-place
+  /// restart uses it to reattach the store listener, so REDO does not
+  /// re-log records that are already in the log but the compensation
+  /// transactions do log theirs.
   static Result<RecoveryStats> Recover(
       const std::vector<LogRecord>& log, ObjectStore* store,
       MethodRegistry* methods, TxnManager* txns,
-      const std::function<void(const std::string&, Oid)>& named_root_sink);
+      const std::function<void(const std::string&, Oid)>& named_root_sink,
+      const std::function<void()>& between_passes = {});
 
  private:
   LogRecord ActionBase(const SubTxn& node, LogType type);
-  /// Make `lsn` stable per the commit policy (force or group).
-  void MakeStable(Lsn lsn) SEMCC_EXCLUDES(gc_mu_);
+  /// Make `lsn` stable per the commit policy (force or group). Returns the
+  /// durability outcome: a failed WAL, a failed group flush, or a flusher
+  /// that stopped before the LSN became stable all surface here instead of
+  /// hanging the committer.
+  Status MakeStable(Lsn lsn) SEMCC_EXCLUDES(gc_mu_);
   void GroupFlusherLoop() SEMCC_EXCLUDES(gc_mu_);
+  /// Record a durability failure in health() (first one wins) and log it.
+  void RecordFailure(const Status& st) SEMCC_EXCLUDES(gc_mu_);
 
   WriteAheadLog* const wal_;
   const RecoveryOptions options_;
 
   // Group-commit machinery (only used when options_.group_commit).
-  Mutex gc_mu_;
+  mutable Mutex gc_mu_;
   CondVar gc_cv_;
   bool gc_stop_ SEMCC_GUARDED_BY(gc_mu_) = false;
-  bool gc_pending_ SEMCC_GUARDED_BY(gc_mu_) = false;
+  /// Highest LSN whose durability has been requested. A watermark, not a
+  /// boolean: requests that arrive while a flush is in flight stay visible
+  /// (watermark > stable_lsn) instead of being lost with the batch flag.
+  Lsn gc_requested_ SEMCC_GUARDED_BY(gc_mu_) = 0;
+  /// First group-flush failure; sticky, returned to every waiter.
+  Status gc_status_ SEMCC_GUARDED_BY(gc_mu_);
+  bool gc_exited_ SEMCC_GUARDED_BY(gc_mu_) = false;
+  /// First durability failure observed on any commit/abort path.
+  Status health_ SEMCC_GUARDED_BY(gc_mu_);
   std::thread gc_flusher_;
 };
 

@@ -1,35 +1,127 @@
 #include "recovery/wal.h"
 
-#include <chrono>
+#include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace semcc {
 
+WriteAheadLog::WriteAheadLog(uint32_t flush_micros)
+    : options_(WalOptions()),
+      device_(std::make_unique<InMemoryLogDevice>(flush_micros)) {}
+
+WriteAheadLog::WriteAheadLog(std::unique_ptr<LogDevice> device,
+                             WalOptions options)
+    : options_(options), device_(std::move(device)) {
+  SEMCC_CHECK(device_ != nullptr);
+  SEMCC_CHECK(options_.max_flush_attempts >= 1);
+}
+
+Result<std::vector<LogRecord>> WriteAheadLog::RecoverAtStartup() {
+  MutexLock device_guard(device_mu_);
+  auto image = device_->ReadDurable();
+  SEMCC_RETURN_NOT_OK(image.status());
+  auto scan = logframe::ScanFrames(*image);
+  SEMCC_RETURN_NOT_OK(scan.status());
+  if (scan->truncated_tail) {
+    SEMCC_LOG(Warn) << "WAL restart: truncating torn tail at byte "
+                    << scan->valid_bytes << " (dropping "
+                    << image->size() - scan->valid_bytes << " bytes)";
+    SEMCC_RETURN_NOT_OK(device_->Truncate(scan->valid_bytes));
+  }
+  std::vector<LogRecord> out;
+  out.reserve(scan->payloads.size());
+  MutexLock guard(mu_);
+  SEMCC_CHECK(encoded_.empty()) << "RecoverAtStartup after Append";
+  Lsn max_lsn = 0;
+  for (std::string& payload : scan->payloads) {
+    auto rec = LogRecord::Decode(payload);
+    if (!rec.ok()) {
+      return Status::Corruption("log record undecodable after CRC pass: " +
+                                rec.status().ToString());
+    }
+    max_lsn = std::max(max_lsn, rec.ValueOrDie().lsn);
+    out.push_back(std::move(rec).ValueUnsafe());
+    lsns_.push_back(out.back().lsn);
+    encoded_.push_back(std::move(payload));
+  }
+  stable_ = encoded_.size();
+  stable_bytes_ = scan->valid_bytes;
+  next_lsn_.store(max_lsn + 1);
+  return out;
+}
+
 Lsn WriteAheadLog::Append(LogRecord record) {
   MutexLock guard(mu_);
+  if (!failed_.ok()) return kInvalidLsn;
   record.lsn = next_lsn_.fetch_add(1);
   encoded_.push_back(record.Encode());
   lsns_.push_back(record.lsn);
   return record.lsn;
 }
 
-void WriteAheadLog::Flush() {
-  if (flush_micros_ > 0) {
-    // Simulated stable-storage latency (an fsync). The log device is a
-    // single serialized resource: concurrent flushes queue behind each
-    // other — which is exactly why group commit pays off. Paid OUTSIDE the
-    // append lock so writers are not stalled by the device.
-    MutexLock device(device_mu_);
-    std::this_thread::sleep_for(std::chrono::microseconds(flush_micros_));
+Status WriteAheadLog::Flush() {
+  MutexLock device_guard(device_mu_);
+  // Snapshot the pending records into one framed batch. Records appended
+  // after this point belong to the next flush.
+  std::string batch;
+  size_t snapshot = 0;
+  {
+    MutexLock guard(mu_);
+    if (!failed_.ok()) return failed_;
+    snapshot = encoded_.size();
+    for (size_t i = stable_; i < snapshot; ++i) {
+      logframe::AppendFrame(&batch, encoded_[i]);
+    }
   }
+  if (batch.empty()) return Status::OK();
+
+  Status st;
+  bool appended = false;
+  auto backoff = options_.flush_retry_backoff;
+  for (int attempt = 0; attempt < options_.max_flush_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    if (!appended) {
+      const uint64_t pre = device_->written_bytes();
+      st = device_->Append(batch);
+      if (!st.ok()) {
+        // A torn append left a partial frame; roll it back so the retry
+        // (or the restart scan) never sees the batch twice. If even the
+        // rollback fails the image is in an unknown state — degrade now
+        // rather than risk double-writing frames.
+        Status repair = device_->Truncate(pre);
+        if (!repair.ok()) {
+          st = Status::IOError("log append failed (" + st.ToString() +
+                               ") and tail rollback failed (" +
+                               repair.ToString() + ")");
+          break;
+        }
+        continue;
+      }
+      appended = true;
+    }
+    // Bytes stay appended across sync retries — only the fsync reruns.
+    st = device_->Sync();
+    if (st.ok()) break;
+  }
+
   MutexLock guard(mu_);
-  for (size_t i = stable_; i < encoded_.size(); ++i) {
-    stable_bytes_ += encoded_[i].size();
+  if (!st.ok()) {
+    SEMCC_LOG(Error) << "WAL degraded to read-only after "
+                     << options_.max_flush_attempts
+                     << " flush attempts: " << st.ToString();
+    failed_ = st;
+    return st;
   }
-  stable_ = encoded_.size();
+  stable_ = snapshot;
+  stable_bytes_ += batch.size();
   flushes_++;
+  return Status::OK();
 }
 
 void WriteAheadLog::LoseVolatileTail() {
@@ -38,28 +130,39 @@ void WriteAheadLog::LoseVolatileTail() {
   lsns_.resize(stable_);
 }
 
-std::vector<LogRecord> WriteAheadLog::StableRecords() const {
+Result<std::vector<LogRecord>> WriteAheadLog::StableRecords() const {
   MutexLock guard(mu_);
   std::vector<LogRecord> out;
   out.reserve(stable_);
   for (size_t i = 0; i < stable_; ++i) {
     auto rec = LogRecord::Decode(encoded_[i]);
-    SEMCC_CHECK(rec.ok()) << "log corruption: " << rec.status().ToString();
+    if (!rec.ok()) {
+      return Status::Corruption("stable log record " + std::to_string(i) +
+                                " undecodable: " + rec.status().ToString());
+    }
     out.push_back(std::move(rec).ValueUnsafe());
   }
   return out;
 }
 
-std::vector<LogRecord> WriteAheadLog::AllRecords() const {
+Result<std::vector<LogRecord>> WriteAheadLog::AllRecords() const {
   MutexLock guard(mu_);
   std::vector<LogRecord> out;
   out.reserve(encoded_.size());
-  for (const std::string& bytes : encoded_) {
-    auto rec = LogRecord::Decode(bytes);
-    SEMCC_CHECK(rec.ok()) << "log corruption: " << rec.status().ToString();
+  for (size_t i = 0; i < encoded_.size(); ++i) {
+    auto rec = LogRecord::Decode(encoded_[i]);
+    if (!rec.ok()) {
+      return Status::Corruption("log record " + std::to_string(i) +
+                                " undecodable: " + rec.status().ToString());
+    }
     out.push_back(std::move(rec).ValueUnsafe());
   }
   return out;
+}
+
+Status WriteAheadLog::health() const {
+  MutexLock guard(mu_);
+  return failed_;
 }
 
 size_t WriteAheadLog::stable_count() const {
@@ -85,6 +188,13 @@ uint64_t WriteAheadLog::flush_count() const {
 Lsn WriteAheadLog::stable_lsn() const {
   MutexLock guard(mu_);
   return stable_ == 0 ? 0 : lsns_[stable_ - 1];
+}
+
+void WriteAheadLog::CorruptRecordForTesting(size_t index) {
+  MutexLock guard(mu_);
+  SEMCC_CHECK(index < encoded_.size());
+  SEMCC_CHECK(!encoded_[index].empty());
+  encoded_[index].pop_back();
 }
 
 }  // namespace semcc

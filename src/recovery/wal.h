@@ -1,60 +1,118 @@
-// Write-ahead log with an explicit stable/volatile boundary for crash
-// simulation: Append adds to the volatile tail, Flush moves the boundary,
-// and LoseVolatileTail models a crash (everything after the last Flush is
-// gone). Records are stored in their encoded form — exactly what would sit
-// in the log file — and decoded on read, so the binary codec is on the hot
-// path and tested end to end.
+// Write-ahead log over a pluggable byte device (log_device.h).
+//
+// Append adds a record to the volatile tail (process memory); Flush frames
+// the tail — length-prefix + CRC32C per record — writes it to the device
+// and syncs, moving the stable boundary. Records are stored in their
+// encoded form — exactly what sits on the device — and decoded on read, so
+// the binary codec is on the hot path and tested end to end.
+//
+// Failure contract (the part the in-memory ancestor never had):
+//   * Flush retries transient device errors with bounded exponential
+//     backoff (WalOptions::max_flush_attempts); a torn batch append is
+//     rolled back with Truncate before the retry so frames never
+//     double-write.
+//   * If retries are exhausted the WAL degrades to a failed, read-only
+//     state: the first error sticks (health()), further Flushes return it
+//     without touching the device, and Append drops the record and returns
+//     kInvalidLsn — commit paths observe the failure through
+//     RecoveryManager::MakeStable rather than a crash.
+//   * At restart, RecoverAtStartup scans the device image, truncates a
+//     torn/corrupt *tail* at the first bad checksum (repairing the device
+//     in place), and refuses mid-log corruption with Status::Corruption
+//     instead of replaying garbage.
+//
+// LoseVolatileTail models the old simulated crash (drop everything after
+// the last Flush); device-level crashes — torn writes, power cuts — are
+// injected underneath via FaultInjector.
 #ifndef SEMCC_RECOVERY_WAL_H_
 #define SEMCC_RECOVERY_WAL_H_
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "recovery/log_device.h"
 #include "recovery/log_record.h"
 #include "util/annotations.h"
 #include "util/macros.h"
 
 namespace semcc {
 
+struct WalOptions {
+  /// Flush attempts per call (first try + retries) before the WAL degrades
+  /// to the failed state.
+  int max_flush_attempts = 4;
+  /// Backoff before the first retry; doubles per further retry.
+  std::chrono::microseconds flush_retry_backoff{200};
+};
+
 class WriteAheadLog {
  public:
-  /// \param flush_micros simulated stable-storage latency per Flush (models
-  /// an fsync; 0 = free). With a non-zero cost, group commit pays off — see
-  /// RecoveryManager::Options::group_commit.
-  explicit WriteAheadLog(uint32_t flush_micros = 0)
-      : flush_micros_(flush_micros) {}
+  /// In-memory device (the unit-test default). \param flush_micros
+  /// simulated stable-storage latency per Flush (models an fsync; 0 =
+  /// free). With a non-zero cost, group commit pays off — see
+  /// RecoveryOptions::group_commit.
+  explicit WriteAheadLog(uint32_t flush_micros = 0);
+  /// Explicit device (file-backed or fault-injected).
+  explicit WriteAheadLog(std::unique_ptr<LogDevice> device,
+                         WalOptions options = WalOptions());
   SEMCC_DISALLOW_COPY_AND_ASSIGN(WriteAheadLog);
 
-  /// Append a record (assigns the LSN). Thread-safe.
+  /// Scan the device's existing durable image: CRC-check every frame,
+  /// truncate a torn tail (on the device too, so new appends are
+  /// consistent), refuse mid-log corruption, and continue LSN assignment
+  /// after the highest recovered LSN. Returns the recovered records for
+  /// replay. Call once, before any Append, on a freshly constructed WAL.
+  Result<std::vector<LogRecord>> RecoverAtStartup() SEMCC_EXCLUDES(device_mu_);
+
+  /// Append a record (assigns the LSN). Thread-safe. In the failed state
+  /// the record is dropped and kInvalidLsn returned.
   Lsn Append(LogRecord record);
 
-  /// Make every appended record stable (force).
-  void Flush();
+  /// Make every appended record stable (force). Retries transient device
+  /// errors; on exhaustion degrades the WAL and returns the error (which
+  /// also becomes health()).
+  Status Flush() SEMCC_EXCLUDES(device_mu_);
 
   /// Crash simulation: drop all records after the last Flush.
   void LoseVolatileTail();
 
-  /// Decode and return all stable records in LSN order.
-  std::vector<LogRecord> StableRecords() const;
+  /// Decode and return all stable records in LSN order. Decode failures
+  /// propagate as Status (corrupt-log tests assert against this contract).
+  Result<std::vector<LogRecord>> StableRecords() const;
 
   /// Decode and return everything, including the volatile tail.
-  std::vector<LogRecord> AllRecords() const;
+  Result<std::vector<LogRecord>> AllRecords() const;
+
+  /// OK, or the sticky first device failure that degraded the WAL.
+  Status health() const;
 
   size_t stable_count() const;
   size_t total_count() const;
+  /// Framed bytes made stable on the device.
   uint64_t stable_bytes() const;
   uint64_t flush_count() const;
   /// Last LSN that is stable (0 if none).
   Lsn stable_lsn() const;
 
+  /// The underlying device (stats, fault-plan reconfiguration in tests).
+  LogDevice* device() { return device_.get(); }
+
+  /// Truncate a stored record by one byte, bypassing the device (exercises
+  /// the StableRecords/AllRecords decode-failure contract; the codec
+  /// rejects truncated records, see LogRecordCodec.TruncationRejected).
+  void CorruptRecordForTesting(size_t index);
+
  private:
-  const uint32_t flush_micros_;
-  /// The (single) simulated log device. Acquired before mu_ in Flush; never
-  /// held across an mu_ critical section in the other direction.
+  const WalOptions options_;
+  const std::unique_ptr<LogDevice> device_;
+  /// Serializes device access. Acquired before mu_ in Flush; never held
+  /// across an mu_ critical section in the other direction.
   Mutex device_mu_ SEMCC_ACQUIRED_BEFORE(mu_);
   mutable Mutex mu_;
-  /// One entry per record, encoded.
+  /// One entry per record, encoded (payload bytes, unframed).
   std::vector<std::string> encoded_ SEMCC_GUARDED_BY(mu_);
   /// Parallel to encoded_.
   std::vector<Lsn> lsns_ SEMCC_GUARDED_BY(mu_);
@@ -62,6 +120,8 @@ class WriteAheadLog {
   size_t stable_ SEMCC_GUARDED_BY(mu_) = 0;
   uint64_t stable_bytes_ SEMCC_GUARDED_BY(mu_) = 0;
   uint64_t flushes_ SEMCC_GUARDED_BY(mu_) = 0;
+  /// First device failure; sticky (the degraded/read-only state).
+  Status failed_ SEMCC_GUARDED_BY(mu_);
   std::atomic<Lsn> next_lsn_{1};
 };
 

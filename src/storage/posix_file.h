@@ -1,0 +1,80 @@
+// Thin POSIX file layer for the storage/recovery subsystems: the classical
+// write()/fsync() durability path that DiskManager's in-memory page array
+// stands in for elsewhere. Everything returns Status — callers (the log
+// device, eventually a file-backed DiskManager) decide whether an I/O error
+// is fatal, retryable, or a reason to degrade.
+#ifndef SEMCC_STORAGE_POSIX_FILE_H_
+#define SEMCC_STORAGE_POSIX_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace semcc {
+
+/// \brief Append-only writable file (the log-segment shape): sequential
+/// write() with full-write loop semantics, explicit Sync() = fsync.
+class PosixWritableFile {
+ public:
+  PosixWritableFile() = default;
+  ~PosixWritableFile();
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(PosixWritableFile);
+
+  /// Open (creating if needed) for appending; positions at the current end.
+  Status Open(const std::string& path);
+
+  /// Write all of `data` at the end of the file, looping over short writes
+  /// and EINTR. A partial write followed by an error leaves the partial
+  /// bytes in place — exactly the torn-write shape recovery must tolerate.
+  Status Append(const char* data, size_t n);
+
+  /// fsync(): make everything appended so far durable.
+  Status Sync();
+
+  /// Truncate to `size` bytes (tail repair after a detected torn write).
+  Status Truncate(uint64_t size);
+
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  std::string path_;
+};
+
+/// Read the whole file into `*out` (replacing its contents).
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// File size in bytes.
+Result<uint64_t> FileSize(const std::string& path);
+
+/// Truncate an existing file to `size` bytes.
+Status TruncateFile(const std::string& path, uint64_t size);
+
+Status RemoveFile(const std::string& path);
+
+/// Create the directory if it does not exist (single level).
+Status EnsureDirectory(const std::string& dir);
+
+/// fsync the directory itself, making file creations/removals durable.
+Status SyncDirectory(const std::string& dir);
+
+/// Sorted names (not paths) of regular files in `dir`.
+Result<std::vector<std::string>> ListDirectory(const std::string& dir);
+
+/// Best-effort recursive-free cleanup for tests and benches: remove every
+/// regular file in `dir`, then `dir` itself. Missing directory is fine;
+/// errors are ignored.
+void CleanupDirectoryForTesting(const std::string& dir);
+
+}  // namespace semcc
+
+#endif  // SEMCC_STORAGE_POSIX_FILE_H_

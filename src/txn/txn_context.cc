@@ -148,6 +148,13 @@ Status TxnCtx::Put(Oid atomic, const Value& value) {
     AbortAction(node);
     return old.status();
   }
+  Value old_value = old.ValueOrDie();
+  // Write-ahead: the before-image undo record must precede the physical
+  // redo record (which store_->Put emits through the store listener) in
+  // the log — a crash between the two would otherwise replay the write
+  // with no undo information. The Get above proved the Put will apply;
+  // should it still fail, the logged undo rewrites the unchanged value.
+  if (logger_ != nullptr) logger_->OnLeafPut(*node, old_value);
   Status st = store_->Put(atomic, value);
   if (!st.ok()) {
     AbortAction(node);
@@ -159,7 +166,6 @@ Status TxnCtx::Put(Oid atomic, const Value& value) {
   // method's registered semantic inverse takes over (inverse_is_total stops
   // the rollback recursion), so this closure is never misused to wipe out a
   // commuting update of another transaction.
-  Value old_value = old.ValueOrDie();
   CommitAction(
       node,
       [this, atomic, old_value]() {
@@ -169,7 +175,6 @@ Status TxnCtx::Put(Oid atomic, const Value& value) {
         }
       },
       true);
-  if (logger_ != nullptr) logger_->OnLeafPut(*node, old_value);
   return Status::OK();
 }
 
@@ -179,6 +184,21 @@ Status TxnCtx::SetInsert(Oid set, const Value& key, Oid member) {
                             /*is_leaf=*/true);
   if (!node_r.ok()) return node_r.status();
   SubTxn* node = node_r.ValueOrDie();
+  // Probe so the undo record below is only logged for an insert that will
+  // apply (a logged undo for a refused duplicate insert would make restart
+  // remove the pre-existing member). The leaf write lock makes the probe
+  // race-free.
+  Result<Oid> existing = store_->SetSelect(set, key);
+  if (existing.ok()) {
+    AbortAction(node);
+    return Status::AlreadyExists("duplicate key " + key.ToString());
+  }
+  if (!existing.status().IsNotFound()) {
+    AbortAction(node);
+    return existing.status();
+  }
+  // Write-ahead: undo record before the physical redo record (see Put).
+  if (logger_ != nullptr) logger_->OnLeafSetInsert(*node);
   Status st = store_->SetInsert(set, key, member);
   if (!st.ok()) {
     AbortAction(node);
@@ -193,7 +213,6 @@ Status TxnCtx::SetInsert(Oid set, const Value& key, Oid member) {
         }
       },
       true);
-  if (logger_ != nullptr) logger_->OnLeafSetInsert(*node);
   return Status::OK();
 }
 
@@ -207,12 +226,16 @@ Status TxnCtx::SetRemove(Oid set, const Value& key) {
     AbortAction(node);
     return member.status();
   }
+  Oid saved_member = member.ValueOrDie();
+  // Write-ahead: undo record before the physical redo record (see Put).
+  // The SetSelect above proved the remove will apply; recovery tolerates
+  // a re-insert of a still-present member just in case.
+  if (logger_ != nullptr) logger_->OnLeafSetRemove(*node, saved_member);
   Status st = store_->SetRemove(set, key);
   if (!st.ok()) {
     AbortAction(node);
     return st;
   }
-  Oid saved_member = member.ValueOrDie();
   CommitAction(
       node,
       [this, set, key, saved_member]() {
@@ -222,7 +245,6 @@ Status TxnCtx::SetRemove(Oid set, const Value& key) {
         }
       },
       true);
-  if (logger_ != nullptr) logger_->OnLeafSetRemove(*node, saved_member);
   return Status::OK();
 }
 

@@ -1,5 +1,6 @@
 #include "txn/txn_manager.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -94,10 +95,18 @@ Result<Value> TxnManager::Run(const std::string& name, const Body& body,
       return r;
     }
     stats_.retries.fetch_add(1, std::memory_order_relaxed);
-    const int shift = attempt < 6 ? attempt : 6;
-    const uint64_t backoff_us = 100ull * (1ull << shift);
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(rng.Uniform(backoff_us) + 50));
+    // Exponential backoff with a saturating shift (so a large attempt count
+    // cannot overflow the multiplier) and a hard ceiling on the window (so
+    // a retry storm never sleeps for seconds). Jitter spans the upper half
+    // of the window: the floor keeps a backed-off victim from immediately
+    // re-colliding, the randomness desynchronizes concurrent victims.
+    constexpr int kMaxBackoffShift = 6;
+    constexpr uint64_t kMaxBackoffWindowUs = 10000;
+    const int shift = std::min(attempt, kMaxBackoffShift);
+    const uint64_t window_us =
+        std::min<uint64_t>(100ull << shift, kMaxBackoffWindowUs);
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        window_us / 2 + rng.Uniform(window_us / 2 + 1)));
   }
 }
 

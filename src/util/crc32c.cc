@@ -1,0 +1,58 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace semcc {
+namespace crc32c {
+
+namespace {
+
+// Reflected CRC32C polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  // tab[0] is the classic byte-at-a-time table; tab[1..3] extend it so four
+  // input bytes fold in one step (slicing-by-4).
+  uint32_t tab[4][256];
+};
+
+constexpr Tables BuildTables() {
+  Tables t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    t.tab[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    t.tab[1][i] = (t.tab[0][i] >> 8) ^ t.tab[0][t.tab[0][i] & 0xFF];
+    t.tab[2][i] = (t.tab[1][i] >> 8) ^ t.tab[0][t.tab[1][i] & 0xFF];
+    t.tab[3][i] = (t.tab[2][i] >> 8) ^ t.tab[0][t.tab[2][i] & 0xFF];
+  }
+  return t;
+}
+
+constexpr Tables kTables = BuildTables();
+
+}  // namespace
+
+uint32_t Extend(uint32_t init, const char* data, size_t n) {
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  uint32_t crc = ~init;
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+    crc = kTables.tab[3][crc & 0xFF] ^ kTables.tab[2][(crc >> 8) & 0xFF] ^
+          kTables.tab[1][(crc >> 16) & 0xFF] ^ kTables.tab[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ kTables.tab[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace crc32c
+}  // namespace semcc

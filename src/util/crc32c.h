@@ -1,0 +1,31 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum guarding every on-disk log frame. Chosen over plain CRC32 for
+// its better error-detection properties on short records and because it is
+// the checksum real log implementations use (LevelDB/RocksDB, ext4, iSCSI),
+// so corruption tests exercise the same math a production log would.
+//
+// Software slicing-by-4 implementation — no SSE4.2 dependency, identical
+// results on every platform the CI matrix builds.
+#ifndef SEMCC_UTIL_CRC32C_H_
+#define SEMCC_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace semcc {
+namespace crc32c {
+
+/// CRC32C of `data`, seeded with `init` (pass a previous Value to extend a
+/// running checksum over concatenated buffers).
+uint32_t Extend(uint32_t init, const char* data, size_t n);
+
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+inline uint32_t Value(std::string_view data) {
+  return Extend(0, data.data(), data.size());
+}
+
+}  // namespace crc32c
+}  // namespace semcc
+
+#endif  // SEMCC_UTIL_CRC32C_H_

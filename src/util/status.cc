@@ -40,6 +40,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kPreconditionFailed:
       return "PreconditionFailed";
+    case StatusCode::kIOError:
+      return "IOError";
   }
   return "Unknown";
 }

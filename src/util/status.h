@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kNotSupported = 9,
   kInternal = 10,
   kPreconditionFailed = 11,  // application-level precondition (e.g. order not paid)
+  kIOError = 12,             // device-level I/O failure (short write, fsync EIO)
 };
 
 /// \brief Operation outcome: an error code plus an optional message.
@@ -80,6 +81,9 @@ class Status {
   static Status PreconditionFailed(std::string msg) {
     return Status(StatusCode::kPreconditionFailed, std::move(msg));
   }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -98,6 +102,7 @@ class Status {
   bool IsPreconditionFailed() const {
     return code() == StatusCode::kPreconditionFailed;
   }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -93,7 +93,7 @@ TEST(WalConcurrency, ParallelAppendsGetUniqueMonotoneLsns) {
   }
   for (auto& th : threads) th.join();
   wal.Flush();
-  auto records = wal.StableRecords();
+  auto records = wal.StableRecords().ValueOrDie();
   ASSERT_EQ(records.size(), static_cast<size_t>(kThreads * kPerThread));
   std::set<Lsn> lsns;
   for (size_t i = 0; i < records.size(); ++i) {
@@ -129,7 +129,8 @@ TEST(WalConcurrency, FlushRacesWithAppends) {
   });
   for (int i = 0; i < 200; ++i) {
     wal.Flush();
-    auto records = wal.StableRecords();  // decodes everything stable
+    // Decodes everything stable.
+    auto records = wal.StableRecords().ValueOrDie();
     EXPECT_LE(records.size(), wal.total_count());
   }
   stop.store(true);

@@ -94,7 +94,7 @@ TEST(Wal, CrashDropsVolatileTail) {
   EXPECT_EQ(wal.total_count(), 2u);
   EXPECT_EQ(wal.stable_count(), 1u);
   wal.LoseVolatileTail();
-  auto records = wal.AllRecords();
+  auto records = wal.AllRecords().ValueOrDie();
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].txn, 1u);
 }
@@ -108,7 +108,7 @@ TEST(Wal, StableRecordsDecodeInOrder) {
     wal.Append(rec);
   }
   wal.Flush();
-  auto records = wal.StableRecords();
+  auto records = wal.StableRecords().ValueOrDie();
   ASSERT_EQ(records.size(), 10u);
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(records[i].object, static_cast<Oid>(i));
@@ -154,7 +154,7 @@ TEST_F(RecoveryTest, CommittedWorkSurvivesRestart) {
   const int64_t qoh0 = ReadQohRaw(db.get(), data.item_oids[0]).ValueOrDie();
 
   auto db2 = MakeRecoveryTarget();
-  auto stats = db2->RecoverFrom(db->wal()->StableRecords());
+  auto stats = db2->RecoverFrom(db->wal()->StableRecords().ValueOrDie());
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_EQ(stats.ValueOrDie().losers, 0u);
   EXPECT_EQ(stats.ValueOrDie().winners, 2u);
@@ -194,7 +194,7 @@ TEST_F(RecoveryTest, LoserShipOrderIsCompensatedAtRestart) {
   ASSERT_LT(ReadQohRaw(db.get(), item).ValueOrDie(), 50);
 
   auto db2 = MakeRecoveryTarget();
-  auto stats = db2->RecoverFrom(db->wal()->StableRecords());
+  auto stats = db2->RecoverFrom(db->wal()->StableRecords().ValueOrDie());
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_EQ(stats.ValueOrDie().losers, 1u);
   EXPECT_GE(stats.ValueOrDie().inverses_run, 1u);
@@ -233,7 +233,7 @@ TEST_F(RecoveryTest, LoserUndoPreservesWinnersCommutingUpdate) {
     db->wal()->Flush();
   }
   auto db2 = MakeRecoveryTarget();
-  auto stats = db2->RecoverFrom(db->wal()->StableRecords());
+  auto stats = db2->RecoverFrom(db->wal()->StableRecords().ValueOrDie());
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats.ValueOrDie().losers, 1u);
   EXPECT_EQ(stats.ValueOrDie().winners, 1u);
@@ -265,7 +265,7 @@ TEST_F(RecoveryTest, LoserNewOrderRemovedAtRestart) {
     db->wal()->Flush();
   }
   auto db2 = MakeRecoveryTarget();
-  ASSERT_TRUE(db2->RecoverFrom(db->wal()->StableRecords()).ok());
+  ASSERT_TRUE(db2->RecoverFrom(db->wal()->StableRecords().ValueOrDie()).ok());
   Oid items = db2->GetNamedRoot("Items").ValueOrDie();
   Oid item2 = db2->store()->SetSelect(items, Value(1)).ValueOrDie();
   Oid orders = db2->store()->Component(item2, "Orders").ValueOrDie();
@@ -294,7 +294,7 @@ TEST_F(RecoveryTest, UncommittedLeafOnlyWorkIsPhysicallyUndone) {
     db->wal()->Flush();
   }
   auto db2 = MakeRecoveryTarget();
-  auto stats = db2->RecoverFrom(db->wal()->StableRecords());
+  auto stats = db2->RecoverFrom(db->wal()->StableRecords().ValueOrDie());
   ASSERT_TRUE(stats.ok());
   EXPECT_GE(stats.ValueOrDie().leaf_undos, 1u);
   Oid items = db2->GetNamedRoot("Items").ValueOrDie();
@@ -328,7 +328,7 @@ TEST_F(RecoveryTest, VolatileTailLossDropsUnflushedWork) {
   EXPECT_GT(db->wal()->stable_count(), stable_before);
 
   auto db2 = MakeRecoveryTarget();
-  auto stats = db2->RecoverFrom(db->wal()->StableRecords());
+  auto stats = db2->RecoverFrom(db->wal()->StableRecords().ValueOrDie());
   ASSERT_TRUE(stats.ok());
   // The unflushed ShipOrder never happened; the committed PayOrder did.
   EXPECT_EQ(stats.ValueOrDie().losers, 0u);
@@ -350,7 +350,7 @@ TEST_F(RecoveryTest, RecoveredDatabaseKeepsWorkingAndChains) {
                   .ok());
   // First restart.
   auto db2 = MakeRecoveryTarget();
-  ASSERT_TRUE(db2->RecoverFrom(db->wal()->StableRecords()).ok());
+  ASSERT_TRUE(db2->RecoverFrom(db->wal()->StableRecords().ValueOrDie()).ok());
   Oid items = db2->GetNamedRoot("Items").ValueOrDie();
   Oid item0 = db2->store()->SetSelect(items, Value(1)).ValueOrDie();
   Oid item1 = db2->store()->SetSelect(items, Value(2)).ValueOrDie();
@@ -358,7 +358,7 @@ TEST_F(RecoveryTest, RecoveredDatabaseKeepsWorkingAndChains) {
   ASSERT_TRUE(db2->RunTransaction("t", T1_ShipTwoOrders(item0, 1, item1, 2)).ok());
   // Second restart, from the NEW database's log (which was seeded by replay).
   auto db3 = MakeRecoveryTarget();
-  ASSERT_TRUE(db3->RecoverFrom(db2->wal()->StableRecords()).ok());
+  ASSERT_TRUE(db3->RecoverFrom(db2->wal()->StableRecords().ValueOrDie()).ok());
   Oid items3 = db3->GetNamedRoot("Items").ValueOrDie();
   Oid item0c = db3->store()->SetSelect(items3, Value(1)).ValueOrDie();
   Oid o1 = FindOrder(db3.get(), item0c, 1).ValueOrDie();
@@ -387,7 +387,7 @@ TEST_F(RecoveryTest, ConcurrentWorkloadSurvivesRestartConsistently) {
   }
   // Restart.
   auto db2 = MakeRecoveryTarget();
-  auto stats = db2->RecoverFrom(db.wal()->StableRecords());
+  auto stats = db2->RecoverFrom(db.wal()->StableRecords().ValueOrDie());
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_EQ(stats.ValueOrDie().losers, 0u);  // everything finished
   Oid items = db2->GetNamedRoot("Items").ValueOrDie();
@@ -410,9 +410,9 @@ TEST_F(RecoveryTest, RecoverIntoNonEmptyDatabaseRejected) {
 TEST_F(RecoveryTest, GroupCommitIsDurableAndBatchesFlushes) {
   DatabaseOptions options;
   options.enable_wal = true;
-  options.group_commit = true;
-  options.group_commit_window_micros = 300;
-  options.wal_flush_micros = 200;  // slow fsync: committers pile up
+  options.recovery.group_commit = true;
+  options.recovery.group_window = std::chrono::microseconds(300);
+  options.recovery.wal_flush_micros = 200;  // slow fsync: committers pile up
   Database db(options);
   auto types = Install(&db).ValueOrDie();
   LoadSpec spec;
@@ -441,7 +441,7 @@ TEST_F(RecoveryTest, GroupCommitIsDurableAndBatchesFlushes) {
   // And the crash-recovery contract still holds.
   db.wal()->LoseVolatileTail();
   auto db2 = MakeRecoveryTarget();
-  auto stats = db2->RecoverFrom(db.wal()->StableRecords());
+  auto stats = db2->RecoverFrom(db.wal()->StableRecords().ValueOrDie());
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_EQ(stats.ValueOrDie().winners, 100u);
   EXPECT_EQ(stats.ValueOrDie().losers, 0u);
@@ -460,7 +460,7 @@ TEST_F(RecoveryTest, NamedRootsAreDurable) {
   options.enable_wal = true;
   Database db2(options);
   (void)db2.schema()->DefineAtomicType("Num").ValueOrDie();
-  ASSERT_TRUE(db2.RecoverFrom(db->wal()->StableRecords()).ok());
+  ASSERT_TRUE(db2.RecoverFrom(db->wal()->StableRecords().ValueOrDie()).ok());
   Oid back = db2.GetNamedRoot("answer").ValueOrDie();
   EXPECT_EQ(back, a);
   EXPECT_EQ(db2.store()->Get(back).ValueOrDie().AsInt(), 5);

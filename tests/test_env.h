@@ -2,8 +2,9 @@
 //
 // Sanitizer builds run 10-20x slower than native; rather than letting the
 // stress/fuzz tests time out there, CI sets SEMCC_STRESS_ITERS /
-// SEMCC_FUZZ_ITERS to shrink the workloads while exercising the same code
-// paths. Unset (the default everywhere else) keeps the full counts, and all
+// SEMCC_FUZZ_ITERS to shrink the workloads (and SEMCC_SWEEP_STRIDE to
+// coarsen the crash-offset sweep) while exercising the same code paths.
+// Unset (the default everywhere else) keeps the full counts, and all
 // count-derived assertions scale with the override.
 #ifndef SEMCC_TESTS_TEST_ENV_H_
 #define SEMCC_TESTS_TEST_ENV_H_
