@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
     for (int threads : {1, 2, 4, 8, 16}) {
       RunSummary s = RunWorkload(proto, wopts, threads, txns);
       PrintRow(s);
-      json.Add(s);
+      char label[64];
+      std::snprintf(label, sizeof(label), "orderentry-zipf0.8-t%d", threads);
+      json.Add(s, label);
     }
     std::printf("\n");
   }

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Non-gating perf-regression check over the committed BENCH_*.json files.
+
+Usage: check_bench_regression.py OLD.json NEW.json [--threshold 0.15]
+
+Understands both result schemas in this repo:
+  * RunSummary row arrays (bench_throughput / bench_contention /
+    bench_recovery): a JSON array of objects keyed by
+    (protocol|experiment, label, threads), compared on throughput_tps
+    (higher is better) or *_us / *_micros fields (lower is better).
+  * google-benchmark --benchmark_out files (bench_lock_manager): an object
+    with a "benchmarks" array, compared on real_time per benchmark name
+    (lower is better).
+
+Prints a WARNING line for every metric that regressed by more than the
+threshold. ALWAYS exits 0 — the perf trajectory is tracked, not gated;
+gating on shared-runner timing would make CI flaky.
+"""
+
+import argparse
+import json
+import sys
+
+
+def row_key(row):
+    name = row.get("protocol") or row.get("experiment") or "?"
+    label = row.get("label", "")
+    threads = row.get("threads", "")
+    return f"{name}/{label}/t{threads}"
+
+
+def row_metrics(row):
+    """Yield (metric_name, value, higher_is_better) for a RunSummary row."""
+    for key, value in row.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if key in ("threads", "committed", "failed", "retries", "txns"):
+            continue
+        if key == "throughput_tps":
+            yield key, float(value), True
+        elif key.endswith("_us") or key.endswith("_micros") or key.endswith("_ms"):
+            yield key, float(value), False
+
+
+def index_rows(data):
+    out = {}
+    if isinstance(data, dict) and "benchmarks" in data:
+        for b in data["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            out[b["name"]] = {"real_time": (float(b["real_time"]), False)}
+    elif isinstance(data, list):
+        for row in data:
+            if not isinstance(row, dict):
+                continue
+            out[row_key(row)] = {
+                m: (v, higher) for m, v, higher in row_metrics(row)
+            }
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=0.15)
+    args = ap.parse_args()
+
+    try:
+        with open(args.old) as f:
+            old = index_rows(json.load(f))
+        with open(args.new) as f:
+            new = index_rows(json.load(f))
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"check_bench_regression: cannot compare ({e})", file=sys.stderr)
+        return 0
+
+    warned = 0
+    for key, metrics in sorted(new.items()):
+        old_metrics = old.get(key)
+        if old_metrics is None:
+            continue
+        for metric, (value, higher_is_better) in metrics.items():
+            ref = old_metrics.get(metric)
+            if ref is None:
+                continue
+            old_value = ref[0]
+            if old_value <= 0:
+                continue
+            if higher_is_better:
+                change = (old_value - value) / old_value  # drop = regression
+            else:
+                change = (value - old_value) / old_value  # rise = regression
+            if change > args.threshold:
+                print(
+                    f"WARNING: perf regression {key} {metric}: "
+                    f"{old_value:.2f} -> {value:.2f} "
+                    f"({change * 100.0:.1f}% worse, threshold "
+                    f"{args.threshold * 100.0:.0f}%)"
+                )
+                warned += 1
+    if warned == 0:
+        print(f"check_bench_regression: {args.new} OK vs {args.old} "
+              f"(no metric >{args.threshold * 100.0:.0f}% worse)")
+    return 0  # never gate on timing
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Run the experiment benches and write the machine-readable perf-trajectory
-# files BENCH_throughput.json, BENCH_contention.json, and BENCH_recovery.json
-# (logging overhead, restart cost, group commit, file-backed log) at the
+# files BENCH_throughput.json, BENCH_contention.json, BENCH_recovery.json
+# (logging overhead, restart cost, group commit, file-backed log), and
+# BENCH_lockpath.json (repeated-reacquire fast-path microbench) at the
 # repo root.
 #
 # Usage:
@@ -11,6 +12,12 @@
 #   SEMCC_BENCH_TXNS   shorten runs (per-thread transaction count); used by
 #                      the CI perf-smoke leg.
 #
+# Every emitted file is validated as JSON — a bench that writes a malformed
+# or empty file fails the script. If a previous copy of a BENCH file exists
+# (the committed perf trajectory), scripts/check_bench_regression.py compares
+# new against old and WARNS on >15% regressions; the comparison never fails
+# the script (perf is tracked, not gated, here).
+#
 # The build directory must be a Release build (cmake -DCMAKE_BUILD_TYPE=Release)
 # or the numbers are meaningless.
 set -euo pipefail
@@ -18,7 +25,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${BUILD_DIR:-$repo_root/build-rel}}"
 
-for bench in bench_throughput bench_contention bench_recovery; do
+for bench in bench_throughput bench_contention bench_recovery bench_lock_manager; do
   if [[ ! -x "$build_dir/bench/$bench" ]]; then
     echo "error: $build_dir/bench/$bench not found (build with" >&2
     echo "  cmake -B $build_dir -S $repo_root -DCMAKE_BUILD_TYPE=Release" >&2
@@ -27,11 +34,50 @@ for bench in bench_throughput bench_contention bench_recovery; do
   fi
 done
 
+# Validate that a bench actually produced a well-formed, non-empty JSON file.
+validate_json() {
+  local path="$1"
+  if [[ ! -s "$path" ]]; then
+    echo "error: $path missing or empty (bench silently failed?)" >&2
+    exit 1
+  fi
+  if ! python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+if isinstance(data, list) and len(data) == 0:
+    sys.exit("empty result array")
+' "$path"; then
+    echo "error: $path is not valid JSON" >&2
+    exit 1
+  fi
+}
+
+# Stash the previous trajectory (if any) for the regression comparison.
+stash_dir="$(mktemp -d)"
+trap 'rm -rf "$stash_dir"' EXIT
+bench_files=(BENCH_throughput.json BENCH_contention.json BENCH_recovery.json BENCH_lockpath.json)
+for f in "${bench_files[@]}"; do
+  [[ -f "$repo_root/$f" ]] && cp "$repo_root/$f" "$stash_dir/$f"
+done
+
 "$build_dir/bench/bench_throughput" --json="$repo_root/BENCH_throughput.json"
+validate_json "$repo_root/BENCH_throughput.json"
 "$build_dir/bench/bench_contention" --json="$repo_root/BENCH_contention.json"
+validate_json "$repo_root/BENCH_contention.json"
 "$build_dir/bench/bench_recovery" --json="$repo_root/BENCH_recovery.json"
+validate_json "$repo_root/BENCH_recovery.json"
+"$build_dir/bench/bench_lock_manager" \
+  --benchmark_filter='BM_RepeatedReacquire' \
+  --benchmark_out="$repo_root/BENCH_lockpath.json" \
+  --benchmark_out_format=json
+validate_json "$repo_root/BENCH_lockpath.json"
 
 echo
-echo "wrote $repo_root/BENCH_throughput.json"
-echo "wrote $repo_root/BENCH_contention.json"
-echo "wrote $repo_root/BENCH_recovery.json"
+for f in "${bench_files[@]}"; do
+  echo "wrote $repo_root/$f"
+  if [[ -f "$stash_dir/$f" ]]; then
+    python3 "$repo_root/scripts/check_bench_regression.py" \
+      "$stash_dir/$f" "$repo_root/$f" || true
+  fi
+done

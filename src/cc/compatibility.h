@@ -86,6 +86,18 @@ class CompatibilityRegistry {
   bool Commute(TypeId type, const std::string& m1, const Args& a1,
                const std::string& m2, const Args& a2) const;
 
+  /// Can the commute verdict of ANY invocation pair involving an
+  /// invocation (type, m, args) depend on that invocation's actual
+  /// arguments? False means every `Commute(type, m, a, ...)` /
+  /// `Commute(type, ..., m, a)` result is independent of `a`, so the lock
+  /// manager may treat two invocations of m differing only in arguments as
+  /// the same conflict class (grant-cache hits, entry coalescing —
+  /// DESIGN.md §5.4). Conservative: true whenever a predicate entry
+  /// mentions m for this type (predicates may read either side's args), or
+  /// m is a key-addressed generic op (Insert/Remove/Select). O(1): reads a
+  /// bitvector precomputed at Recompile time.
+  bool ArgsMatter(TypeId type, MethodId m) const;
+
   /// Built-in commutativity of generic operations by fixed id
   /// (generic_ids); nullopt if (m1, m2) is not a generic pair.
   static std::optional<bool> GenericCommute(MethodId m1, const Args& a1,
@@ -139,6 +151,10 @@ class CompatibilityRegistry {
     struct TypeTable {
       uint32_t dim = 0;                ///< interner size at compile time
       std::vector<uint8_t> cells;      ///< dim * dim Cell values
+      /// args_sensitive[m] != 0 iff some kPredicate cell of this type is in
+      /// row m (precomputed for ArgsMatter; the generic key-addressed ops
+      /// are handled type-independently there).
+      std::vector<uint8_t> args_sensitive;
       /// Directional predicate refs keyed by (m1, m2) ids; consulted only
       /// when the cell says kPredicate.
       std::map<std::pair<MethodId, MethodId>, PredRef> preds;

@@ -1,0 +1,102 @@
+// Per-tree grant cache: the lock-acquisition fast path (DESIGN.md §5.4).
+//
+// A transaction that re-invokes a method it already holds a granted
+// identical semantic lock for pays, on the slow path, one shard mutex plus
+// a full queue scan per re-acquire — on queues that only ever grow until
+// top-level commit (§4.1 retained locks). The grant cache remembers, per
+// top-level transaction and lock target, one *published* granted entry:
+// a grant made while the whole queue (granted entries AND waiters of any
+// arrival order) tested nil against the acquirer. A later acquisition of
+// the same verdict class — same parent (hence the identical ancestor
+// chain), same method, same mode, and the same arguments unless the
+// compatibility spec is argument-insensitive for the method — is then
+// granted without touching the shard, provided the queue's membership
+// epoch still matches the published value.
+//
+// Why this cannot change a verdict (full argument in DESIGN.md §5.4):
+//  * test-conflict never reads the *requester's own* completion state, and
+//    never reads the holder's own completion state either — only those of
+//    ancestors — so two sibling actions with the same parent and the same
+//    (method, args) class are interchangeable on both sides of the test;
+//  * nil verdicts are stable in time for a fixed (holder entry, requester
+//    class): subtransaction states only move active -> {committed,
+//    aborted}, which can turn a blocker into a non-blocker but never the
+//    reverse, so a queue that tested all-nil at publication stays all-nil
+//    until its *membership* changes;
+//  * membership changes that matter are exactly the appends (a new waiter
+//    could be owed FCFS priority, footnote 5); every append bumps the
+//    queue epoch, and a mismatch sends the requester back to the mutex
+//    path, which re-derives the verdict from scratch.
+//
+// Threading: the cache lives on the ROOT SubTxn and is read and written
+// only by the tree's executing thread (one thread runs a transaction's
+// actions, its rollback, and its release — see txn/txn_manager.cc). The
+// only cross-thread datum consulted on a hit is the queue epoch, which is
+// atomic. Invalidation is therefore single-threaded too: ReleaseTree and
+// abort/compensation (TxnCtx::Rollback) clear the cache before any entry
+// of the tree is removed from a queue, so a slot can never outlive the
+// entry it points at.
+#ifndef SEMCC_CC_GRANT_CACHE_H_
+#define SEMCC_CC_GRANT_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cc/lock_target.h"
+#include "cc/method_interner.h"
+#include "object/value.h"
+
+namespace semcc {
+
+class LockManager;
+class SubTxn;
+struct LockEntry;
+struct LockQueue;
+
+/// \brief Per-root map of lock target -> published granted entry.
+class GrantCache {
+ public:
+  struct Slot {
+    /// Manager that published the slot; a tree reused against a different
+    /// LockManager (tests do this) must miss, not dereference.
+    LockManager* manager = nullptr;
+    /// Queue hosting the published entry. Stable: unordered_map values do
+    /// not move, the queue is erased only when empty, and the published
+    /// (granted, root-owned) entry keeps it non-empty until ReleaseTree —
+    /// which clears this cache first.
+    LockQueue* queue = nullptr;
+    const LockEntry* entry = nullptr;  ///< published grant (diagnostics)
+    uint64_t epoch = 0;  ///< queue append-epoch at publication
+    // --- the published verdict class ------------------------------------
+    SubTxn* parent = nullptr;  ///< acquirer's parent (same ancestor chain)
+    MethodId method_id = kInvalidMethodId;
+    TypeId type = kInvalidTypeId;
+    bool is_write = false;
+    /// Whether the commute verdict may depend on this invocation's actual
+    /// arguments (CompatibilityRegistry::ArgsMatter at publication). If
+    /// false, re-acquires with *different* args — e.g. repeated Put of new
+    /// values — still hit.
+    bool args_matter = false;
+    /// Acquirer's argument list; points into the acquiring SubTxn, which
+    /// the TxnTree keeps alive for at least as long as this cache.
+    const Args* args = nullptr;
+  };
+
+  Slot* Find(const LockTarget& target) {
+    auto it = slots_.find(target);
+    return it == slots_.end() ? nullptr : &it->second;
+  }
+  void Put(const LockTarget& target, const Slot& slot) {
+    slots_[target] = slot;
+  }
+  void Clear() { slots_.clear(); }
+  bool empty() const { return slots_.empty(); }
+  size_t size() const { return slots_.size(); }
+
+ private:
+  std::unordered_map<LockTarget, Slot, LockTargetHash> slots_;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_CC_GRANT_CACHE_H_

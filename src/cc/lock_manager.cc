@@ -43,11 +43,12 @@ std::string LockTarget::ToString() const {
 }
 
 std::string LockStats::ToString() const {
-  char buf[256];
+  char buf[384];
   std::snprintf(
       buf, sizeof(buf),
       "acquires=%llu blocked=%llu commute=%llu case1=%llu case2=%llu "
-      "root_waits=%llu deadlocks=%llu timeouts=%llu",
+      "root_waits=%llu deadlocks=%llu timeouts=%llu fast_path=%llu "
+      "coalesced=%llu memo=%llu",
       static_cast<unsigned long long>(acquires.load()),
       static_cast<unsigned long long>(blocked_acquires.load()),
       static_cast<unsigned long long>(commute_grants.load()),
@@ -55,7 +56,10 @@ std::string LockStats::ToString() const {
       static_cast<unsigned long long>(case2_waits.load()),
       static_cast<unsigned long long>(root_waits.load()),
       static_cast<unsigned long long>(deadlocks.load()),
-      static_cast<unsigned long long>(timeouts.load()));
+      static_cast<unsigned long long>(timeouts.load()),
+      static_cast<unsigned long long>(fast_path_hits.load()),
+      static_cast<unsigned long long>(coalesced_grants.load()),
+      static_cast<unsigned long long>(memo_hits.load()));
   return buf;
 }
 
@@ -204,7 +208,8 @@ SubTxn* LockManager::TestConflict(const LockEntry& h, SubTxn* r,
 
 void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
                                   uint64_t my_seq, SubTxn* t, bool is_write,
-                                  bool count_stats, ScanResult* out) {
+                                  bool count_stats, bool memoize,
+                                  ScanResult* out) {
   (void)shard;  // capability-only parameter (REQUIRES(shard.mu))
   out->Clear();
   for (const LockEntry& e : q.entries) {
@@ -215,8 +220,21 @@ void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
     // behind foreign waiters (which wait for THIS transaction's completion)
     // would deadlock the rollback itself.
     if (!e.granted && (e.seq > my_seq || t->compensation())) continue;
+    if (memoize) {
+      // Nil verdicts are stable for a fixed (entry, requester) — states
+      // only move active -> terminal — so one memoized across this
+      // Acquire's re-scans needs no re-derivation. The seq match guards
+      // against a pooled node recycled into a different entry. Non-nil
+      // verdicts are never memoized: blockers must be re-derived fresh.
+      auto mit = out->nil_verdicts.find(&e);
+      if (mit != out->nil_verdicts.end() && mit->second == e.seq) {
+        stats_.memo_hits.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
     ConflictOutcome why = ConflictOutcome::kNoLock;
     SubTxn* b = TestConflict(e, t, is_write, &why);
+    if (b == nullptr && memoize) out->nil_verdicts.emplace(&e, e.seq);
     // Do NOT drop blockers that completed between the conflict test and
     // here: a just-aborted subtransaction must not look like a grant. The
     // wait loop re-derives the verdict from fresh state on every wake-up.
@@ -363,6 +381,17 @@ void LockManager::CheckQueueInvariants(const LockShard& shard,
                                          std::to_string(e.acquirer->id()) +
                                          " (" + e.acquirer->method() + ")");
     }
+    // Coalescing discipline: only *granted* entries absorb repeated
+    // identical acquisitions; a waiting entry always represents exactly
+    // one request, and no live entry can have an empty count.
+    if (e.count == 0 || (!e.granted && e.count != 1)) {
+      inv_stats_.coalesce_violations.fetch_add(1, std::memory_order_relaxed);
+      InvariantViolation(
+          "coalesce", "entry " + e.acquirer->method() + " (txn " +
+                          std::to_string(e.acquirer->id()) + ") is " +
+                          (e.granted ? "granted" : "waiting") + " with count " +
+                          std::to_string(e.count));
+    }
   }
 }
 
@@ -440,12 +469,12 @@ void LockManager::CheckWaitGraphAcyclic() {
 
 void LockManager::RecordLockOrder(SubTxn* t, const LockTarget& target) {
   SubTxn* root = t->root();
-  std::vector<LockTarget>& held = held_targets_[root];
-  if (std::find(held.begin(), held.end(), target) != held.end()) {
+  HeldTargets& held = held_targets_[root];
+  const uint64_t to = PackTarget(target);
+  if (!held.seen.insert(to).second) {
     return;  // re-acquisition of a target the tree already locks: no edge
   }
-  const uint64_t to = PackTarget(target);
-  for (const LockTarget& h : held) {
+  for (const LockTarget& h : held.order) {
     if (!order_graph_.AddEdge(PackTarget(h), to)) {
       inv_stats_.order_inversions.fetch_add(1, std::memory_order_relaxed);
       // Diagnostic, not a violation: inversions are legal here (the
@@ -455,7 +484,7 @@ void LockManager::RecordLockOrder(SubTxn* t, const LockTarget& target) {
                        << "cycle (txn " << std::to_string(root->id()) << ")";
     }
   }
-  held.push_back(target);
+  held.order.push_back(target);
 }
 
 // The loop-carried all-shards acquisition is invisible to the thread-safety
@@ -494,10 +523,41 @@ inline bool MaskHasShard(uint64_t mask, size_t idx) {
 }
 }  // namespace
 
+std::list<LockEntry>::iterator LockManager::AppendEntry(LockShard& shard,
+                                                        LockQueue& q,
+                                                        SubTxn* t,
+                                                        bool is_write,
+                                                        bool granted,
+                                                        uint64_t seq) {
+  if (options_.pool_entries && !shard.free_entries.empty()) {
+    q.entries.splice(q.entries.end(), shard.free_entries,
+                     shard.free_entries.begin());
+    q.entries.back() =
+        LockEntry{t, t, t->method_id(), is_write, granted, /*count=*/1, seq};
+  } else {
+    q.entries.push_back(
+        LockEntry{t, t, t->method_id(), is_write, granted, /*count=*/1, seq});
+  }
+  // Membership grew: any published grant-cache slot on this queue may now
+  // owe the new entry FCFS priority — invalidate them all.
+  q.epoch.fetch_add(1, std::memory_order_release);
+  return std::prev(q.entries.end());
+}
+
+void LockManager::RecycleEntry(LockShard& shard, LockQueue& q,
+                               std::list<LockEntry>::iterator it) {
+  if (options_.pool_entries &&
+      shard.free_entries.size() < kMaxPooledEntries) {
+    shard.free_entries.splice(shard.free_entries.begin(), q.entries, it);
+  } else {
+    q.entries.erase(it);
+  }
+}
+
 void LockManager::RemoveWaiter(LockShard& shard, const LockTarget& target,
                                LockQueue& q,
                                std::list<LockEntry>::iterator my_it) {
-  q.entries.erase(my_it);
+  RecycleEntry(shard, q, my_it);
   if (q.entries.empty()) shard.table.erase(target);
   // Our waiting entry may have been blocking later-queued requests (FCFS);
   // wake this shard so they re-scan.
@@ -509,24 +569,153 @@ void LockManager::EraseWaitRecord(SubTxn* t) {
   waits_.erase(t);
 }
 
+bool LockManager::TryFastPath(SubTxn* t, const LockTarget& target,
+                              bool is_write) {
+  // Gates: mechanism enabled and meaningful for this protocol; never while
+  // the debug checker is on (every grant must pass through the mutex-path
+  // checks); never once the transaction is flagged for abort.
+  if (!options_.lock_fast_path ||
+      SEMCC_PREDICT_FALSE(options_.debug_lock_checks) ||
+      !SemanticFastPathApplies(t)) {
+    return false;
+  }
+  SubTxn* root = t->root();
+  if (root->abort_requested()) return false;
+  GrantCache* cache = root->grant_cache();
+  if (cache == nullptr) return false;
+  GrantCache::Slot* slot = cache->Find(target);
+  if (slot == nullptr) return false;
+  // The requester must be in the published verdict class: same manager,
+  // same parent (hence identical ancestor chains on both sides of any
+  // test-conflict), same method/mode/type, and matching args unless the
+  // method's verdicts are argument-insensitive.
+  if (slot->manager != this || slot->parent != t->parent() ||
+      slot->method_id != t->method_id() || slot->is_write != is_write ||
+      slot->type != t->type()) {
+    return false;
+  }
+  if (slot->args_matter && !(*slot->args == t->args())) return false;
+  // Queue membership unchanged since publication? Appends bump the epoch
+  // under the shard mutex; an acquire load here orders the check after any
+  // append we could possibly owe FCFS priority to. A concurrent in-flight
+  // append linearizes this grant before that arrival — either order is
+  // legal, and the newcomer's own scan tests against the published entry,
+  // which answers for this whole verdict class.
+  if (slot->queue->epoch.load(std::memory_order_acquire) != slot->epoch) {
+    return false;
+  }
+  return true;
+}
+
+LockEntry* LockManager::FindCoalescible(const LockShard& shard, LockQueue& q,
+                                        SubTxn* t, bool is_write) {
+  (void)shard;  // capability-only parameter (REQUIRES(shard.mu))
+  for (LockEntry& e : q.entries) {
+    if (!e.granted || e.acquirer == t) continue;
+    SubTxn* a = e.acquirer;
+    if (a->root() != t->root() || a->parent() != t->parent()) continue;
+    if (e.method_id != t->method_id() || e.is_write != is_write ||
+        a->type() != t->type() || a->object() != t->object()) {
+      continue;
+    }
+    if (a->compensation()) continue;  // keep compensation entries distinct
+    if (compat_->ArgsMatter(t->type(), t->method_id()) &&
+        !(a->args() == t->args())) {
+      continue;
+    }
+    return &e;
+  }
+  return nullptr;
+}
+
+void LockManager::PublishSlot(LockQueue& q, const LockTarget& target,
+                              SubTxn* t, bool is_write,
+                              const LockEntry* entry) {
+  GrantCache::Slot slot;
+  slot.manager = this;
+  slot.queue = &q;
+  slot.entry = entry;
+  slot.epoch = q.epoch.load(std::memory_order_relaxed);
+  slot.parent = t->parent();
+  slot.method_id = t->method_id();
+  slot.type = t->type();
+  slot.is_write = is_write;
+  slot.args_matter = compat_->ArgsMatter(t->type(), t->method_id());
+  slot.args = &t->args();
+  t->root()->EnsureGrantCache().Put(target, slot);
+}
+
 Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
                             bool is_write) {
+  if (TryFastPath(t, target, is_write)) {
+    stats_.acquires.fetch_add(1, std::memory_order_relaxed);
+    stats_.fast_path_hits.fetch_add(1, std::memory_order_relaxed);
+    t->set_grant_seq(NextSeq());
+    return Status::OK();
+  }
   stats_.acquires.fetch_add(1, std::memory_order_relaxed);
+  if (t->root()->abort_requested() && !t->compensation()) {
+    // Same outcome the wait loop's top produced before the restructure —
+    // derived before any entry exists, so there is nothing to withdraw.
+    return Status::Aborted("transaction abort requested while locking " +
+                           target.ToString());
+  }
   const uint32_t shard_idx = ShardIndexOf(target);
   t->root()->NoteLockShard(shard_idx);
   LockShard& shard = *shards_[shard_idx];
   MutexLock lock(shard.mu);
   LockQueue& q = shard.table[target];
-  const uint64_t my_seq = shard.next_entry_seq++;
-  q.entries.push_back(LockEntry{t, t, t->method_id(), is_write,
-                                /*granted=*/false, my_seq});
-  auto my_it = std::prev(q.entries.end());
 
-  bool first_scan = true;
+  // Pre-append scan at the next (unconsumed) seq: no existing entry can
+  // have a larger one, so "blockers empty" here means the WHOLE queue —
+  // granted entries and waiters of any arrival order — tests nil against
+  // t. That is exactly the FCFS verdict the old append-first code derived,
+  // and it doubles as the grant-cache publication condition.
+  ScanResult scan;
+  const uint64_t peek_seq = shard.next_entry_seq;
+  CollectBlockers(shard, q, peek_seq, t, is_write, /*count_stats=*/true,
+                  /*memoize=*/false, &scan);
+  if (scan.blockers.empty()) {
+    const bool semantic_fast = SemanticFastPathApplies(t);
+    LockEntry* entry = nullptr;
+    if (semantic_fast && options_.coalesce_entries) {
+      entry = FindCoalescible(shard, q, t, is_write);
+    }
+    if (entry != nullptr) {
+      // Identical grant already in the queue: absorb this acquisition into
+      // its count. No new entry, no seq consumed, no epoch bump — foreign
+      // scans keep deriving the exact verdicts they would have derived
+      // against a duplicate entry of the same class.
+      ++entry->count;
+      stats_.coalesced_grants.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      shard.next_entry_seq++;
+      entry = &*AppendEntry(shard, q, t, is_write, /*granted=*/true,
+                            peek_seq);
+    }
+    t->set_grant_seq(NextSeq());
+    if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
+      inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
+      CheckGrantInvariants(shard, q, peek_seq, t, is_write);
+      CheckQueueInvariants(shard, q);
+      MutexLock g(graph_mu_);
+      RecordLockOrder(t, target);
+    } else if (semantic_fast && options_.lock_fast_path &&
+               !t->root()->abort_requested()) {
+      PublishSlot(q, target, t, is_write, entry);
+    }
+    return Status::OK();
+  }
+
+  // Blocked: enter the queue (consuming the peeked seq) and wait.
+  shard.next_entry_seq++;
+  auto my_it =
+      AppendEntry(shard, q, t, is_write, /*granted=*/false, peek_seq);
+  const uint64_t my_seq = peek_seq;
+
   bool ever_blocked = false;
   StopWatch wait_timer;
   std::chrono::steady_clock::time_point deadline{};
-  ScanResult scan;
   while (true) {
     if (t->root()->abort_requested() && !t->compensation()) {
       RemoveWaiter(shard, target, q, my_it);
@@ -534,8 +723,8 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
       return Status::Aborted("transaction abort requested while locking " +
                              target.ToString());
     }
-    CollectBlockers(shard, q, my_seq, t, is_write, first_scan, &scan);
-    first_scan = false;
+    CollectBlockers(shard, q, my_seq, t, is_write, /*count_stats=*/false,
+                    options_.memoize_conflicts, &scan);
     if (scan.blockers.empty()) {
       my_it->granted = true;
       t->set_grant_seq(NextSeq());
@@ -546,6 +735,10 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
         MutexLock g(graph_mu_);
         RecordLockOrder(t, target);
       }
+      // No grant-cache publication here: entries queued after ours may
+      // already be waiting (FCFS), so the whole-queue publication
+      // condition does not hold at my_seq. The next identical acquire
+      // re-derives and republishes from the pre-append scan above.
       if (ever_blocked) {
         EraseWaitRecord(t);
         stats_.wait_micros.Add(wait_timer.ElapsedMicros());
@@ -669,7 +862,7 @@ void LockManager::OnSubTxnCompleted(SubTxn* t) {
             LockQueue& q = it->second;
             for (auto e = q.entries.begin(); e != q.entries.end();) {
               if (e->granted && t->IsAncestorOf(e->acquirer)) {
-                e = q.entries.erase(e);
+                RecycleEntry(shard, q, e++);
                 changed = true;
               } else {
                 ++e;
@@ -732,6 +925,11 @@ void LockManager::OnSubTxnCompleted(SubTxn* t) {
 }
 
 void LockManager::ReleaseTree(SubTxn* root) {
+  // Invalidate the tree's published grants BEFORE any of its entries leave
+  // a queue, so no slot can outlive the entry it points at. (The cache is
+  // the tree's executing thread's data; by the time ReleaseTree is legal,
+  // no action of the tree can still be acquiring.)
+  root->ClearGrantCache();
   ShardSet wake;
   // Skip shards the tree never touched — except under debug checks, where
   // the full sweep lets CheckNoLeakedLocks catch a shard-mask bug.
@@ -746,7 +944,7 @@ void LockManager::ReleaseTree(SubTxn* root) {
       LockQueue& q = it->second;
       for (auto e = q.entries.begin(); e != q.entries.end();) {
         if (e->acquirer->root() == root) {
-          e = q.entries.erase(e);
+          RecycleEntry(shard, q, e++);
           changed = true;
         } else {
           ++e;
@@ -806,7 +1004,7 @@ std::vector<LockManager::LockInfo> LockManager::LocksOn(
   for (const LockEntry& e : it->second.entries) {
     out.push_back(LockInfo{e.acquirer->id(), e.acquirer->root()->id(),
                            e.acquirer->method(), e.granted,
-                           e.acquirer->completed()});
+                           e.acquirer->completed(), e.count});
   }
   return out;
 }
