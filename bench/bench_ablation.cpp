@@ -42,13 +42,20 @@ RunSummary RunVariant(const char* name, ProtocolOptions opts,
   s.tps = result.throughput_tps;
   s.committed = result.committed;
   s.failed = result.failed;
-  s.blocked = db.locks()->stats().blocked_acquires.load();
-  s.root_waits = db.locks()->stats().root_waits.load();
-  s.case1 = db.locks()->stats().case1_grants.load();
-  s.case2 = db.locks()->stats().case2_waits.load();
-  s.deadlocks = db.locks()->stats().deadlocks.load();
-  s.retries = db.txns()->stats().retries.load();
-  s.wait_p95_us = db.locks()->stats().wait_micros.Percentile(95);
+  const LockStats ls = db.locks()->stats();
+  s.blocked = ls.blocked_acquires;
+  s.root_waits = ls.root_waits;
+  s.case1 = ls.case1_grants;
+  s.case2 = ls.case2_waits;
+  s.deadlocks = ls.deadlocks;
+  s.retries = db.txns()->stats().retries;
+  s.wait_p95_us = ls.wait_micros.p95;
+  s.commute = ls.commute_grants;
+  s.retained_hits = ls.retained_hits;
+  s.fast_path_hits = ls.fast_path_hits;
+  s.coalesced = ls.coalesced_grants;
+  s.memo_hits = ls.memo_hits;
+  s.timeouts = ls.timeouts;
   return s;
 }
 

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -81,6 +82,13 @@ struct RunSummary {
   uint64_t wait_p50_us = 0;
   uint64_t wait_p95_us = 0;
   uint64_t wait_p99_us = 0;
+  // Verdict breakdown / fast-path columns (emitted with --stats).
+  uint64_t commute = 0;
+  uint64_t retained_hits = 0;
+  uint64_t fast_path_hits = 0;
+  uint64_t coalesced = 0;
+  uint64_t memo_hits = 0;
+  uint64_t timeouts = 0;
 };
 
 /// Per-thread transaction count, overridable via SEMCC_BENCH_TXNS (the CI
@@ -105,27 +113,35 @@ class JsonSink {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg.rfind("--json=", 0) == 0) path_ = arg.substr(7);
+      if (arg == "--stats") stats_ = true;
     }
     if (path_.empty()) {
       const char* env = std::getenv("SEMCC_BENCH_JSON");
       if (env != nullptr && env[0] != '\0') path_ = env;
     }
+    if (!stats_) {
+      const char* env = std::getenv("SEMCC_BENCH_STATS");
+      stats_ = env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+    }
   }
   ~JsonSink() { Flush(); }
 
   bool enabled() const { return !path_.empty(); }
+  /// `--stats` (or SEMCC_BENCH_STATS): append the verdict-breakdown and
+  /// fast-path columns to every row.
+  bool stats() const { return stats_; }
 
   /// `label` distinguishes sweep points sharing a protocol name (e.g.
   /// "theta=0.90"); keep it free of JSON-significant characters.
   void Add(const RunSummary& s, const std::string& label = "") {
     if (!enabled()) return;
-    char buf[512];
-    std::snprintf(
+    char buf[768];
+    int n = std::snprintf(
         buf, sizeof(buf),
         "  {\"protocol\": \"%s\", \"label\": \"%s\", \"threads\": %d, "
         "\"throughput_tps\": %.2f, \"committed\": %llu, \"failed\": %llu, "
         "\"blocked\": %llu, \"deadlocks\": %llu, \"retries\": %llu, "
-        "\"wait_p50_us\": %llu, \"wait_p95_us\": %llu, \"wait_p99_us\": %llu}",
+        "\"wait_p50_us\": %llu, \"wait_p95_us\": %llu, \"wait_p99_us\": %llu",
         s.protocol.c_str(), label.c_str(), s.threads, s.tps,
         static_cast<unsigned long long>(s.committed),
         static_cast<unsigned long long>(s.failed),
@@ -135,6 +151,27 @@ class JsonSink {
         static_cast<unsigned long long>(s.wait_p50_us),
         static_cast<unsigned long long>(s.wait_p95_us),
         static_cast<unsigned long long>(s.wait_p99_us));
+    if (stats_ && n > 0 && static_cast<size_t>(n) < sizeof(buf)) {
+      n += std::snprintf(
+          buf + n, sizeof(buf) - n,
+          ", \"commute\": %llu, \"case1\": %llu, \"case2\": %llu, "
+          "\"root_waits\": %llu, \"retained_hits\": %llu, "
+          "\"fast_path_hits\": %llu, \"coalesced\": %llu, "
+          "\"memo_hits\": %llu, \"timeouts\": %llu",
+          static_cast<unsigned long long>(s.commute),
+          static_cast<unsigned long long>(s.case1),
+          static_cast<unsigned long long>(s.case2),
+          static_cast<unsigned long long>(s.root_waits),
+          static_cast<unsigned long long>(s.retained_hits),
+          static_cast<unsigned long long>(s.fast_path_hits),
+          static_cast<unsigned long long>(s.coalesced),
+          static_cast<unsigned long long>(s.memo_hits),
+          static_cast<unsigned long long>(s.timeouts));
+    }
+    if (n > 0 && static_cast<size_t>(n) + 1 < sizeof(buf)) {
+      buf[n] = '}';
+      buf[n + 1] = '\0';
+    }
     rows_.push_back(buf);
   }
 
@@ -157,6 +194,7 @@ class JsonSink {
 
  private:
   std::string path_;
+  bool stats_ = false;
   std::vector<std::string> rows_;
 };
 
@@ -184,15 +222,22 @@ inline RunSummary RunWorkload(const ProtocolConfig& proto,
   s.tps = result.throughput_tps;
   s.committed = result.committed;
   s.failed = result.failed;
-  s.blocked = db.locks()->stats().blocked_acquires.load();
-  s.root_waits = db.locks()->stats().root_waits.load();
-  s.case1 = db.locks()->stats().case1_grants.load();
-  s.case2 = db.locks()->stats().case2_waits.load();
-  s.deadlocks = db.locks()->stats().deadlocks.load();
-  s.retries = db.txns()->stats().retries.load();
-  s.wait_p50_us = db.locks()->stats().wait_micros.Percentile(50);
-  s.wait_p95_us = db.locks()->stats().wait_micros.Percentile(95);
-  s.wait_p99_us = db.locks()->stats().wait_micros.Percentile(99);
+  const LockStats ls = db.locks()->stats();
+  s.blocked = ls.blocked_acquires;
+  s.root_waits = ls.root_waits;
+  s.case1 = ls.case1_grants;
+  s.case2 = ls.case2_waits;
+  s.deadlocks = ls.deadlocks;
+  s.retries = db.txns()->stats().retries;
+  s.wait_p50_us = ls.wait_micros.p50;
+  s.wait_p95_us = ls.wait_micros.p95;
+  s.wait_p99_us = ls.wait_micros.p99;
+  s.commute = ls.commute_grants;
+  s.retained_hits = ls.retained_hits;
+  s.fast_path_hits = ls.fast_path_hits;
+  s.coalesced = ls.coalesced_grants;
+  s.memo_hits = ls.memo_hits;
+  s.timeouts = ls.timeouts;
   return s;
 }
 

@@ -27,9 +27,9 @@ void RunUnder(const char* name, bool ancestor_walk) {
                                         : "no (waited for T1 commit)");
   std::printf("case1 grants: %llu, root waits: %llu, scenario wall time: %llu ms\n\n",
               static_cast<unsigned long long>(
-                  s->db->locks()->stats().case1_grants.load()),
+                  s->db->locks()->stats().case1_grants),
               static_cast<unsigned long long>(
-                  s->db->locks()->stats().root_waits.load()),
+                  s->db->locks()->stats().root_waits),
               static_cast<unsigned long long>(sw.ElapsedMillis()));
 }
 

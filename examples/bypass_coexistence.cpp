@@ -49,7 +49,7 @@ int main() {
                 out.right_overlapped_left ? "ran concurrently with T1"
                                           : "was blocked",
                 static_cast<unsigned long long>(
-                    s->db->locks()->stats().case1_grants.load()));
+                    s->db->locks()->stats().case1_grants));
   }
 
   std::printf("3) Figure 7 — Case 2: waiting for a subtransaction, not the txn\n");

@@ -13,13 +13,23 @@ Understands both result schemas in this repo:
     (lower is better).
 
 Prints a WARNING line for every metric that regressed by more than the
-threshold. ALWAYS exits 0 — the perf trajectory is tracked, not gated;
+threshold. Rows written with --stats additionally carry the verdict
+breakdown (commute/case1/case2/root_waits/retained_hits/...); those are
+compared as *shares of the row's verdict total* and a drift beyond
+--verdict-drift (default 10 percentage points) warns — catching protocol-
+behavior changes (e.g. Case 1 relief silently stopping) that throughput
+alone would hide. ALWAYS exits 0 — the trajectory is tracked, not gated;
 gating on shared-runner timing would make CI flaky.
 """
 
 import argparse
 import json
 import sys
+
+# Verdict-breakdown columns emitted by JsonSink with --stats. Compared as
+# shares of their row sum, not absolute counts (counts scale with run
+# length; the *mix* is the protocol's signature).
+VERDICT_COLS = ("commute", "case1", "case2", "root_waits", "retained_hits")
 
 
 def row_key(row):
@@ -42,6 +52,15 @@ def row_metrics(row):
             yield key, float(value), False
 
 
+def verdict_shares(row):
+    """The row's verdict counts as fractions of their sum, or None."""
+    counts = {c: float(row[c]) for c in VERDICT_COLS if c in row}
+    total = sum(counts.values())
+    if not counts or total <= 0:
+        return None
+    return {c: v / total for c, v in counts.items()}
+
+
 def index_rows(data):
     out = {}
     if isinstance(data, dict) and "benchmarks" in data:
@@ -59,21 +78,39 @@ def index_rows(data):
     return out
 
 
+def index_verdicts(data):
+    out = {}
+    if isinstance(data, list):
+        for row in data:
+            if isinstance(row, dict):
+                shares = verdict_shares(row)
+                if shares is not None:
+                    out[row_key(row)] = shares
+    return out
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("old")
     ap.add_argument("new")
     ap.add_argument("--threshold", type=float, default=0.15)
+    ap.add_argument("--verdict-drift", type=float, default=0.10,
+                    help="warn when a verdict's share of the breakdown "
+                         "moves by more than this (absolute fraction)")
     args = ap.parse_args()
 
     try:
         with open(args.old) as f:
-            old = index_rows(json.load(f))
+            old_data = json.load(f)
         with open(args.new) as f:
-            new = index_rows(json.load(f))
-    except (OSError, json.JSONDecodeError, KeyError) as e:
+            new_data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
         print(f"check_bench_regression: cannot compare ({e})", file=sys.stderr)
         return 0
+    old = index_rows(old_data)
+    new = index_rows(new_data)
+    old_verdicts = index_verdicts(old_data)
+    new_verdicts = index_verdicts(new_data)
 
     warned = 0
     for key, metrics in sorted(new.items()):
@@ -99,10 +136,28 @@ def main():
                     f"{args.threshold * 100.0:.0f}%)"
                 )
                 warned += 1
-    if warned == 0:
+    drifted = 0
+    for key, shares in sorted(new_verdicts.items()):
+        old_shares = old_verdicts.get(key)
+        if old_shares is None:
+            continue
+        for verdict in VERDICT_COLS:
+            before = old_shares.get(verdict, 0.0)
+            after = shares.get(verdict, 0.0)
+            if abs(after - before) > args.verdict_drift:
+                print(
+                    f"WARNING: verdict drift {key} {verdict}: "
+                    f"{before * 100.0:.1f}% -> {after * 100.0:.1f}% of the "
+                    f"breakdown (threshold {args.verdict_drift * 100.0:.0f} "
+                    "points)"
+                )
+                drifted += 1
+
+    if warned == 0 and drifted == 0:
         print(f"check_bench_regression: {args.new} OK vs {args.old} "
-              f"(no metric >{args.threshold * 100.0:.0f}% worse)")
-    return 0  # never gate on timing
+              f"(no metric >{args.threshold * 100.0:.0f}% worse, "
+              "no verdict drift)")
+    return 0  # never gate on timing or behavior mix
 
 
 if __name__ == "__main__":

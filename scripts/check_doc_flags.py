@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Doc-lint: every ProtocolOptions field must appear in the README flag
+reference.
+
+Usage: check_doc_flags.py [--header src/cc/lock_manager.h] [--doc README.md]
+
+Parses the `struct ProtocolOptions { ... }` block out of the header with a
+small brace-tracking scanner (no compiler needed) and greps README.md for
+each field name (as a word, typically inside backticks). Exits non-zero
+listing any undocumented field — this runs as the CI doc-lint step so a new
+knob cannot land without a README entry.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+FIELD_RE = re.compile(
+    r"^\s*(?:[A-Za-z_][A-Za-z0-9_:<>,\s]*?)\s+"  # type (possibly qualified)
+    r"([a-z_][a-z0-9_]*)\s*"                     # field name
+    r"(?:=[^;]*)?;"                              # optional default
+)
+
+
+def protocol_options_fields(header_text):
+    start = header_text.find("struct ProtocolOptions")
+    if start < 0:
+        raise ValueError("struct ProtocolOptions not found")
+    brace = header_text.find("{", start)
+    depth = 0
+    end = brace
+    for i in range(brace, len(header_text)):
+        if header_text[i] == "{":
+            depth += 1
+        elif header_text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                end = i
+                break
+    body = header_text[brace + 1:end]
+    fields = []
+    for line in body.splitlines():
+        stripped = line.split("//")[0].strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        m = FIELD_RE.match(stripped)
+        if m:
+            fields.append(m.group(1))
+    if not fields:
+        raise ValueError("no fields parsed from ProtocolOptions")
+    return list(dict.fromkeys(fields))  # dedupe #if-branched fields
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    ap.add_argument("--header", default=str(repo / "src/cc/lock_manager.h"))
+    ap.add_argument("--doc", default=str(repo / "README.md"))
+    args = ap.parse_args()
+
+    header_text = pathlib.Path(args.header).read_text()
+    doc_text = pathlib.Path(args.doc).read_text()
+    fields = protocol_options_fields(header_text)
+
+    missing = [f for f in fields
+               if not re.search(rf"\b{re.escape(f)}\b", doc_text)]
+    if missing:
+        print(f"doc-lint: {args.doc} is missing these ProtocolOptions "
+              "fields from the flag reference:")
+        for f in missing:
+            print(f"  {f}")
+        print("(add a row for each to the README flag-reference table)")
+        return 1
+    print(f"doc-lint: all {len(fields)} ProtocolOptions fields documented "
+          f"in {args.doc}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

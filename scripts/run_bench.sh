@@ -61,11 +61,14 @@ for f in "${bench_files[@]}"; do
   [[ -f "$repo_root/$f" ]] && cp "$repo_root/$f" "$stash_dir/$f"
 done
 
-"$build_dir/bench/bench_throughput" --json="$repo_root/BENCH_throughput.json"
+# --stats adds the verdict-breakdown + fast-path columns to every row
+# (commute/case1/case2/root_waits/retained_hits/...), so the trajectory
+# files track protocol behavior, not just throughput.
+"$build_dir/bench/bench_throughput" --stats --json="$repo_root/BENCH_throughput.json"
 validate_json "$repo_root/BENCH_throughput.json"
-"$build_dir/bench/bench_contention" --json="$repo_root/BENCH_contention.json"
+"$build_dir/bench/bench_contention" --stats --json="$repo_root/BENCH_contention.json"
 validate_json "$repo_root/BENCH_contention.json"
-"$build_dir/bench/bench_recovery" --json="$repo_root/BENCH_recovery.json"
+"$build_dir/bench/bench_recovery" --stats --json="$repo_root/BENCH_recovery.json"
 validate_json "$repo_root/BENCH_recovery.json"
 "$build_dir/bench/bench_lock_manager" \
   --benchmark_filter='BM_RepeatedReacquire' \

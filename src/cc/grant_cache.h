@@ -67,6 +67,9 @@ class GrantCache {
     LockQueue* queue = nullptr;
     const LockEntry* entry = nullptr;  ///< published grant (diagnostics)
     uint64_t epoch = 0;  ///< queue append-epoch at publication
+    /// Shard the queue lives in, computed at publication so a hit charges
+    /// its counters without re-hashing the target.
+    uint32_t shard_idx = 0;
     // --- the published verdict class ------------------------------------
     SubTxn* parent = nullptr;  ///< acquirer's parent (same ancestor chain)
     MethodId method_id = kInvalidMethodId;

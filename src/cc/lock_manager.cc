@@ -43,36 +43,71 @@ std::string LockTarget::ToString() const {
 }
 
 std::string LockStats::ToString() const {
-  char buf[384];
+  char buf[448];
   std::snprintf(
       buf, sizeof(buf),
       "acquires=%llu blocked=%llu commute=%llu case1=%llu case2=%llu "
-      "root_waits=%llu deadlocks=%llu timeouts=%llu fast_path=%llu "
-      "coalesced=%llu memo=%llu",
-      static_cast<unsigned long long>(acquires.load()),
-      static_cast<unsigned long long>(blocked_acquires.load()),
-      static_cast<unsigned long long>(commute_grants.load()),
-      static_cast<unsigned long long>(case1_grants.load()),
-      static_cast<unsigned long long>(case2_waits.load()),
-      static_cast<unsigned long long>(root_waits.load()),
-      static_cast<unsigned long long>(deadlocks.load()),
-      static_cast<unsigned long long>(timeouts.load()),
-      static_cast<unsigned long long>(fast_path_hits.load()),
-      static_cast<unsigned long long>(coalesced_grants.load()),
-      static_cast<unsigned long long>(memo_hits.load()));
+      "root_waits=%llu retained=%llu deadlocks=%llu timeouts=%llu "
+      "fast_path=%llu coalesced=%llu memo=%llu",
+      static_cast<unsigned long long>(acquires),
+      static_cast<unsigned long long>(blocked_acquires),
+      static_cast<unsigned long long>(commute_grants),
+      static_cast<unsigned long long>(case1_grants),
+      static_cast<unsigned long long>(case2_waits),
+      static_cast<unsigned long long>(root_waits),
+      static_cast<unsigned long long>(retained_hits),
+      static_cast<unsigned long long>(deadlocks),
+      static_cast<unsigned long long>(timeouts),
+      static_cast<unsigned long long>(fast_path_hits),
+      static_cast<unsigned long long>(coalesced_grants),
+      static_cast<unsigned long long>(memo_hits));
   return buf;
+}
+
+std::string LockStats::ToJson() const {
+  metrics::JsonWriter w;
+  w.Field("acquires", acquires);
+  w.Field("blocked_acquires", blocked_acquires);
+  w.Field("commute_grants", commute_grants);
+  w.Field("case1_grants", case1_grants);
+  w.Field("case2_waits", case2_waits);
+  w.Field("root_waits", root_waits);
+  w.Field("retained_hits", retained_hits);
+  w.Field("deadlocks", deadlocks);
+  w.Field("timeouts", timeouts);
+  w.Field("fast_path_hits", fast_path_hits);
+  w.Field("fast_path_misses", fast_path_misses);
+  w.Field("coalesced_grants", coalesced_grants);
+  w.Field("memo_hits", memo_hits);
+  w.Field("granted_entries", granted_entries);
+  w.Field("released_entries", released_entries);
+  w.Field("wakeups", wakeups);
+  w.Field("wait_count", wait_micros.count);
+  w.Field("wait_mean_us", wait_micros.mean());
+  w.Field("wait_p50_us", wait_micros.p50);
+  w.Field("wait_p95_us", wait_micros.p95);
+  w.Field("wait_p99_us", wait_micros.p99);
+  w.Field("wait_max_us", wait_micros.max);
+  return w.Close();
+}
+
+size_t LockManager::ClampShardCount(int requested) {
+  int n = requested;
+  if (n < 1) n = 1;
+  if (n > kMaxShards) n = kMaxShards;
+  size_t pow2 = 1;
+  while (pow2 < static_cast<size_t>(n)) pow2 <<= 1;
+  return pow2;
 }
 
 LockManager::LockManager(const ProtocolOptions& options,
                          CompatibilityRegistry* compat)
-    : options_(options), compat_(compat) {
-  int n = options.lock_table_shards;
-  if (n < 1) n = 1;
-  if (n > kMaxShards) n = kMaxShards;
-  int pow2 = 1;
-  while (pow2 < n) pow2 <<= 1;
+    : options_(options),
+      compat_(compat),
+      counters_(ClampShardCount(options.lock_table_shards), kCtrCount) {
+  const size_t pow2 = ClampShardCount(options.lock_table_shards);
   shards_.reserve(pow2);
-  for (int i = 0; i < pow2; ++i) {
+  for (size_t i = 0; i < pow2; ++i) {
     shards_.push_back(std::make_unique<LockShard>());
   }
   shard_mask_ = static_cast<uint32_t>(pow2 - 1);
@@ -80,11 +115,82 @@ LockManager::LockManager(const ProtocolOptions& options,
 
 LockManager::~LockManager() = default;
 
+LockStats LockManager::stats() const {
+  LockStats s;
+  s.acquires = counters_.Sum(kCtrAcquires);
+  s.blocked_acquires = counters_.Sum(kCtrBlockedAcquires);
+  s.commute_grants = counters_.Sum(kCtrCommuteGrants);
+  s.case1_grants = counters_.Sum(kCtrCase1Grants);
+  s.case2_waits = counters_.Sum(kCtrCase2Waits);
+  s.root_waits = counters_.Sum(kCtrRootWaits);
+  s.retained_hits = counters_.Sum(kCtrRetainedHits);
+  s.deadlocks = counters_.Sum(kCtrDeadlocks);
+  s.timeouts = counters_.Sum(kCtrTimeouts);
+  s.fast_path_hits = counters_.Sum(kCtrFastPathHits);
+  s.fast_path_misses = counters_.Sum(kCtrFastPathMisses);
+  s.coalesced_grants = counters_.Sum(kCtrCoalescedGrants);
+  s.memo_hits = counters_.Sum(kCtrMemoHits);
+  s.granted_entries = counters_.Sum(kCtrGrantedEntries);
+  s.released_entries = counters_.Sum(kCtrReleasedEntries);
+  s.wakeups = counters_.Sum(kCtrWakeups);
+  s.wait_micros = wait_micros_.Snapshot();
+  return s;
+}
+
+LockStats LockManager::shard_stats(uint32_t shard) const {
+  LockStats s;
+  s.acquires = counters_.StripeValue(shard, kCtrAcquires);
+  s.blocked_acquires = counters_.StripeValue(shard, kCtrBlockedAcquires);
+  s.commute_grants = counters_.StripeValue(shard, kCtrCommuteGrants);
+  s.case1_grants = counters_.StripeValue(shard, kCtrCase1Grants);
+  s.case2_waits = counters_.StripeValue(shard, kCtrCase2Waits);
+  s.root_waits = counters_.StripeValue(shard, kCtrRootWaits);
+  s.retained_hits = counters_.StripeValue(shard, kCtrRetainedHits);
+  s.deadlocks = counters_.StripeValue(shard, kCtrDeadlocks);
+  s.timeouts = counters_.StripeValue(shard, kCtrTimeouts);
+  s.fast_path_hits = counters_.StripeValue(shard, kCtrFastPathHits);
+  s.fast_path_misses = counters_.StripeValue(shard, kCtrFastPathMisses);
+  s.coalesced_grants = counters_.StripeValue(shard, kCtrCoalescedGrants);
+  s.memo_hits = counters_.StripeValue(shard, kCtrMemoHits);
+  s.granted_entries = counters_.StripeValue(shard, kCtrGrantedEntries);
+  s.released_entries = counters_.StripeValue(shard, kCtrReleasedEntries);
+  s.wakeups = counters_.StripeValue(shard, kCtrWakeups);
+  return s;
+}
+
+void LockManager::EmitLockEvent(trace::EventKind kind, SubTxn* t,
+                                const LockTarget& target, uint32_t shard,
+                                ConflictOutcome verdict, SubTxn* blocker,
+                                uint64_t value, uint8_t flags) const {
+  trace::Event e;
+  e.kind = static_cast<uint8_t>(kind);
+  e.txn = t->id();
+  e.root = t->root()->id();
+  e.depth = static_cast<uint16_t>(t->depth());
+  e.target = target.key;
+  e.target_space = static_cast<uint8_t>(target.space);
+  e.shard = shard;
+  e.verdict = static_cast<uint8_t>(verdict);
+  e.other = blocker != nullptr ? blocker->id() : 0;
+  e.value = value;
+  e.flags = flags;
+  e.set_method(t->method());
+  trace::Emit(e);
+}
+
 void LockManager::NotifyShards(const ShardSet& s) {
   if (s.none()) return;
+  const bool tracing = trace::Active(options_.trace);
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (!s.test(i)) continue;
     LockShard& shard = *shards_[i];
+    counters_.Inc(i, kCtrWakeups);
+    if (tracing) {
+      trace::Event e;
+      e.kind = static_cast<uint8_t>(trace::EventKind::kWakeup);
+      e.shard = static_cast<uint32_t>(i);
+      trace::Emit(e);
+    }
     // Lock-then-notify: a registering waiter holds its shard mutex
     // continuously from its blocker scan until the condvar wait parks it,
     // so acquiring the mutex here serializes us after that window — the
@@ -208,8 +314,8 @@ SubTxn* LockManager::TestConflict(const LockEntry& h, SubTxn* r,
 
 void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
                                   uint64_t my_seq, SubTxn* t, bool is_write,
-                                  bool count_stats, bool memoize,
-                                  ScanResult* out) {
+                                  uint32_t stripe, bool count_stats,
+                                  bool memoize, ScanResult* out) {
   (void)shard;  // capability-only parameter (REQUIRES(shard.mu))
   out->Clear();
   for (const LockEntry& e : q.entries) {
@@ -228,7 +334,7 @@ void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
       // verdicts are never memoized: blockers must be re-derived fresh.
       auto mit = out->nil_verdicts.find(&e);
       if (mit != out->nil_verdicts.end() && mit->second == e.seq) {
-        stats_.memo_hits.fetch_add(1, std::memory_order_relaxed);
+        counters_.Inc(stripe, kCtrMemoHits);
         continue;
       }
     }
@@ -239,6 +345,11 @@ void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
     // here: a just-aborted subtransaction must not look like a grant. The
     // wait loop re-derives the verdict from fresh state on every wake-up.
     if (b != nullptr) {
+      if (out->first_blocker == nullptr) {
+        out->first_blocker = b;
+        out->block_why = why;
+        out->blocker_retained = e.granted && e.acquirer->completed();
+      }
       if (std::find(out->blockers.begin(), out->blockers.end(), b) ==
           out->blockers.end()) {
         out->blockers.push_back(b);
@@ -250,12 +361,18 @@ void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
         if (!b->completed()) out->completion_watch.push_back(b);
       }
       if (count_stats) {
+        // A retained hit is orthogonal to the verdict kind: the blocking
+        // entry's holder had already completed, i.e. a retained lock (§4.1)
+        // did its job of stopping a bypassing access (Figure 5).
+        if (e.granted && e.acquirer->completed()) {
+          counters_.Inc(stripe, kCtrRetainedHits);
+        }
         switch (why) {
           case ConflictOutcome::kCase2Wait:
-            stats_.case2_waits.fetch_add(1, std::memory_order_relaxed);
+            counters_.Inc(stripe, kCtrCase2Waits);
             break;
           case ConflictOutcome::kRootWait:
-            stats_.root_waits.fetch_add(1, std::memory_order_relaxed);
+            counters_.Inc(stripe, kCtrRootWaits);
             break;
           default:
             break;
@@ -264,9 +381,13 @@ void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
     } else if (count_stats && (why == ConflictOutcome::kCase1Grant ||
                                why == ConflictOutcome::kCommute)) {
       if (why == ConflictOutcome::kCase1Grant) {
-        stats_.case1_grants.fetch_add(1, std::memory_order_relaxed);
+        counters_.Inc(stripe, kCtrCase1Grants);
+        out->grant_relief = ConflictOutcome::kCase1Grant;
       } else {
-        stats_.commute_grants.fetch_add(1, std::memory_order_relaxed);
+        counters_.Inc(stripe, kCtrCommuteGrants);
+        if (out->grant_relief != ConflictOutcome::kCase1Grant) {
+          out->grant_relief = ConflictOutcome::kCommute;
+        }
       }
     }
   }
@@ -570,7 +691,9 @@ void LockManager::EraseWaitRecord(SubTxn* t) {
 }
 
 bool LockManager::TryFastPath(SubTxn* t, const LockTarget& target,
-                              bool is_write) {
+                              bool is_write, bool* cache_miss,
+                              uint32_t* shard_idx) {
+  *cache_miss = false;
   // Gates: mechanism enabled and meaningful for this protocol; never while
   // the debug checker is on (every grant must pass through the mutex-path
   // checks); never once the transaction is flagged for abort.
@@ -581,6 +704,9 @@ bool LockManager::TryFastPath(SubTxn* t, const LockTarget& target,
   }
   SubTxn* root = t->root();
   if (root->abort_requested()) return false;
+  // Past the gates: the request is fast-path eligible, so a false return
+  // from here on is a grant-cache miss.
+  *cache_miss = true;
   GrantCache* cache = root->grant_cache();
   if (cache == nullptr) return false;
   GrantCache::Slot* slot = cache->Find(target);
@@ -604,6 +730,7 @@ bool LockManager::TryFastPath(SubTxn* t, const LockTarget& target,
   if (slot->queue->epoch.load(std::memory_order_acquire) != slot->epoch) {
     return false;
   }
+  *shard_idx = slot->shard_idx;
   return true;
 }
 
@@ -630,12 +757,13 @@ LockEntry* LockManager::FindCoalescible(const LockShard& shard, LockQueue& q,
 
 void LockManager::PublishSlot(LockQueue& q, const LockTarget& target,
                               SubTxn* t, bool is_write,
-                              const LockEntry* entry) {
+                              const LockEntry* entry, uint32_t shard_idx) {
   GrantCache::Slot slot;
   slot.manager = this;
   slot.queue = &q;
   slot.entry = entry;
   slot.epoch = q.epoch.load(std::memory_order_relaxed);
+  slot.shard_idx = shard_idx;
   slot.parent = t->parent();
   slot.method_id = t->method_id();
   slot.type = t->type();
@@ -647,20 +775,30 @@ void LockManager::PublishSlot(LockQueue& q, const LockTarget& target,
 
 Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
                             bool is_write) {
-  if (TryFastPath(t, target, is_write)) {
-    stats_.acquires.fetch_add(1, std::memory_order_relaxed);
-    stats_.fast_path_hits.fetch_add(1, std::memory_order_relaxed);
+  const bool tracing = trace::Active(options_.trace);
+  bool cache_miss = false;
+  uint32_t idx = 0;
+  if (TryFastPath(t, target, is_write, &cache_miss, &idx)) {
+    // Counter attribution is two relaxed fetch_adds on this shard's own
+    // stripe; the shard index comes from the slot, not a fresh hash.
+    counters_.Inc(idx, kCtrAcquires);
+    counters_.Inc(idx, kCtrFastPathHits);
     t->set_grant_seq(NextSeq());
+    if (tracing) {
+      EmitLockEvent(trace::EventKind::kFastPathGrant, t, target, idx,
+                    ConflictOutcome::kNoLock, nullptr, 0, 0);
+    }
     return Status::OK();
   }
-  stats_.acquires.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t shard_idx = ShardIndexOf(target);
+  counters_.Inc(shard_idx, kCtrAcquires);
+  if (cache_miss) counters_.Inc(shard_idx, kCtrFastPathMisses);
   if (t->root()->abort_requested() && !t->compensation()) {
     // Same outcome the wait loop's top produced before the restructure —
     // derived before any entry exists, so there is nothing to withdraw.
     return Status::Aborted("transaction abort requested while locking " +
                            target.ToString());
   }
-  const uint32_t shard_idx = ShardIndexOf(target);
   t->root()->NoteLockShard(shard_idx);
   LockShard& shard = *shards_[shard_idx];
   MutexLock lock(shard.mu);
@@ -673,8 +811,8 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
   // and it doubles as the grant-cache publication condition.
   ScanResult scan;
   const uint64_t peek_seq = shard.next_entry_seq;
-  CollectBlockers(shard, q, peek_seq, t, is_write, /*count_stats=*/true,
-                  /*memoize=*/false, &scan);
+  CollectBlockers(shard, q, peek_seq, t, is_write, shard_idx,
+                  /*count_stats=*/true, /*memoize=*/false, &scan);
   if (scan.blockers.empty()) {
     const bool semantic_fast = SemanticFastPathApplies(t);
     LockEntry* entry = nullptr;
@@ -687,13 +825,18 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
       // scans keep deriving the exact verdicts they would have derived
       // against a duplicate entry of the same class.
       ++entry->count;
-      stats_.coalesced_grants.fetch_add(1, std::memory_order_relaxed);
+      counters_.Inc(shard_idx, kCtrCoalescedGrants);
     } else {
       shard.next_entry_seq++;
       entry = &*AppendEntry(shard, q, t, is_write, /*granted=*/true,
                             peek_seq);
+      counters_.Inc(shard_idx, kCtrGrantedEntries);
     }
     t->set_grant_seq(NextSeq());
+    if (tracing) {
+      EmitLockEvent(trace::EventKind::kGrant, t, target, shard_idx,
+                    scan.grant_relief, nullptr, 0, 0);
+    }
     if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
       inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
       CheckGrantInvariants(shard, q, peek_seq, t, is_write);
@@ -702,7 +845,7 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
       RecordLockOrder(t, target);
     } else if (semantic_fast && options_.lock_fast_path &&
                !t->root()->abort_requested()) {
-      PublishSlot(q, target, t, is_write, entry);
+      PublishSlot(q, target, t, is_write, entry, shard_idx);
     }
     return Status::OK();
   }
@@ -712,6 +855,11 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
   auto my_it =
       AppendEntry(shard, q, t, is_write, /*granted=*/false, peek_seq);
   const uint64_t my_seq = peek_seq;
+  if (tracing) {
+    EmitLockEvent(trace::EventKind::kBlock, t, target, shard_idx,
+                  scan.block_why, scan.first_blocker, 0,
+                  scan.blocker_retained ? trace::kFlagBlockerRetained : 0);
+  }
 
   bool ever_blocked = false;
   StopWatch wait_timer;
@@ -720,13 +868,18 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
     if (t->root()->abort_requested() && !t->compensation()) {
       RemoveWaiter(shard, target, q, my_it);
       EraseWaitRecord(t);
+      if (tracing) {
+        EmitLockEvent(trace::EventKind::kAbortedWait, t, target, shard_idx,
+                      ConflictOutcome::kNoLock, nullptr, 0, 0);
+      }
       return Status::Aborted("transaction abort requested while locking " +
                              target.ToString());
     }
-    CollectBlockers(shard, q, my_seq, t, is_write, /*count_stats=*/false,
-                    options_.memoize_conflicts, &scan);
+    CollectBlockers(shard, q, my_seq, t, is_write, shard_idx,
+                    /*count_stats=*/false, options_.memoize_conflicts, &scan);
     if (scan.blockers.empty()) {
       my_it->granted = true;
+      counters_.Inc(shard_idx, kCtrGrantedEntries);
       t->set_grant_seq(NextSeq());
       if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
         inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
@@ -739,15 +892,21 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
       // already be waiting (FCFS), so the whole-queue publication
       // condition does not hold at my_seq. The next identical acquire
       // re-derives and republishes from the pre-append scan above.
+      uint64_t waited_us = 0;
       if (ever_blocked) {
         EraseWaitRecord(t);
-        stats_.wait_micros.Add(wait_timer.ElapsedMicros());
+        waited_us = wait_timer.ElapsedMicros();
+        wait_micros_.Add(waited_us);
+      }
+      if (tracing) {
+        EmitLockEvent(trace::EventKind::kGrantAfterWait, t, target, shard_idx,
+                      ConflictOutcome::kNoLock, nullptr, waited_us, 0);
       }
       return Status::OK();
     }
     if (!ever_blocked) {
       ever_blocked = true;
-      stats_.blocked_acquires.fetch_add(1, std::memory_order_relaxed);
+      counters_.Inc(shard_idx, kCtrBlockedAcquires);
       wait_timer.Restart();
       deadline = std::chrono::steady_clock::now() + options_.wait_timeout;
     }
@@ -782,14 +941,14 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
           SubTxn* victim = DetectDeadlock(t);
           if (victim != nullptr) {
             if (victim == t->root()) {
-              stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+              counters_.Inc(shard_idx, kCtrDeadlocks);
               waits_.erase(t);
               self_victim = true;
             } else if (!victim->abort_requested()) {
               // First detector to see this cycle: flag the victim (under
               // the graph mutex, so registering waiters re-check it before
               // sleeping) and wake its blocked actions.
-              stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+              counters_.Inc(shard_idx, kCtrDeadlocks);
               victim->RequestAbort();
               for (const auto& [waiter, wrec] : waits_) {
                 if (waiter->root() == victim) wake.set(wrec.shard);
@@ -809,6 +968,10 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
     }
     if (self_victim) {
       RemoveWaiter(shard, target, q, my_it);
+      if (tracing) {
+        EmitLockEvent(trace::EventKind::kDeadlockVictim, t, target, shard_idx,
+                      ConflictOutcome::kNoLock, nullptr, 0, 0);
+      }
       return Status::Deadlock("deadlock victim at " + target.ToString());
     }
     if (wake.any()) {
@@ -830,9 +993,13 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
     }
     if (revalidate) continue;
     if (std::chrono::steady_clock::now() >= deadline) {
-      stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      counters_.Inc(shard_idx, kCtrTimeouts);
       RemoveWaiter(shard, target, q, my_it);
       EraseWaitRecord(t);
+      if (tracing) {
+        EmitLockEvent(trace::EventKind::kLockTimeout, t, target, shard_idx,
+                      ConflictOutcome::kNoLock, nullptr, 0, 0);
+      }
       return Status::TimedOut("lock wait timeout on " + target.ToString());
     }
     shard.cv.WaitUntil(lock, deadline);
@@ -841,6 +1008,10 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
 
 void LockManager::OnSubTxnCompleted(SubTxn* t) {
   t->set_end_seq(NextSeq());
+  if (trace::Active(options_.trace)) {
+    EmitLockEvent(trace::EventKind::kComplete, t, LockTarget{}, 0,
+                  ConflictOutcome::kNoLock, nullptr, 0, 0);
+  }
   ShardSet wake;
   switch (options_.protocol) {
     case Protocol::kSemanticONT:
@@ -862,6 +1033,7 @@ void LockManager::OnSubTxnCompleted(SubTxn* t) {
             LockQueue& q = it->second;
             for (auto e = q.entries.begin(); e != q.entries.end();) {
               if (e->granted && t->IsAncestorOf(e->acquirer)) {
+                counters_.Inc(i, kCtrReleasedEntries);
                 RecycleEntry(shard, q, e++);
                 changed = true;
               } else {
@@ -930,6 +1102,10 @@ void LockManager::ReleaseTree(SubTxn* root) {
   // the tree's executing thread's data; by the time ReleaseTree is legal,
   // no action of the tree can still be acquiring.)
   root->ClearGrantCache();
+  if (trace::Active(options_.trace)) {
+    EmitLockEvent(trace::EventKind::kRelease, root, LockTarget{}, 0,
+                  ConflictOutcome::kNoLock, nullptr, 0, 0);
+  }
   ShardSet wake;
   // Skip shards the tree never touched — except under debug checks, where
   // the full sweep lets CheckNoLeakedLocks catch a shard-mask bug.
@@ -944,6 +1120,7 @@ void LockManager::ReleaseTree(SubTxn* root) {
       LockQueue& q = it->second;
       for (auto e = q.entries.begin(); e != q.entries.end();) {
         if (e->acquirer->root() == root) {
+          if (e->granted) counters_.Inc(i, kCtrReleasedEntries);
           RecycleEntry(shard, q, e++);
           changed = true;
         } else {

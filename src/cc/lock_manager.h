@@ -68,9 +68,10 @@
 #include "cc/subtxn.h"
 #include "storage/record_manager.h"
 #include "util/annotations.h"
-#include "util/histogram.h"
 #include "util/macros.h"
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace semcc {
 
@@ -162,6 +163,14 @@ struct ProtocolOptions {
   /// Recycle queue nodes through a per-shard freelist instead of
   /// heap-allocating per entry.
   bool pool_entries = true;
+
+  /// Emit structured lock-decision events (grants, blocks, verdicts,
+  /// wakeups, completions) into the per-thread trace rings of util/trace.h
+  /// for this database. The SEMCC_TRACE environment variable enables the
+  /// same tracing process-wide (and can name an exit-time dump file); this
+  /// flag scopes it to one database. Off: one predicted-false branch per
+  /// instrumented operation.
+  bool trace = false;
 };
 
 // LockTarget and LockTargetHash live in cc/lock_target.h (included above);
@@ -208,25 +217,48 @@ enum class ConflictOutcome : int {
   kHolderWait = 7,  ///< baseline conflict: wait for the holder
 };
 
-/// \brief Aggregated lock-manager statistics (all counters cumulative).
+/// \brief Point-in-time snapshot of the lock manager's cumulative counters
+/// (plain data — copy it, read it, serialize it).
+///
+/// Backed by the cache-line-striped metrics::CounterBank inside LockManager
+/// (one stripe per lock-table shard, DESIGN.md §5.5): increments are
+/// relaxed and contention-free; a snapshot taken while threads run is a
+/// per-counter monotonic lower bound, exact at quiescent points.
 struct LockStats {
-  std::atomic<uint64_t> acquires{0};
-  std::atomic<uint64_t> blocked_acquires{0};
-  std::atomic<uint64_t> case1_grants{0};
-  std::atomic<uint64_t> case2_waits{0};
-  std::atomic<uint64_t> root_waits{0};
-  std::atomic<uint64_t> commute_grants{0};
-  std::atomic<uint64_t> deadlocks{0};
-  std::atomic<uint64_t> timeouts{0};
+  uint64_t acquires = 0;
+  uint64_t blocked_acquires = 0;
+  // Verdict breakdown (ConflictOutcome classification of first-scan tests).
+  uint64_t commute_grants = 0;  ///< nil verdicts by direct commutativity
+  uint64_t case1_grants = 0;    ///< nil via committed commuting ancestor
+  uint64_t case2_waits = 0;     ///< wait-for-subtransaction verdicts
+  uint64_t root_waits = 0;      ///< formal conflicts: wait for top-level end
+  /// Conflicts whose blocking entry was a *retained* lock — the holder had
+  /// already completed (§4.1). This is the mechanism Figure 5 depends on:
+  /// a bypassing access colliding with a completed subtransaction's lock.
+  uint64_t retained_hits = 0;
+  uint64_t deadlocks = 0;
+  uint64_t timeouts = 0;
   /// Acquires served lock-free from the per-tree grant cache (§5.4).
-  std::atomic<uint64_t> fast_path_hits{0};
+  uint64_t fast_path_hits = 0;
+  /// Fast-path-eligible acquires the grant cache could not serve.
+  uint64_t fast_path_misses = 0;
   /// Mutex-path grants absorbed into an existing entry's count.
-  std::atomic<uint64_t> coalesced_grants{0};
+  uint64_t coalesced_grants = 0;
   /// Conflict tests answered from the per-request nil-verdict memo.
-  std::atomic<uint64_t> memo_hits{0};
-  Histogram wait_micros;
+  uint64_t memo_hits = 0;
+  /// Queue entries that became granted / granted entries removed. At a
+  /// quiescent point with every transaction finished these are equal;
+  /// mid-run their difference is the number of granted (active + retained)
+  /// entries sitting in the lock table.
+  uint64_t granted_entries = 0;
+  uint64_t released_entries = 0;
+  /// Per-shard condvar notifications delivered by targeted wakeups.
+  uint64_t wakeups = 0;
+  /// Wait-time distribution of blocked acquires, in microseconds.
+  metrics::HistogramSummary wait_micros;
 
   std::string ToString() const;
+  std::string ToJson() const;
 };
 
 /// \brief The lock manager. One instance per database.
@@ -271,7 +303,13 @@ class LockManager {
   /// Logical timestamp source shared with the history recorder.
   uint64_t NextSeq() { return clock_.fetch_add(1) + 1; }
 
-  LockStats& stats() { return stats_; }
+  /// Aggregate counter snapshot (sums the per-shard stripes; see the
+  /// LockStats comment for the consistency contract).
+  LockStats stats() const;
+  /// One shard's counter stripe. Counters are attributed to the shard of
+  /// the target being acquired; the wait-time histogram is global and left
+  /// empty here.
+  LockStats shard_stats(uint32_t shard) const;
   const ProtocolOptions& options() const { return options_; }
 
   /// Actual shard count after clamping (power of two in [1, kMaxShards]).
@@ -337,6 +375,15 @@ class LockManager {
   /// iterations so steady-state re-scans allocate nothing.
   struct ScanResult {
     std::vector<SubTxn*> blockers;  ///< deduplicated verdicts
+    /// Best nil-verdict relief observed (kCase1Grant beats kCommute,
+    /// kNoLock if neither) — recorded on stats-counting scans only; feeds
+    /// the verdict field of grant trace events.
+    ConflictOutcome grant_relief = ConflictOutcome::kNoLock;
+    /// First blocker's verdict + identity + whether its entry was a
+    /// retained lock (holder completed) — feeds block trace events.
+    ConflictOutcome block_why = ConflictOutcome::kNoLock;
+    SubTxn* first_blocker = nullptr;
+    bool blocker_retained = false;
     /// Blockers that were still incomplete at scan time: their *completion*
     /// is the wake event, so the pre-sleep revalidation re-checks them. A
     /// blocker already completed at scan time is awaiting ReleaseTree,
@@ -353,6 +400,10 @@ class LockManager {
     void Clear() {
       blockers.clear();
       completion_watch.clear();
+      grant_relief = ConflictOutcome::kNoLock;
+      block_why = ConflictOutcome::kNoLock;
+      first_blocker = nullptr;
+      blocker_retained = false;
     }
   };
 
@@ -382,15 +433,16 @@ class LockManager {
                            ConflictOutcome* why) const;
 
   /// Blockers of `t` against queue `q` given its own entry seq, written
-  /// into *out (cleared first). With count_stats, classify each verdict
-  /// into stats_ (first scan of an Acquire only). With memoize, serve and
+  /// into *out (cleared first). `stripe` is the shard index, for counter
+  /// attribution. With count_stats, classify each verdict into the counter
+  /// bank (first scan of an Acquire only). With memoize, serve and
   /// record nil verdicts in out->nil_verdicts — only worth paying for on
   /// the wait loop's re-scans, never on the first scan of an Acquire that
   /// may well grant immediately.
   void CollectBlockers(const LockShard& shard, const LockQueue& q,
                        uint64_t my_seq, SubTxn* t, bool is_write,
-                       bool count_stats, bool memoize, ScanResult* out)
-      SEMCC_REQUIRES(shard.mu);
+                       uint32_t stripe, bool count_stats, bool memoize,
+                       ScanResult* out) SEMCC_REQUIRES(shard.mu);
 
   /// Withdraw `t`'s queue entry and wake this shard (abandon paths of
   /// Acquire: abort, deadlock victim, timeout). The caller separately
@@ -413,8 +465,13 @@ class LockManager {
 
   /// Lock-free grant via the per-tree grant cache: true iff `t` matches a
   /// published slot's verdict class and the queue epoch is unchanged. On
-  /// true the caller grants without touching the shard.
-  bool TryFastPath(SubTxn* t, const LockTarget& target, bool is_write);
+  /// true the caller grants without touching the shard, and `*shard_idx`
+  /// holds the slot's shard (recorded at publication — saves the hit path
+  /// the target hash). `*cache_miss` is set when the request was fast-path
+  /// eligible but the cache could not serve it (the grant-cache miss
+  /// counter; valid on a false return).
+  bool TryFastPath(SubTxn* t, const LockTarget& target, bool is_write,
+                   bool* cache_miss, uint32_t* shard_idx);
 
   /// The existing granted entry a repeated identical acquisition may
   /// coalesce onto: same root AND same parent (identical ancestor chain on
@@ -441,7 +498,7 @@ class LockManager {
   /// the root's grant cache. Caller verified the publication condition and
   /// the option gates.
   void PublishSlot(LockQueue& q, const LockTarget& target, SubTxn* t,
-                   bool is_write, const LockEntry* entry);
+                   bool is_write, const LockEntry* entry, uint32_t shard_idx);
 
   /// Erase t's wait record (if any) under the graph mutex.
   void EraseWaitRecord(SubTxn* t) SEMCC_EXCLUDES(graph_mu_);
@@ -491,6 +548,17 @@ class LockManager {
     return (t.key << 2) | static_cast<uint64_t>(t.space);
   }
 
+  /// Shard count after clamping (shared by the shard vector and the
+  /// counter bank's stripe count).
+  static size_t ClampShardCount(int requested);
+
+  /// Stamp the common fields and emit one lock-decision trace event.
+  /// Callers gate on trace::Active(options_.trace) first.
+  void EmitLockEvent(trace::EventKind kind, SubTxn* t,
+                     const LockTarget& target, uint32_t shard,
+                     ConflictOutcome verdict, SubTxn* blocker, uint64_t value,
+                     uint8_t flags) const;
+
   const ProtocolOptions options_;
   CompatibilityRegistry* const compat_;
 
@@ -505,7 +573,30 @@ class LockManager {
   std::map<SubTxn*, WaitRecord> waits_ SEMCC_GUARDED_BY(graph_mu_);
 
   std::atomic<uint64_t> clock_{0};
-  LockStats stats_;
+
+  /// Counter indices into counters_ (one stripe per shard). Kept private;
+  /// the public view is the LockStats snapshot.
+  enum Counter : size_t {
+    kCtrAcquires = 0,
+    kCtrBlockedAcquires,
+    kCtrCommuteGrants,
+    kCtrCase1Grants,
+    kCtrCase2Waits,
+    kCtrRootWaits,
+    kCtrRetainedHits,
+    kCtrDeadlocks,
+    kCtrTimeouts,
+    kCtrFastPathHits,
+    kCtrFastPathMisses,
+    kCtrCoalescedGrants,
+    kCtrMemoHits,
+    kCtrGrantedEntries,
+    kCtrReleasedEntries,
+    kCtrWakeups,
+    kCtrCount,
+  };
+  metrics::CounterBank counters_;
+  metrics::AtomicHistogram wait_micros_;
 
   /// Global acquisition-order graph over lock targets (debug checker).
   LockOrderGraph order_graph_ SEMCC_GUARDED_BY(graph_mu_);

@@ -39,6 +39,25 @@ Database::Database(DatabaseOptions options)
 
 Database::~Database() = default;
 
+std::string DatabaseStats::ToJson() const {
+  metrics::JsonWriter w;
+  w.FieldRaw("locks", locks.ToJson());
+  w.FieldRaw("txns", txns.ToJson());
+  if (wal_enabled) w.FieldRaw("wal", wal.ToJson());
+  return w.Close();
+}
+
+DatabaseStats Database::Stats() const {
+  DatabaseStats s;
+  s.locks = lock_manager_->stats();
+  s.txns = txn_manager_->stats();
+  if (wal_ != nullptr) {
+    s.wal_enabled = true;
+    s.wal = wal_->stats();
+  }
+  return s;
+}
+
 Status Database::RegisterMethod(MethodDef def) {
   compat_.DeclareMethod(def.type, def.name);
   return methods_.Register(std::move(def));

@@ -54,6 +54,18 @@ struct DatabaseOptions {
   bool record_history = true;
 };
 
+/// \brief One consistent-at-quiesce snapshot of every subsystem's counters
+/// (see DESIGN.md §5.5 for the exactness contract).
+struct DatabaseStats {
+  LockStats locks;
+  TxnStats txns;
+  bool wal_enabled = false;
+  WalStats wal;  ///< zeroes unless wal_enabled
+
+  /// One JSON object with "locks"/"txns" (and "wal" when enabled) fields.
+  std::string ToJson() const;
+};
+
 class Database {
  public:
   explicit Database(DatabaseOptions options = {});
@@ -74,6 +86,9 @@ class Database {
   RecoveryManager* recovery() { return recovery_.get(); }
 
   const DatabaseOptions& options() const { return options_; }
+
+  /// Snapshot of lock, transaction, and (when enabled) WAL statistics.
+  DatabaseStats Stats() const;
 
   // --- convenience ----------------------------------------------------------
 

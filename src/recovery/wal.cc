@@ -5,8 +5,42 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace semcc {
+
+namespace {
+
+/// WAL events have no ProtocolOptions to consult, so they gate on the
+/// process-wide switch only.
+void EmitWalEvent(trace::EventKind kind, uint64_t lsn_or_zero, uint64_t other,
+                  uint64_t value) {
+  trace::Event e;
+  e.kind = static_cast<uint8_t>(kind);
+  e.txn = lsn_or_zero;
+  e.other = other;
+  e.value = value;
+  trace::Emit(e);
+}
+
+}  // namespace
+
+std::string WalStats::ToJson() const {
+  metrics::JsonWriter w;
+  w.Field("appends", appends);
+  w.Field("flushes", flushes);
+  w.Field("flush_retries", flush_retries);
+  w.Field("degraded", degraded);
+  w.Field("stable_records", stable_records);
+  w.Field("stable_bytes", stable_bytes);
+  w.Field("flush_p50_us", flush_micros.p50);
+  w.Field("flush_p99_us", flush_micros.p99);
+  w.Field("flush_max_us", flush_micros.max);
+  w.Field("flush_batch_mean", flush_batch_records.mean());
+  w.Field("flush_batch_max", flush_batch_records.max);
+  return w.Close();
+}
 
 WriteAheadLog::WriteAheadLog(uint32_t flush_micros)
     : options_(WalOptions()),
@@ -59,6 +93,10 @@ Lsn WriteAheadLog::Append(LogRecord record) {
   record.lsn = next_lsn_.fetch_add(1);
   encoded_.push_back(record.Encode());
   lsns_.push_back(record.lsn);
+  appends_++;
+  if (trace::Active(false)) {
+    EmitWalEvent(trace::EventKind::kWalAppend, record.lsn, 0, 0);
+  }
   return record.lsn;
 }
 
@@ -68,21 +106,26 @@ Status WriteAheadLog::Flush() {
   // after this point belong to the next flush.
   std::string batch;
   size_t snapshot = 0;
+  size_t batch_records = 0;
   {
     MutexLock guard(mu_);
     if (!failed_.ok()) return failed_;
     snapshot = encoded_.size();
+    batch_records = snapshot - stable_;
     for (size_t i = stable_; i < snapshot; ++i) {
       logframe::AppendFrame(&batch, encoded_[i]);
     }
   }
   if (batch.empty()) return Status::OK();
 
+  StopWatch device_timer;
+  uint64_t retries = 0;
   Status st;
   bool appended = false;
   auto backoff = options_.flush_retry_backoff;
   for (int attempt = 0; attempt < options_.max_flush_attempts; ++attempt) {
     if (attempt > 0) {
+      retries++;
       std::this_thread::sleep_for(backoff);
       backoff *= 2;
     }
@@ -110,17 +153,28 @@ Status WriteAheadLog::Flush() {
     if (st.ok()) break;
   }
 
+  const uint64_t device_us = device_timer.ElapsedMicros();
   MutexLock guard(mu_);
+  flush_retries_ += retries;
   if (!st.ok()) {
     SEMCC_LOG(Error) << "WAL degraded to read-only after "
                      << options_.max_flush_attempts
                      << " flush attempts: " << st.ToString();
     failed_ = st;
+    if (trace::Active(false)) {
+      EmitWalEvent(trace::EventKind::kWalDegrade, 0, batch_records, device_us);
+    }
     return st;
   }
   stable_ = snapshot;
   stable_bytes_ += batch.size();
   flushes_++;
+  flush_micros_.Add(device_us);
+  flush_batch_records_.Add(batch_records);
+  if (trace::Active(false)) {
+    EmitWalEvent(trace::EventKind::kWalFlush, lsns_[snapshot - 1],
+                 batch_records, device_us);
+  }
   return Status::OK();
 }
 
@@ -158,6 +212,22 @@ Result<std::vector<LogRecord>> WriteAheadLog::AllRecords() const {
     out.push_back(std::move(rec).ValueUnsafe());
   }
   return out;
+}
+
+WalStats WriteAheadLog::stats() const {
+  WalStats s;
+  {
+    MutexLock guard(mu_);
+    s.appends = appends_;
+    s.flushes = flushes_;
+    s.flush_retries = flush_retries_;
+    s.degraded = !failed_.ok();
+    s.stable_records = stable_;
+    s.stable_bytes = stable_bytes_;
+  }
+  s.flush_micros = flush_micros_.Snapshot();
+  s.flush_batch_records = flush_batch_records_.Snapshot();
+  return s;
 }
 
 Status WriteAheadLog::health() const {

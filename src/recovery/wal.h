@@ -37,8 +37,26 @@
 #include "recovery/log_record.h"
 #include "util/annotations.h"
 #include "util/macros.h"
+#include "util/metrics.h"
 
 namespace semcc {
+
+/// \brief Point-in-time snapshot of WAL statistics (plain data; returned by
+/// value from WriteAheadLog::stats()).
+struct WalStats {
+  uint64_t appends = 0;        ///< records accepted by Append
+  uint64_t flushes = 0;        ///< successful non-empty forces
+  uint64_t flush_retries = 0;  ///< device errors retried inside Flush
+  bool degraded = false;       ///< sticky failed/read-only state
+  uint64_t stable_records = 0;
+  uint64_t stable_bytes = 0;
+  /// Device time (append + sync, including retries) per successful flush.
+  metrics::HistogramSummary flush_micros;
+  /// Records per flushed batch (group-commit effectiveness).
+  metrics::HistogramSummary flush_batch_records;
+
+  std::string ToJson() const;
+};
 
 struct WalOptions {
   /// Flush attempts per call (first try + retries) before the WAL degrades
@@ -89,6 +107,10 @@ class WriteAheadLog {
   /// OK, or the sticky first device failure that degraded the WAL.
   Status health() const;
 
+  /// Aggregate statistics snapshot (consistent under mu_ for the counters;
+  /// histograms are monotonic lower bounds, exact at quiesce).
+  WalStats stats() const;
+
   size_t stable_count() const;
   size_t total_count() const;
   /// Framed bytes made stable on the device.
@@ -120,9 +142,13 @@ class WriteAheadLog {
   size_t stable_ SEMCC_GUARDED_BY(mu_) = 0;
   uint64_t stable_bytes_ SEMCC_GUARDED_BY(mu_) = 0;
   uint64_t flushes_ SEMCC_GUARDED_BY(mu_) = 0;
+  uint64_t appends_ SEMCC_GUARDED_BY(mu_) = 0;
+  uint64_t flush_retries_ SEMCC_GUARDED_BY(mu_) = 0;
   /// First device failure; sticky (the degraded/read-only state).
   Status failed_ SEMCC_GUARDED_BY(mu_);
   std::atomic<Lsn> next_lsn_{1};
+  metrics::AtomicHistogram flush_micros_;
+  metrics::AtomicHistogram flush_batch_records_;
 };
 
 }  // namespace semcc

@@ -7,18 +7,51 @@
 
 #include "object/schema.h"
 #include "util/random.h"
+#include "util/trace.h"
 
 namespace semcc {
 
+namespace {
+
+/// Threads, not shards, contend on transaction counters; 16 stripes keeps
+/// typical bench thread counts (≤ 64) from sharing cache lines too often
+/// without burning memory per manager.
+constexpr size_t kTxnCounterStripes = 16;
+
+void EmitTxnEvent(trace::EventKind kind, TxnId root_id,
+                  const std::string& name, uint64_t value) {
+  trace::Event e;
+  e.kind = static_cast<uint8_t>(kind);
+  e.txn = root_id;
+  e.root = root_id;
+  e.value = value;
+  e.set_method(name);
+  trace::Emit(e);
+}
+
+}  // namespace
+
 std::string TxnStats::ToString() const {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "commits=%llu aborts=%llu retries=%llu app_errors=%llu",
-                static_cast<unsigned long long>(commits.load()),
-                static_cast<unsigned long long>(aborts.load()),
-                static_cast<unsigned long long>(retries.load()),
-                static_cast<unsigned long long>(app_errors.load()));
+  char buf[192];
+  std::snprintf(
+      buf, sizeof(buf),
+      "begins=%llu commits=%llu aborts=%llu retries=%llu app_errors=%llu",
+      static_cast<unsigned long long>(begins),
+      static_cast<unsigned long long>(commits),
+      static_cast<unsigned long long>(aborts),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(app_errors));
   return buf;
+}
+
+std::string TxnStats::ToJson() const {
+  metrics::JsonWriter w;
+  w.Field("begins", begins);
+  w.Field("commits", commits);
+  w.Field("aborts", aborts);
+  w.Field("retries", retries);
+  w.Field("app_errors", app_errors);
+  return w.Close();
 }
 
 TxnManager::TxnManager(ObjectStore* store, LockManager* lm,
@@ -28,7 +61,18 @@ TxnManager::TxnManager(ObjectStore* store, LockManager* lm,
       lm_(lm),
       methods_(methods),
       recorder_(recorder),
-      logger_(logger) {}
+      logger_(logger),
+      counters_(kTxnCounterStripes, kCtrCount) {}
+
+TxnStats TxnManager::stats() const {
+  TxnStats s;
+  s.begins = counters_.Sum(kCtrBegins);
+  s.commits = counters_.Sum(kCtrCommits);
+  s.aborts = counters_.Sum(kCtrAborts);
+  s.retries = counters_.Sum(kCtrRetries);
+  s.app_errors = counters_.Sum(kCtrAppErrors);
+  return s;
+}
 
 Result<Value> TxnManager::RunAttempt(const std::string& name, const Body& body,
                                      TxnId priority) {
@@ -37,6 +81,11 @@ Result<Value> TxnManager::RunAttempt(const std::string& name, const Body& body,
   if (priority != 0) root->set_priority(priority);
   root->set_grant_seq(lm_->NextSeq());
   TxnCtx ctx(store_, lm_, methods_, &tree, logger_);
+
+  const size_t stripe = metrics::ThreadStripeSlot();
+  const bool tracing = trace::Active(lm_->options().trace);
+  counters_.Inc(stripe, kCtrBegins);
+  if (tracing) EmitTxnEvent(trace::EventKind::kTxnBegin, root->id(), name, 0);
 
   if (logger_ != nullptr) logger_->OnTxnBegin(root->id());
   Result<Value> result = body(ctx);
@@ -47,7 +96,10 @@ Result<Value> TxnManager::RunAttempt(const std::string& name, const Body& body,
     if (recorder_ != nullptr) recorder_->RecordTree(&tree, /*committed=*/true);
     if (logger_ != nullptr) logger_->OnTxnCommit(root->id());
     lm_->ReleaseTree(root);
-    stats_.commits.fetch_add(1, std::memory_order_relaxed);
+    counters_.Inc(stripe, kCtrCommits);
+    if (tracing) {
+      EmitTxnEvent(trace::EventKind::kTxnCommit, root->id(), name, 0);
+    }
     return result;
   }
 
@@ -60,7 +112,8 @@ Result<Value> TxnManager::RunAttempt(const std::string& name, const Body& body,
   if (recorder_ != nullptr) recorder_->RecordTree(&tree, /*committed=*/false);
   if (logger_ != nullptr) logger_->OnTxnAbort(root->id());
   lm_->ReleaseTree(root);
-  stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  counters_.Inc(stripe, kCtrAborts);
+  if (tracing) EmitTxnEvent(trace::EventKind::kTxnAbort, root->id(), name, 0);
   if (result.ok()) {
     return Status::Aborted("abort requested (deadlock victim)");
   }
@@ -90,11 +143,15 @@ Result<Value> TxnManager::Run(const std::string& name, const Body& body,
     if (r.ok()) return r;
     if (!Retryable(r.status()) || attempt >= max_retries) {
       if (!Retryable(r.status())) {
-        stats_.app_errors.fetch_add(1, std::memory_order_relaxed);
+        counters_.Inc(metrics::ThreadStripeSlot(), kCtrAppErrors);
       }
       return r;
     }
-    stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    counters_.Inc(metrics::ThreadStripeSlot(), kCtrRetries);
+    if (trace::Active(lm_->options().trace)) {
+      EmitTxnEvent(trace::EventKind::kTxnRetry, priority, name,
+                   static_cast<uint64_t>(attempt + 1));
+    }
     // Exponential backoff with a saturating shift (so a large attempt count
     // cannot overflow the multiplier) and a hard ceiling on the window (so
     // a retry storm never sleeps for seconds). Jitter spans the upper half

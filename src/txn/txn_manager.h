@@ -3,7 +3,6 @@
 #ifndef SEMCC_TXN_TXN_MANAGER_H_
 #define SEMCC_TXN_TXN_MANAGER_H_
 
-#include <atomic>
 #include <functional>
 #include <string>
 
@@ -12,17 +11,21 @@
 #include "txn/method_registry.h"
 #include "txn/txn_context.h"
 #include "util/macros.h"
+#include "util/metrics.h"
 
 namespace semcc {
 
-/// \brief Aggregate transaction statistics.
+/// \brief Point-in-time snapshot of transaction statistics (plain data;
+/// returned by value from TxnManager::stats()).
 struct TxnStats {
-  std::atomic<uint64_t> commits{0};
-  std::atomic<uint64_t> aborts{0};
-  std::atomic<uint64_t> retries{0};
-  std::atomic<uint64_t> app_errors{0};
+  uint64_t begins = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t retries = 0;
+  uint64_t app_errors = 0;
 
   std::string ToString() const;
+  std::string ToJson() const;
 };
 
 /// \brief Runs transaction bodies as open nested transactions.
@@ -52,9 +55,21 @@ class TxnManager {
   /// observe a single attempt.
   Result<Value> RunOnce(const std::string& name, const Body& body);
 
-  TxnStats& stats() { return stats_; }
+  /// Monotonic lower-bound snapshot (exact at quiesce; see
+  /// metrics::CounterBank).
+  TxnStats stats() const;
 
  private:
+  /// Counter indices in counters_ (striped by thread, not by shard).
+  enum Counter : size_t {
+    kCtrBegins = 0,
+    kCtrCommits,
+    kCtrAborts,
+    kCtrRetries,
+    kCtrAppErrors,
+    kCtrCount,
+  };
+
   Result<Value> RunAttempt(const std::string& name, const Body& body,
                            TxnId priority);
 
@@ -63,7 +78,7 @@ class TxnManager {
   MethodRegistry* const methods_;
   HistoryRecorder* const recorder_;
   ActionLogger* const logger_;
-  TxnStats stats_;
+  metrics::CounterBank counters_;
 };
 
 }  // namespace semcc

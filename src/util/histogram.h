@@ -31,12 +31,13 @@ class Histogram {
   /// One-line summary: count/mean/p50/p95/p99/max.
   std::string ToString() const;
 
- private:
+  // Bucket layout, shared with metrics::AtomicHistogram (util/metrics.h):
   // 64 exact buckets + 16 sub-buckets per power of two up to 2^63.
   static constexpr int kNumBuckets = 64 + 58 * 16;
   static int BucketFor(uint64_t value);
   static uint64_t BucketUpperBound(int bucket);
 
+ private:
   mutable Mutex mu_;
   std::vector<uint64_t> buckets_ SEMCC_GUARDED_BY(mu_);
   uint64_t count_ SEMCC_GUARDED_BY(mu_) = 0;

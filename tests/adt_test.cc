@@ -177,7 +177,7 @@ TEST_F(QueueTest, ConcurrentEnqueuesAllLandAndDoNotBlockAtTxnLevel) {
   EXPECT_EQ(Call("Size").ValueOrDie().AsInt(), kThreads * kOps);
   // Enqueue/Enqueue never waits for a top-level commit: the only blocking is
   // the Case-2 wait on the inner Counter.Next subtransaction.
-  EXPECT_EQ(db.locks()->stats().root_waits.load(), 0u);
+  EXPECT_EQ(db.locks()->stats().root_waits, 0u);
   // Drain: every element exactly once.
   std::set<int64_t> seen;
   for (int i = 0; i < kThreads * kOps; ++i) {
@@ -216,10 +216,10 @@ TEST_F(QueueTest, InnerCounterConflictIsRelievedByOuterCommutativity) {
   });
   t1.join();
   t2.join();
-  EXPECT_GE(db.locks()->stats().case1_grants.load() +
-                db.locks()->stats().case2_waits.load(),
+  EXPECT_GE(db.locks()->stats().case1_grants +
+                db.locks()->stats().case2_waits,
             1u);
-  EXPECT_EQ(db.locks()->stats().root_waits.load(), 0u);
+  EXPECT_EQ(db.locks()->stats().root_waits, 0u);
   EXPECT_EQ(Call("Size").ValueOrDie().AsInt(), 2);
 }
 

@@ -123,7 +123,7 @@ TEST_F(LockFastPathTest, CoalescingMergesIdenticalAcquisitions) {
   auto locks = lm->LocksOn(LockTarget::ForObject(kObjA));
   ASSERT_EQ(locks.size(), 1u);
   EXPECT_EQ(locks[0].count, 3u);
-  EXPECT_EQ(lm->stats().coalesced_grants.load(), 2u);
+  EXPECT_EQ(lm->stats().coalesced_grants, 2u);
   EXPECT_EQ(lm->CheckInvariantsNow(), 0u);
   lm->ReleaseTree(t1.root());
 }
@@ -141,7 +141,7 @@ TEST_F(LockFastPathTest, CoalescingOffKeepsOneEntryPerAcquisition) {
   auto locks = lm->LocksOn(LockTarget::ForObject(kObjA));
   EXPECT_EQ(locks.size(), 3u);
   for (const auto& info : locks) EXPECT_EQ(info.count, 1u);
-  EXPECT_EQ(lm->stats().coalesced_grants.load(), 0u);
+  EXPECT_EQ(lm->stats().coalesced_grants, 0u);
   EXPECT_EQ(lm->CheckInvariantsNow(), 0u);
   lm->ReleaseTree(t1.root());
 }
@@ -197,12 +197,12 @@ TEST_F(LockFastPathTest, WarmReacquireHitsTheGrantCache) {
   TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
   SubTxn* first = t1.NewNode(t1.root(), kObjA, kItemT, "Mb", {});
   ASSERT_TRUE(lm->Acquire(first, LockTarget::ForObject(kObjA), true).ok());
-  EXPECT_EQ(lm->stats().fast_path_hits.load(), 0u);
+  EXPECT_EQ(lm->stats().fast_path_hits, 0u);
   for (int i = 0; i < 5; ++i) {
     SubTxn* n = t1.NewNode(t1.root(), kObjA, kItemT, "Mb", {});
     ASSERT_TRUE(lm->Acquire(n, LockTarget::ForObject(kObjA), true).ok());
   }
-  EXPECT_EQ(lm->stats().fast_path_hits.load(), 5u);
+  EXPECT_EQ(lm->stats().fast_path_hits, 5u);
   // Fast-path hits ride the published entry; the queue does not grow.
   EXPECT_EQ(lm->LocksOn(LockTarget::ForObject(kObjA)).size(), 1u);
   lm->ReleaseTree(t1.root());
@@ -216,12 +216,12 @@ TEST_F(LockFastPathTest, DifferentClassMissesTheCache) {
   // Same target, different method: not the published class.
   SubTxn* ma = t1.NewNode(t1.root(), kObjA, kItemT, "Ma", {});
   ASSERT_TRUE(lm->Acquire(ma, LockTarget::ForObject(kObjA), true).ok());
-  EXPECT_EQ(lm->stats().fast_path_hits.load(), 0u);
+  EXPECT_EQ(lm->stats().fast_path_hits, 0u);
   // Different parent (nested under mb, not under the root): also a miss —
   // the ancestor chain enters the verdict, so the class key includes it.
   SubTxn* nested = t1.NewNode(mb, kObjA, kItemT, "Mb", {});
   ASSERT_TRUE(lm->Acquire(nested, LockTarget::ForObject(kObjA), true).ok());
-  EXPECT_EQ(lm->stats().fast_path_hits.load(), 0u);
+  EXPECT_EQ(lm->stats().fast_path_hits, 0u);
   lm->ReleaseTree(t1.root());
 }
 
@@ -242,7 +242,7 @@ TEST_F(LockFastPathTest, WarmCacheDoesNotBypassEarlierConflictingWaiter) {
   ASSERT_TRUE(lm->Acquire(a1, LockTarget::ForObject(kObjF), true).ok());
   SubTxn* a2 = ta.NewNode(ta.root(), kObjF, kFcfsT, "Fa", {});
   ASSERT_TRUE(lm->Acquire(a2, LockTarget::ForObject(kObjF), true).ok());
-  ASSERT_EQ(lm->stats().fast_path_hits.load(), 1u);  // cache is warm
+  ASSERT_EQ(lm->stats().fast_path_hits, 1u);  // cache is warm
 
   TxnTree tb(TxnTree::NextId(), "B", kDatabaseOid, 0);
   TxnTree tc(TxnTree::NextId(), "C", kDatabaseOid, 0);
@@ -272,8 +272,8 @@ TEST_F(LockFastPathTest, WarmCacheDoesNotBypassEarlierConflictingWaiter) {
   }
   // All three are genuinely queued: C despite commuting with every granted
   // lock, and A despite its warm cache slot. No further fast-path hits.
-  EXPECT_EQ(lm->stats().fast_path_hits.load(), 1u);
-  EXPECT_GE(lm->stats().blocked_acquires.load(), 3u);
+  EXPECT_EQ(lm->stats().fast_path_hits, 1u);
+  EXPECT_GE(lm->stats().blocked_acquires, 3u);
 
   // Break the B<->A wait cycle by aborting B; C and A must then be granted
   // (their remaining verdicts are all nil).
@@ -321,7 +321,7 @@ TEST_F(LockFastPathTest, BlockedRescanReusesMemoizedNilVerdicts) {
   Release(lm.get(), &blocker, TxnState::kCommitted);
   blocked.join();
   EXPECT_TRUE(st.ok()) << st.ToString();
-  EXPECT_GE(lm->stats().memo_hits.load(), 4u);
+  EXPECT_GE(lm->stats().memo_hits, 4u);
   EXPECT_EQ(lm->CheckInvariantsNow(), 0u);
   lm->ReleaseTree(req.root());
   for (auto& t : commuters) lm->ReleaseTree(t->root());
@@ -350,7 +350,7 @@ TEST_F(LockFastPathTest, WarmReacquireAllocatesNothing) {
   }
   t_counting = false;
   EXPECT_EQ(t_alloc_count, 0u) << "warm re-acquire allocated";
-  EXPECT_EQ(lm->stats().fast_path_hits.load(),
+  EXPECT_EQ(lm->stats().fast_path_hits,
             static_cast<uint64_t>(kWarmAcquires));
   lm->ReleaseTree(t1.root());
 }

@@ -50,8 +50,8 @@ TEST_F(LockManagerTest, CommutingMethodsDoNotBlock) {
   SubTxn* b = t2.NewNode(t2.root(), kObjA, kItemT, "Mb", {});
   ASSERT_TRUE(lm->Acquire(a, LockTarget::ForObject(kObjA), true).ok());
   ASSERT_TRUE(lm->Acquire(b, LockTarget::ForObject(kObjA), true).ok());
-  EXPECT_EQ(lm->stats().blocked_acquires.load(), 0u);
-  EXPECT_GE(lm->stats().commute_grants.load(), 1u);
+  EXPECT_EQ(lm->stats().blocked_acquires, 0u);
+  EXPECT_GE(lm->stats().commute_grants, 1u);
   EXPECT_EQ(lm->LocksOn(LockTarget::ForObject(kObjA)).size(), 2u);
 }
 
@@ -80,7 +80,7 @@ TEST_F(LockManagerTest, ConflictingMethodBlocksUntilTopLevelRelease) {
   lm->ReleaseTree(t1.root());
   blocked.join();
   EXPECT_TRUE(granted.load());
-  EXPECT_GE(lm->stats().root_waits.load(), 1u);
+  EXPECT_GE(lm->stats().root_waits, 1u);
 }
 
 TEST_F(LockManagerTest, SameTransactionNeverBlocksItself) {
@@ -90,7 +90,7 @@ TEST_F(LockManagerTest, SameTransactionNeverBlocksItself) {
   SubTxn* b = t1.NewNode(t1.root(), kObjA, kItemT, "Ma", {});  // conflicts a
   ASSERT_TRUE(lm->Acquire(a, LockTarget::ForObject(kObjA), true).ok());
   ASSERT_TRUE(lm->Acquire(b, LockTarget::ForObject(kObjA), true).ok());
-  EXPECT_EQ(lm->stats().blocked_acquires.load(), 0u);
+  EXPECT_EQ(lm->stats().blocked_acquires, 0u);
 }
 
 TEST_F(LockManagerTest, Case1CommittedCommutingAncestorGrants) {
@@ -110,8 +110,8 @@ TEST_F(LockManagerTest, Case1CommittedCommutingAncestorGrants) {
   // Get conflicts with the retained Put, but (Ma, Mb) commute on kObjA and
   // Ma is committed: grant without blocking.
   ASSERT_TRUE(lm->Acquire(get, LockTarget::ForObject(kObjB), false).ok());
-  EXPECT_EQ(lm->stats().blocked_acquires.load(), 0u);
-  EXPECT_GE(lm->stats().case1_grants.load(), 1u);
+  EXPECT_EQ(lm->stats().blocked_acquires, 0u);
+  EXPECT_GE(lm->stats().case1_grants, 1u);
 }
 
 TEST_F(LockManagerTest, Case2ActiveCommutingAncestorWaitsForItsCompletion) {
@@ -139,7 +139,7 @@ TEST_F(LockManagerTest, Case2ActiveCommutingAncestorWaitsForItsCompletion) {
   Complete(lm.get(), ma);
   blocked.join();
   EXPECT_TRUE(granted.load());
-  EXPECT_GE(lm->stats().case2_waits.load(), 1u);
+  EXPECT_GE(lm->stats().case2_waits, 1u);
   EXPECT_FALSE(t1.root()->completed());  // T1 never committed
 }
 
@@ -162,7 +162,7 @@ TEST_F(LockManagerTest, NoRetainModeReleasesDescendantLocksOnCompletion) {
   TxnTree t2(TxnTree::NextId(), "T2", kDatabaseOid, 0);
   SubTxn* get = t2.NewNode(t2.root(), kObjB, kAtomT, generic_ops::kGet, {});
   EXPECT_TRUE(lm->Acquire(get, LockTarget::ForObject(kObjB), false).ok());
-  EXPECT_EQ(lm->stats().blocked_acquires.load(), 0u);
+  EXPECT_EQ(lm->stats().blocked_acquires, 0u);
 }
 
 TEST_F(LockManagerTest, FcfsQueuedRequestBlocksLaterCompatibleOne) {
@@ -253,7 +253,7 @@ TEST_F(LockManagerTest, DeadlockDetectedAndYoungestVictimChosen) {
   const bool one_failed = (!st1.ok()) != (!st2.ok());
   EXPECT_TRUE(one_failed) << "st1=" << st1.ToString()
                           << " st2=" << st2.ToString();
-  EXPECT_GE(lm->stats().deadlocks.load(), 1u);
+  EXPECT_GE(lm->stats().deadlocks, 1u);
   // The victim is the younger transaction (higher root id): T2.
   if (!st2.ok()) {
     EXPECT_TRUE(st2.IsDeadlock() || st2.IsAborted()) << st2.ToString();
@@ -272,7 +272,7 @@ TEST_F(LockManagerTest, WaitTimeoutFiresWithoutDetection) {
   ASSERT_TRUE(lm->Acquire(a, LockTarget::ForObject(kObjA), true).ok());
   Status st = lm->Acquire(b, LockTarget::ForObject(kObjA), true);
   EXPECT_TRUE(st.IsTimedOut()) << st.ToString();
-  EXPECT_GE(lm->stats().timeouts.load(), 1u);
+  EXPECT_GE(lm->stats().timeouts, 1u);
 }
 
 // --- closed nested baseline ---------------------------------------------------
@@ -314,7 +314,7 @@ TEST_F(LockManagerTest, ClosedNestedSharedReadsPass) {
   SubTxn* r2 = t2.NewNode(t2.root(), kObjB, kAtomT, generic_ops::kGet, {});
   ASSERT_TRUE(lm->Acquire(r1, LockTarget::ForObject(kObjB), false).ok());
   ASSERT_TRUE(lm->Acquire(r2, LockTarget::ForObject(kObjB), false).ok());
-  EXPECT_EQ(lm->stats().blocked_acquires.load(), 0u);
+  EXPECT_EQ(lm->stats().blocked_acquires, 0u);
 }
 
 // --- flat 2PL baseline ---------------------------------------------------------
@@ -355,7 +355,7 @@ TEST_F(LockManagerTest, DistinctTargetSpacesDoNotCollide) {
   // Same numeric key in different spaces: object 5 vs page 5.
   ASSERT_TRUE(lm->Acquire(a, LockTarget::ForObject(5), true).ok());
   ASSERT_TRUE(lm->Acquire(b, LockTarget::ForPage(5), true).ok());
-  EXPECT_EQ(lm->stats().blocked_acquires.load(), 0u);
+  EXPECT_EQ(lm->stats().blocked_acquires, 0u);
 }
 
 TEST(LockTarget, FactoriesAndToString) {

@@ -222,7 +222,7 @@ TEST_P(LockShardTest, DeadlockCycleSpanningTwoShardsIsDetected) {
   const bool one_failed = (!st1.ok()) != (!st2.ok());
   EXPECT_TRUE(one_failed) << "st1=" << st1.ToString()
                           << " st2=" << st2.ToString();
-  EXPECT_GE(lm->stats().deadlocks.load(), 1u);
+  EXPECT_GE(lm->stats().deadlocks, 1u);
 }
 
 // --- wakeup liveness ------------------------------------------------------
@@ -295,7 +295,7 @@ TEST_P(LockShardTest, Case2CompletionWakesWaiterPromptly) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_FALSE(granted.load());
-  EXPECT_GE(lm->stats().case2_waits.load(), 1u);
+  EXPECT_GE(lm->stats().case2_waits, 1u);
   Complete(lm.get(), leaf1);
   const auto completed_at = std::chrono::steady_clock::now();
   Complete(lm.get(), anc1);

@@ -182,7 +182,7 @@ TEST_F(QueryEval, AssemblyIsBlockedByConflictingRetainedLocks) {
   sched.WaitFor("shipped");
   // Robust blocking witness: the lock manager's counter, not a race between
   // the woken reader and the updater thread reaching its post-commit signal.
-  const uint64_t blocked_before = db.locks()->stats().blocked_acquires.load();
+  const uint64_t blocked_before = db.locks()->stats().blocked_acquires;
   auto r = db.RunTransaction("assemble", [&](TxnCtx& ctx) -> Result<Value> {
     auto assembled = Assemble(ctx, data.item_oids[0]);
     if (!assembled.ok()) return assembled.status();
@@ -193,7 +193,7 @@ TEST_F(QueryEval, AssemblyIsBlockedByConflictingRetainedLocks) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   // The query blocked on the retained Put and completed only after the
   // commit released it (the serializability check below validates the order).
-  EXPECT_GT(db.locks()->stats().blocked_acquires.load(), blocked_before);
+  EXPECT_GT(db.locks()->stats().blocked_acquires, blocked_before);
   SemanticSerializabilityChecker checker(db.compat());
   EXPECT_TRUE(checker.Check(db.history()->Snapshot()).serializable);
 }

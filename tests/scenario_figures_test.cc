@@ -52,7 +52,7 @@ TEST(Fig4, SemanticProtocolAdmitsTheInterleaving) {
   // T2's PayOrder(i1, o1) completed while T1 was still running: the paper's
   // point — ShipOrder and PayOrder commute, so nothing blocks.
   EXPECT_TRUE(out.right_overlapped_left) << out.trace;
-  EXPECT_EQ(s->db->locks()->stats().root_waits.load(), 0u) << out.note;
+  EXPECT_EQ(s->db->locks()->stats().root_waits, 0u) << out.note;
   CheckResult check = CheckSemantic(s.get());
   EXPECT_TRUE(check.serializable) << check.ToString();
 }
@@ -104,7 +104,7 @@ TEST(Fig5, SemanticProtocolBlocksTheBypassingReader) {
   // ChangeStatus(o1, shipped) lock and there is no commuting ancestor pair:
   // T3 waits for T1's top-level commit.
   EXPECT_FALSE(out.right_overlapped_left) << out.trace;
-  EXPECT_GE(s->db->locks()->stats().root_waits.load(), 1u) << out.note;
+  EXPECT_GE(s->db->locks()->stats().root_waits, 1u) << out.note;
   CheckResult check = CheckSemantic(s.get());
   EXPECT_TRUE(check.serializable) << check.ToString();
   // T3 observed both orders shipped (it ran after T1 logically).
@@ -154,8 +154,8 @@ TEST(Fig6, CommittedCommutingAncestorGrantsImmediately) {
   // T4 checks *payment*; ChangeStatus(o1, shipped) and TestStatus(o1, paid)
   // commute, and the ChangeStatus side is committed: Case 1, no blocking.
   EXPECT_TRUE(out.right_overlapped_left) << out.trace;
-  EXPECT_GE(s->db->locks()->stats().case1_grants.load(), 1u) << out.note;
-  EXPECT_EQ(s->db->locks()->stats().root_waits.load(), 0u) << out.note;
+  EXPECT_GE(s->db->locks()->stats().case1_grants, 1u) << out.note;
+  EXPECT_EQ(s->db->locks()->stats().root_waits, 0u) << out.note;
   CheckResult check = CheckSemantic(s.get());
   EXPECT_TRUE(check.serializable) << check.ToString();
 }
@@ -168,7 +168,7 @@ TEST(Fig6, WithoutAncestorWalkT4BlocksUnnecessarily) {
   // Ablation: without the commutative-ancestor test the formal conflict with
   // the retained Put(o1.Status) blocks T4 until T1's commit.
   EXPECT_FALSE(out.right_overlapped_left) << out.trace;
-  EXPECT_GE(s->db->locks()->stats().root_waits.load(), 1u) << out.note;
+  EXPECT_GE(s->db->locks()->stats().root_waits, 1u) << out.note;
   // Still correct, just slower.
   CheckResult check = CheckSemantic(s.get());
   EXPECT_TRUE(check.serializable) << check.ToString();
@@ -183,7 +183,7 @@ TEST(Fig7, UncommittedCommutingAncestorWaitsForSubtransactionOnly) {
   EXPECT_TRUE(out.t_right_committed);
   // T5 was blocked while ShipOrder(i1, o1) was still active...
   EXPECT_NE(out.note.find("T5 blocked"), std::string::npos) << out.note;
-  EXPECT_GE(s->db->locks()->stats().case2_waits.load(), 1u) << out.note;
+  EXPECT_GE(s->db->locks()->stats().case2_waits, 1u) << out.note;
   // ...but resumed on the *subtransaction's* completion, long before T1's
   // top-level commit.
   EXPECT_TRUE(out.right_overlapped_left) << out.trace;

@@ -96,8 +96,8 @@ TEST_F(Case2DeadlockTest, DetectorBreaksSubtransactionWaitCycle) {
   const bool one_failed = (!st1.ok()) != (!st2.ok());
   EXPECT_TRUE(one_failed) << "st1=" << st1.ToString()
                           << " st2=" << st2.ToString();
-  EXPECT_GE(db.locks()->stats().deadlocks.load(), 1u);
-  EXPECT_GE(db.locks()->stats().case2_waits.load(), 1u);
+  EXPECT_GE(db.locks()->stats().deadlocks, 1u);
+  EXPECT_GE(db.locks()->stats().case2_waits, 1u);
   // Exactly one TwoStep survived: both atoms at 1.
   EXPECT_EQ(db.store()->Get(a_atom).ValueOrDie().AsInt(), 1);
   EXPECT_EQ(db.store()->Get(b_atom).ValueOrDie().AsInt(), 1);
@@ -139,7 +139,7 @@ TEST(FcfsStress, WritersAndReadersAllComplete) {
   // No lost updates despite the read-then-write upgrade pattern (deadlock
   // victims retried by Run()).
   EXPECT_EQ(db.store()->Get(atom).ValueOrDie().AsInt(), 4 * iters);
-  EXPECT_EQ(db.locks()->stats().timeouts.load(), 0u);
+  EXPECT_EQ(db.locks()->stats().timeouts, 0u);
 }
 
 // --- determinism ---------------------------------------------------------------
@@ -181,7 +181,7 @@ TEST(LongRun, MixedWorkloadThousandsOfTxns) {
   auto result = workload.Run(8, txns);
   // RunTransactionOnce-style failures are rare; expect ~95%+ commits.
   EXPECT_GT(result.committed, static_cast<uint64_t>(8 * txns) * 95 / 100);
-  EXPECT_EQ(db.locks()->stats().timeouts.load(), 0u);
+  EXPECT_EQ(db.locks()->stats().timeouts, 0u);
   EXPECT_EQ(db.locks()->NumWaiters(), 0u);  // nothing stuck
   SemanticSerializabilityChecker checker(db.compat());
   auto check = checker.Check(db.history()->Snapshot());

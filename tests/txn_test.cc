@@ -33,7 +33,7 @@ TEST_F(TxnTestBase, CommitReleasesEverything) {
   auto r = db.RunTransaction("t", T1_ShipTwoOrders(item, 1, data.item_oids[1], 1));
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(db.locks()->LocksOn(LockTarget::ForObject(item)).size(), 0u);
-  EXPECT_EQ(db.txns()->stats().commits.load(), 1u);
+  EXPECT_EQ(db.txns()->stats().commits, 1u);
 }
 
 TEST_F(TxnTestBase, MethodTreesAreRecorded) {
@@ -65,9 +65,9 @@ TEST_F(TxnTestBase, ApplicationErrorAborts) {
     return ctx.Invoke(item, "ShipOrder", {Value(int64_t{99})});
   });
   EXPECT_TRUE(r.status().IsNotFound());
-  EXPECT_EQ(db.txns()->stats().aborts.load(), 1u);
-  EXPECT_EQ(db.txns()->stats().commits.load(), 0u);
-  EXPECT_EQ(db.txns()->stats().app_errors.load(), 1u);
+  EXPECT_EQ(db.txns()->stats().aborts, 1u);
+  EXPECT_EQ(db.txns()->stats().commits, 0u);
+  EXPECT_EQ(db.txns()->stats().app_errors, 1u);
   auto history = db.history()->Snapshot();
   ASSERT_EQ(history.size(), 1u);
   EXPECT_FALSE(history[0].committed);
@@ -225,7 +225,7 @@ TEST_F(TxnTestBase, RetriesRecoverFromDeadlocks) {
   });
   a.join();
   b.join();
-  EXPECT_EQ(db.txns()->stats().commits.load(), 40u);
+  EXPECT_EQ(db.txns()->stats().commits, 40u);
   SemanticSerializabilityChecker checker(db.compat());
   auto check = checker.Check(db.history()->Snapshot());
   EXPECT_TRUE(check.serializable) << check.ToString();
