@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
-"""Doc-lint: every ProtocolOptions field must appear in the README flag
-reference.
+"""Doc-lint: ProtocolOptions and the docs must agree in both directions.
 
 Usage: check_doc_flags.py [--header src/cc/lock_manager.h] [--doc README.md]
+                          [--design DESIGN.md]
 
 Parses the `struct ProtocolOptions { ... }` block out of the header with a
-small brace-tracking scanner (no compiler needed) and greps README.md for
-each field name (as a word, typically inside backticks). Exits non-zero
-listing any undocumented field — this runs as the CI doc-lint step so a new
-knob cannot land without a README entry.
+small brace-tracking scanner (no compiler needed), then checks:
+
+  1. every field appears in the README flag reference (a new knob cannot
+     land without a README entry), and
+  2. every `ProtocolOptions::x` mention in DESIGN.md names a real field
+     (renaming or deleting a knob cannot leave stale design prose behind).
+
+Exits non-zero listing each violation — this runs as the CI doc-lint step.
 """
 
 import argparse
@@ -19,7 +23,7 @@ import sys
 FIELD_RE = re.compile(
     r"^\s*(?:[A-Za-z_][A-Za-z0-9_:<>,\s]*?)\s+"  # type (possibly qualified)
     r"([a-z_][a-z0-9_]*)\s*"                     # field name
-    r"(?:=[^;]*)?;"                              # optional default
+    r"(?:=[^;]*|\{[^;]*\})?;"                    # optional = or {} default
 )
 
 
@@ -52,17 +56,31 @@ def protocol_options_fields(header_text):
     return list(dict.fromkeys(fields))  # dedupe #if-branched fields
 
 
+def stale_design_mentions(design_text, fields):
+    """`ProtocolOptions::x` mentions that name no real field, with lines."""
+    known = set(fields)
+    stale = []
+    for lineno, line in enumerate(design_text.splitlines(), 1):
+        for m in re.finditer(r"ProtocolOptions::([A-Za-z_][A-Za-z0-9_]*)",
+                             line):
+            if m.group(1) not in known:
+                stale.append((lineno, m.group(1)))
+    return stale
+
+
 def main():
     ap = argparse.ArgumentParser()
     repo = pathlib.Path(__file__).resolve().parent.parent
     ap.add_argument("--header", default=str(repo / "src/cc/lock_manager.h"))
     ap.add_argument("--doc", default=str(repo / "README.md"))
+    ap.add_argument("--design", default=str(repo / "DESIGN.md"))
     args = ap.parse_args()
 
     header_text = pathlib.Path(args.header).read_text()
     doc_text = pathlib.Path(args.doc).read_text()
     fields = protocol_options_fields(header_text)
 
+    failed = False
     missing = [f for f in fields
                if not re.search(rf"\b{re.escape(f)}\b", doc_text)]
     if missing:
@@ -71,9 +89,21 @@ def main():
         for f in missing:
             print(f"  {f}")
         print("(add a row for each to the README flag-reference table)")
+        failed = True
+
+    design_path = pathlib.Path(args.design)
+    if design_path.is_file():
+        stale = stale_design_mentions(design_path.read_text(), fields)
+        for lineno, name in stale:
+            print(f"doc-lint: {args.design}:{lineno}: "
+                  f"ProtocolOptions::{name} does not name a real field "
+                  "(renamed or removed knob? update the prose)")
+        failed = failed or bool(stale)
+
+    if failed:
         return 1
     print(f"doc-lint: all {len(fields)} ProtocolOptions fields documented "
-          f"in {args.doc}")
+          f"in {args.doc}; all DESIGN.md mentions resolve")
     return 0
 
 

@@ -1,0 +1,628 @@
+#!/usr/bin/env python3
+"""semcc-lint: protocol-aware static analysis for the semcc tree.
+
+Usage:
+    scripts/semcc_lint.py [--repo ROOT] [--engine auto|clang|regex]
+                          [--compile-commands build/compile_commands.json]
+                          [--waivers scripts/semcc_lint_waivers.txt]
+                          [--no-waivers] [--list-checks] [-v]
+
+Checks (see DESIGN.md §5.6 for the architecture):
+
+  relaxed-order
+      `std::memory_order_relaxed` is sanctioned only inside the §5.5
+      statistics layers (src/util/metrics.*, src/util/trace.*). Every other
+      use needs a waiver entry naming the site and the reason the relaxed
+      ordering is sound (typically: monotonic hint, or a counter whose
+      consistency is repaired under a mutex elsewhere).
+
+  raw-sync
+      `std::mutex` / `std::shared_mutex` / `std::condition_variable` /
+      `std::lock_guard` / `std::unique_lock` / ... anywhere but
+      src/util/annotations.h bypass the capability-annotated wrappers
+      (semcc::Mutex, MutexLock, CondVar), which makes the code invisible to
+      clang -Werror=thread-safety. Use the wrappers.
+
+  blocking-under-shard-lock
+      A blocking call (condition-variable wait, fsync/device Sync, thread
+      sleep) must not be reachable while a lock-table shard mutex is held:
+      every waiter on that shard — including waiters for unrelated objects —
+      would stall behind it. Detected by extracting function bodies, seeding
+      "blocking" from direct primitives, propagating through the name-level
+      call graph, and intersecting with shard-mutex-held regions (functions
+      annotated SEMCC_REQUIRES(shard.mu) and scopes below a
+      `MutexLock <var>(shard.mu)` construction). The one sanctioned site is
+      the shard condvar park in LockManager::Acquire — the wait *releases*
+      shard.mu — and it is waived with that reason.
+
+  discarded-status
+      Status and Result<T> must carry [[nodiscard]] (the regex engine
+      verifies the attribute is present on both class declarations, which
+      makes every gcc/clang build reject dropped values via
+      -Wunused-result). With the clang engine, call sites whose Status /
+      Result result is discarded are additionally flagged directly.
+
+Engines:
+  regex   dependency-free tokenizer over the tree (comments and string
+          literals stripped; line numbers preserved). Always available.
+  clang   adds AST-precise discarded-status call-site analysis via
+          clang.cindex + compile_commands.json. Needs the libclang python
+          bindings (CI installs them; the dev container may not have them).
+  auto    (default) regex checks always run; the clang pass is added when
+          clang.cindex imports and a compilation database is found.
+
+Waivers: scripts/semcc_lint_waivers.txt, lines of
+    check | path | line-substring | reason
+A finding is waived when its check and repo-relative path match and the
+flagged source line contains the substring. The reason is mandatory —
+the waiver file IS the documented-per-site-waiver list DESIGN.md §5.5
+refers to. Unused waiver entries are reported (stale entries rot).
+
+Exit status: 0 when no unwaived findings, 1 otherwise, 2 on usage errors.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# --- file collection ---------------------------------------------------------
+
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
+SOURCE_EXTS = (".h", ".cc", ".cpp")
+
+# §5.5: the statistics layers own their relaxed-ordering proofs.
+RELAXED_SANCTIONED = {
+    "src/util/metrics.h",
+    "src/util/metrics.cc",
+    "src/util/trace.h",
+    "src/util/trace.cc",
+}
+
+# The capability-annotated wrappers are the one place std primitives live.
+RAW_SYNC_SANCTIONED = {"src/util/annotations.h"}
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+
+RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+
+# Direct blocking primitives (reason strings feed the diagnostic).
+BLOCKING_DIRECT = (
+    (re.compile(r"\bstd::this_thread::sleep_(?:for|until)\b"), "thread sleep"),
+    (re.compile(r"\bf(?:data)?sync\s*\("), "fsync"),
+    (re.compile(r"(?:\.|->)\s*(?:Wait|WaitFor|WaitUntil)\s*\("),
+     "condition-variable wait"),
+    (re.compile(r"(?:\.|->)\s*Sync\s*\("), "device sync"),
+)
+
+# A shard mutex becomes held either by annotation or by construction.
+SHARD_REQUIRES_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*\((?:[^()]|\([^()]*\))*\)[^;{}]*"
+    r"SEMCC_REQUIRES(?:_SHARED)?\s*\(([^()]*shard(?:\.|->)mu[^()]*)\)"
+)
+SHARD_LOCK_RE = re.compile(
+    r"\bMutexLock\s+\w+\s*\(\s*shard(?:\.|->)mu\s*\)"
+)
+
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+NON_CALL_NAMES = frozenset({
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "new",
+    "delete", "do", "else", "case", "default", "static_cast", "const_cast",
+    "reinterpret_cast", "dynamic_cast", "alignof", "decltype", "noexcept",
+    "static_assert", "throw", "assert", "defined",
+})
+
+HEADER_RE = re.compile(
+    r"\b(?P<name>[A-Za-z_~]\w*)\s*\((?:[^()]|\([^()]*\))*\)\s*"
+    r"(?:(?:const|noexcept|override|final|mutable|&&?"
+    r"|->\s*[\w:<>,&*\s]+?"
+    r"|SEMCC_\w+(?:\s*\((?:[^()]|\([^()]*\))*\))?)\s*)*"
+    r"(?::(?!:)[^;]*)?$"
+)
+
+
+class Finding:
+    def __init__(self, check, path, line, message, source_line, context=None):
+        self.check = check
+        self.path = path          # repo-relative, forward slashes
+        self.line = line          # 1-based
+        self.message = message
+        self.source_line = source_line
+        # Waiver matching window: the flagged line plus its predecessor, so
+        # a statement wrapped across lines still matches its distinctive
+        # substring (e.g. `foo.fetch_add(1,\n  std::memory_order_relaxed);`).
+        self.context = context if context is not None else source_line
+        self.waived_by = None
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+def collect_files(repo):
+    files = []
+    for d in SOURCE_DIRS:
+        root = repo / d
+        if not root.is_dir():
+            continue
+        for p in sorted(root.rglob("*")):
+            if p.suffix in SOURCE_EXTS and p.is_file():
+                files.append(p)
+    return files
+
+
+def strip_code(text):
+    """Blank out comments and string/char literals, preserving offsets.
+
+    Every replaced character becomes a space (newlines are kept), so line
+    numbers and column positions in the stripped text match the original.
+    """
+    out = list(text)
+    i, n = 0, len(text)
+
+    def blank(a, b):
+        for k in range(a, min(b, n)):
+            if out[k] != "\n":
+                out[k] = " "
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            blank(i, j)
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            blank(i, j)
+            i = j
+        elif c == "R" and text[i + 1:i + 3] == '"(':
+            j = text.find(')"', i + 3)
+            j = n if j < 0 else j + 2
+            blank(i, j)
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    break
+                j += 1
+            blank(i + 1, j)  # keep the quotes so `'"'` stays balanced-looking
+            i = j + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, idx):
+    return text.count("\n", 0, idx) + 1
+
+
+def source_line(original, lineno):
+    lines = original.splitlines()
+    return lines[lineno - 1].strip() if 0 < lineno <= len(lines) else ""
+
+
+def source_context(original, lineno):
+    lines = original.splitlines()
+    lo = max(0, lineno - 2)
+    return "\n".join(line.strip() for line in lines[lo:lineno])
+
+
+# --- simple per-line checks --------------------------------------------------
+
+def check_relaxed_order(relpath, original, stripped, findings):
+    if relpath in RELAXED_SANCTIONED:
+        return
+    for m in RELAXED_RE.finditer(stripped):
+        ln = line_of(stripped, m.start())
+        findings.append(Finding(
+            "relaxed-order", relpath, ln,
+            "memory_order_relaxed outside the sanctioned §5.5 statistics "
+            "layers (util/metrics, util/trace) — document the site in "
+            "scripts/semcc_lint_waivers.txt or use seq_cst/acq_rel",
+            source_line(original, ln), source_context(original, ln)))
+
+
+def check_raw_sync(relpath, original, stripped, findings):
+    if relpath in RAW_SYNC_SANCTIONED:
+        return
+    for m in RAW_SYNC_RE.finditer(stripped):
+        ln = line_of(stripped, m.start())
+        findings.append(Finding(
+            "raw-sync", relpath, ln,
+            f"{m.group(0)} bypasses the annotated util/annotations.h "
+            "wrappers (semcc::Mutex / MutexLock / CondVar) and is invisible "
+            "to thread-safety analysis",
+            source_line(original, ln)))
+
+
+def check_nodiscard_structural(repo, findings):
+    for relpath, cls in (("src/util/status.h", "Status"),
+                         ("src/util/result.h", "Result")):
+        p = repo / relpath
+        if not p.is_file():
+            findings.append(Finding(
+                "discarded-status", relpath, 1, f"{relpath} not found", ""))
+            continue
+        text = p.read_text()
+        if not re.search(rf"class\s*\[\[nodiscard\]\]\s*{cls}\b", text):
+            decl = re.search(rf"class\s+{cls}\b", text)
+            ln = line_of(text, decl.start()) if decl else 1
+            findings.append(Finding(
+                "discarded-status", relpath, ln,
+                f"class {cls} lost its [[nodiscard]] attribute — dropped "
+                f"{cls} values would no longer fail -Wunused-result builds",
+                source_line(text, ln)))
+
+
+# --- blocking-under-shard-lock ----------------------------------------------
+
+class Function:
+    def __init__(self, name, path, header, body, body_start_idx, stripped):
+        self.name = name
+        self.path = path
+        self.header = header
+        self.body = body
+        self.body_start_idx = body_start_idx
+        self.stripped = stripped  # whole-file stripped text, for line_of
+
+
+def extract_functions(relpath, stripped):
+    """Brace-matching pass: every `{ ... }` whose preceding header looks
+    like a function definition yields a Function (nested text included)."""
+    funcs = []
+    stack = []  # (name_or_None, header, open_idx)
+    last_boundary = 0
+    for i, ch in enumerate(stripped):
+        if ch == "{":
+            header = stripped[last_boundary:i].strip()
+            name = None
+            m = HEADER_RE.search(header)
+            if m and m.group("name") not in NON_CALL_NAMES:
+                name = m.group("name").lstrip("~")
+            stack.append((name, header, i))
+            last_boundary = i + 1
+        elif ch == "}":
+            if stack:
+                name, header, start = stack.pop()
+                if name:
+                    funcs.append(Function(name, relpath, header,
+                                          stripped[start + 1:i], start + 1,
+                                          stripped))
+            last_boundary = i + 1
+        elif ch == ";":
+            last_boundary = i + 1
+    return funcs
+
+
+def held_subregions(body):
+    """[(start, end)] body slices below a `MutexLock <var>(shard.mu)`
+    construction, ending at the innermost enclosing scope's close."""
+    regions = []
+    for m in SHARD_LOCK_RE.finditer(body):
+        depth = 0
+        end = len(body)
+        for j in range(m.end(), len(body)):
+            if body[j] == "{":
+                depth += 1
+            elif body[j] == "}":
+                depth -= 1
+                if depth < 0:
+                    end = j
+                    break
+        regions.append((m.start(), end))
+    return regions
+
+
+def body_calls(text):
+    for m in CALL_RE.finditer(text):
+        name = m.group(1)
+        if name not in NON_CALL_NAMES:
+            yield name, m.start()
+
+
+def check_blocking_under_shard_lock(files_text, findings):
+    """files_text: {relpath: (original, stripped)}."""
+    functions = []
+    held_names = set()
+    for relpath, (_original, stripped) in files_text.items():
+        functions.extend(extract_functions(relpath, stripped))
+        for m in SHARD_REQUIRES_RE.finditer(stripped):
+            held_names.add(m.group(1))
+
+    # Seed "blocking" with direct primitives, then propagate through the
+    # name-level call graph to a fixpoint. The graph has no overload/class
+    # resolution, so a NAME is considered blocking only when EVERY definition
+    # of it blocks — an ambiguous name (e.g. a `Put` on an in-memory cache
+    # sharing its name with a WAL-backed `Put`) does not propagate. Direct
+    # primitives inside held regions are still always flagged.
+    defs_by_name = {}
+    for f in functions:
+        defs_by_name.setdefault(f.name, []).append(f)
+
+    def direct_reason(f):
+        for rx, reason in BLOCKING_DIRECT:
+            if rx.search(f.body):
+                return reason
+        return None
+
+    blocking = {}  # name -> human-readable reason chain
+    changed = True
+    while changed:
+        changed = False
+        for name, defs in defs_by_name.items():
+            if name in blocking:
+                continue
+            reason = None
+            for f in defs:
+                r = direct_reason(f)
+                if r is None:
+                    r = next((f"calls {callee} ({blocking[callee]})"
+                              for callee, _pos in body_calls(f.body)
+                              if callee != name and callee in blocking),
+                             None)
+                if r is None:
+                    reason = None
+                    break
+                reason = reason or r
+            if reason is not None:
+                blocking[name] = reason
+                changed = True
+
+    def flag_region(f, region_start, region_end, why_held):
+        original = files_text[f.path][0]
+        text = f.body[region_start:region_end]
+        base = f.body_start_idx + region_start
+        for rx, reason in BLOCKING_DIRECT:
+            for m in rx.finditer(text):
+                ln = line_of(f.stripped, base + m.start())
+                findings.append(Finding(
+                    "blocking-under-shard-lock", f.path, ln,
+                    f"{reason} in {f.name} while a shard mutex is held "
+                    f"({why_held}) — every waiter on the shard stalls "
+                    "behind it",
+                    source_line(original, ln)))
+        for callee, pos in body_calls(text):
+            if callee in blocking and callee != f.name:
+                ln = line_of(f.stripped, base + pos)
+                findings.append(Finding(
+                    "blocking-under-shard-lock", f.path, ln,
+                    f"{f.name} calls {callee}, which blocks "
+                    f"({blocking[callee]}), while a shard mutex is held "
+                    f"({why_held})",
+                    source_line(original, ln)))
+
+    for f in functions:
+        if f.name in held_names:
+            flag_region(f, 0, len(f.body),
+                        f"SEMCC_REQUIRES(shard.mu) on {f.name}")
+        for start, end in held_subregions(f.body):
+            flag_region(f, start, end, "MutexLock on shard.mu in scope")
+
+
+# --- clang engine (optional precision pass) ----------------------------------
+
+STATUS_TYPES_RE = re.compile(r"^(?:const\s+)?(?:semcc::)?(?:Status$|Result<)")
+
+
+def run_clang_discarded_status(repo, ccmds_path, findings, verbose):
+    """AST pass: Status/Result call results discarded at statement level.
+
+    Returns None on success or a string explaining why the pass was skipped
+    (missing bindings / database). Never raises: this pass adds precision on
+    top of the always-on regex checks, it must not take the linter down with
+    environment problems.
+    """
+    try:
+        from clang import cindex
+    except ImportError:
+        return "clang.cindex not importable (install python3-clang)"
+    if not ccmds_path.is_file():
+        return f"{ccmds_path} not found (configure with " \
+               "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)"
+    try:
+        db = cindex.CompilationDatabase.fromDirectory(str(ccmds_path.parent))
+    except cindex.CompilationDatabaseError as e:
+        return f"cannot load compilation database: {e}"
+
+    index = cindex.Index.create()
+    seen = set()
+    parse_failures = 0
+    for cmd in db.getAllCompileCommands():
+        src = pathlib.Path(cmd.directory) / cmd.filename
+        try:
+            rel = src.resolve().relative_to(repo).as_posix()
+        except ValueError:
+            continue
+        if not rel.startswith(("src/", "tools/")) or rel in seen:
+            continue
+        seen.add(rel)
+        args = [a for a in list(cmd.arguments)[1:]
+                if a not in ("-c", "-o", cmd.filename)]
+        args = [a for a, prev in zip(args, [""] + args) if prev != "-o"]
+        try:
+            tu = index.parse(str(src), args=args)
+        except cindex.TranslationUnitLoadError:
+            parse_failures += 1
+            continue
+
+        def flag_if_discarded(node, ancestors):
+            if (node.kind != cindex.CursorKind.CALL_EXPR
+                    or node.location.file is None
+                    or not pathlib.Path(str(node.location.file)).resolve()
+                    .as_posix().endswith(rel)
+                    or not STATUS_TYPES_RE.match(node.type.spelling or "")):
+                return
+            discarded = False
+            for anc in reversed(ancestors):
+                if anc.kind in (cindex.CursorKind.UNEXPOSED_EXPR,
+                                cindex.CursorKind.PAREN_EXPR):
+                    continue
+                if (anc.kind in (cindex.CursorKind.CSTYLE_CAST_EXPR,
+                                 cindex.CursorKind.CXX_STATIC_CAST_EXPR)
+                        and anc.type.spelling == "void"):
+                    break  # explicit (void) discard — intentional
+                discarded = anc.kind == cindex.CursorKind.COMPOUND_STMT
+                break
+            if discarded:
+                findings.append(Finding(
+                    "discarded-status", rel, node.location.line,
+                    f"call result of type {node.type.spelling} is discarded "
+                    "(check it, or cast to void with a comment)",
+                    ""))
+
+        # Iterative walk with an explicit ancestor chain.
+        stack = [(tu.cursor, [])]
+        while stack:
+            node, ancestors = stack.pop()
+            flag_if_discarded(node, ancestors)
+            child_ancestors = ancestors + [node]
+            for child in node.get_children():
+                stack.append((child, child_ancestors))
+    if verbose:
+        print(f"clang engine: {len(seen)} TUs, {parse_failures} parse "
+              "failures", file=sys.stderr)
+    return None
+
+
+# --- waivers -----------------------------------------------------------------
+
+class Waiver:
+    def __init__(self, check, path, pattern, reason, lineno):
+        self.check = check
+        self.path = path
+        self.pattern = pattern
+        self.reason = reason
+        self.lineno = lineno
+        self.used = 0
+
+    def matches(self, finding):
+        return (self.check == finding.check and self.path == finding.path
+                and (self.pattern == "*"
+                     or self.pattern in finding.context))
+
+
+def load_waivers(path):
+    waivers = []
+    if not path.is_file():
+        return waivers
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip() for p in line.split("|")]
+        if len(parts) != 4 or not all(parts):
+            print(f"{path}:{lineno}: malformed waiver (want "
+                  "'check | path | line-substring | reason')",
+                  file=sys.stderr)
+            sys.exit(2)
+        waivers.append(Waiver(*parts, lineno))
+    return waivers
+
+
+# --- driver ------------------------------------------------------------------
+
+CHECKS = ("relaxed-order", "raw-sync", "blocking-under-shard-lock",
+          "discarded-status")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="protocol-aware static checks for the semcc tree")
+    default_repo = pathlib.Path(__file__).resolve().parent.parent
+    ap.add_argument("--repo", default=str(default_repo))
+    ap.add_argument("--engine", choices=("auto", "clang", "regex"),
+                    default="auto")
+    ap.add_argument("--compile-commands",
+                    default=None,
+                    help="compile_commands.json for the clang engine "
+                         "(default: REPO/build/compile_commands.json)")
+    ap.add_argument("--waivers", default=None,
+                    help="waiver file (default: REPO/scripts/"
+                         "semcc_lint_waivers.txt)")
+    ap.add_argument("--no-waivers", action="store_true",
+                    help="report every finding, ignoring the waiver file")
+    ap.add_argument("--list-checks", action="store_true")
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_checks:
+        for c in CHECKS:
+            print(c)
+        return 0
+
+    repo = pathlib.Path(args.repo).resolve()
+    ccmds = pathlib.Path(args.compile_commands) if args.compile_commands \
+        else repo / "build" / "compile_commands.json"
+    waiver_path = pathlib.Path(args.waivers) if args.waivers \
+        else repo / "scripts" / "semcc_lint_waivers.txt"
+
+    files = collect_files(repo)
+    if not files:
+        print(f"semcc_lint: no sources under {repo}", file=sys.stderr)
+        return 2
+
+    findings = []
+    files_text = {}
+    for p in files:
+        relpath = p.relative_to(repo).as_posix()
+        original = p.read_text(errors="replace")
+        stripped = strip_code(original)
+        files_text[relpath] = (original, stripped)
+        check_relaxed_order(relpath, original, stripped, findings)
+        check_raw_sync(relpath, original, stripped, findings)
+    check_nodiscard_structural(repo, findings)
+    check_blocking_under_shard_lock(files_text, findings)
+
+    engine_note = None
+    if args.engine in ("auto", "clang"):
+        engine_note = run_clang_discarded_status(repo, ccmds, findings,
+                                                 args.verbose)
+        if engine_note and args.engine == "clang":
+            print(f"semcc_lint: clang engine unavailable: {engine_note}",
+                  file=sys.stderr)
+            return 2
+    if args.verbose and engine_note:
+        print(f"semcc_lint: clang pass skipped: {engine_note} "
+              "(regex checks still ran)", file=sys.stderr)
+
+    waivers = [] if args.no_waivers else load_waivers(waiver_path)
+    unwaived = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.check)):
+        w = next((w for w in waivers if w.matches(f)), None)
+        if w:
+            w.used += 1
+            f.waived_by = w
+            if args.verbose:
+                print(f"waived: {f} ({w.reason})")
+        else:
+            unwaived.append(f)
+
+    for f in unwaived:
+        print(f)
+        if f.source_line:
+            print(f"    {f.source_line}")
+    for w in waivers:
+        if w.used == 0:
+            print(f"note: unused waiver {waiver_path.name}:{w.lineno} "
+                  f"({w.check} | {w.path} | {w.pattern})", file=sys.stderr)
+
+    waived_count = len(findings) - len(unwaived)
+    print(f"semcc_lint: {len(files)} files, {len(findings)} findings "
+          f"({waived_count} waived, {len(unwaived)} blocking)",
+          file=sys.stderr)
+    return 1 if unwaived else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -138,7 +138,10 @@ def print_summary(s):
         print(f"wal flushes      : {s['wal_flushes']}")
     if s["wait_us"]:
         waits = sorted(s["wait_us"])
-        p = lambda q: waits[min(len(waits) - 1, int(len(waits) * q))]
+
+        def p(q):
+            return waits[min(len(waits) - 1, int(len(waits) * q))]
+
         print(f"wait us          : n={len(waits)} p50={p(0.5)} "
               f"p95={p(0.95)} max={waits[-1]}")
 

@@ -245,4 +245,85 @@ bool CompatibilityRegistry::HasPredicate(TypeId type, const std::string& m1,
   return e != nullptr && e->is_predicate;
 }
 
+CompatibilityRegistry::CellKind CompatibilityRegistry::CompiledCell(
+    TypeId type, MethodId m1, MethodId m2) const {
+  const Compiled* compiled = compiled_.load(std::memory_order_acquire);
+  if (compiled == nullptr) return CellKind::kCellUnknown;
+  const Compiled::TypeTable* table = compiled->TableFor(type);
+  if (table == nullptr) return CellKind::kCellUnknown;
+  return static_cast<CellKind>(table->CellAt(m1, m2));
+}
+
+bool CompatibilityRegistry::CompiledArgsSensitive(TypeId type,
+                                                  MethodId m) const {
+  const Compiled* compiled = compiled_.load(std::memory_order_acquire);
+  if (compiled == nullptr) return false;
+  const Compiled::TypeTable* table = compiled->TableFor(type);
+  if (table == nullptr || m >= table->dim) return false;
+  return table->args_sensitive[m] != 0;
+}
+
+uint32_t CompatibilityRegistry::CompiledDim(TypeId type) const {
+  const Compiled* compiled = compiled_.load(std::memory_order_acquire);
+  if (compiled == nullptr) return 0;
+  const Compiled::TypeTable* table = compiled->TableFor(type);
+  return table == nullptr ? 0 : table->dim;
+}
+
+std::vector<TypeId> CompatibilityRegistry::RegisteredTypes() const {
+  ReaderMutexLock guard(mu_);
+  std::vector<TypeId> types;
+  types.reserve(table_.size());
+  for (const auto& [type, entries] : table_) {
+    if (!entries.empty()) types.push_back(type);
+  }
+  return types;
+}
+
+std::vector<std::pair<std::string, std::string>>
+CompatibilityRegistry::RegisteredPairs(TypeId type) const {
+  ReaderMutexLock guard(mu_);
+  std::vector<std::pair<std::string, std::string>> pairs;
+  auto it = table_.find(type);
+  if (it == table_.end()) return pairs;
+  pairs.reserve(it->second.size());
+  for (const auto& [key, entry] : it->second) pairs.push_back(key);
+  return pairs;
+}
+
+bool CompatibilityRegistry::TestOnlyCorruptCell(TypeId type,
+                                               const std::string& m1,
+                                               const std::string& m2,
+                                               CellKind cell) {
+  MethodInterner& interner = MethodInterner::Global();
+  const MethodId a = interner.Lookup(m1);
+  const MethodId b = interner.Lookup(m2);
+  if (a == kInvalidMethodId || b == kInvalidMethodId) return false;
+  // The snapshot is immutable by contract; tests break that contract on
+  // purpose (and at quiescence) to seed a defect the verifier must reject.
+  auto* compiled = const_cast<Compiled*>(
+      compiled_.load(std::memory_order_acquire));
+  if (compiled == nullptr) return false;
+  auto* table = const_cast<Compiled::TypeTable*>(compiled->TableFor(type));
+  if (table == nullptr || a >= table->dim || b >= table->dim) return false;
+  table->cells[static_cast<size_t>(a) * table->dim + b] =
+      static_cast<uint8_t>(cell);
+  return true;
+}
+
+bool CompatibilityRegistry::TestOnlyCorruptArgsSensitive(TypeId type,
+                                                         const std::string& m,
+                                                         bool sensitive) {
+  MethodInterner& interner = MethodInterner::Global();
+  const MethodId id = interner.Lookup(m);
+  if (id == kInvalidMethodId) return false;
+  auto* compiled = const_cast<Compiled*>(
+      compiled_.load(std::memory_order_acquire));
+  if (compiled == nullptr) return false;
+  auto* table = const_cast<Compiled::TypeTable*>(compiled->TableFor(type));
+  if (table == nullptr || id >= table->dim) return false;
+  table->args_sensitive[id] = sensitive ? 1 : 0;
+  return true;
+}
+
 }  // namespace semcc

@@ -113,6 +113,55 @@ class CompatibilityRegistry {
   /// Declared methods of a type, in declaration order.
   std::vector<std::string> MethodsOf(TypeId type) const;
 
+  // --- verification introspection (tools/matrix_verify) -------------------
+  // The build-time matrix verifier (cc/matrix_verifier.h) checks the
+  // compiled dense tables against the registration-level view: symmetry of
+  // cells, predicate/dense agreement, args_sensitive soundness, and matrix
+  // totality. These read-only accessors expose exactly what it needs; the
+  // hot path never touches them.
+
+  /// Kind of one compiled dense cell (mirrors the private Cell encoding).
+  enum class CellKind : uint8_t {
+    kCellUnknown = 0,     ///< unregistered: generic rules, else conflict
+    kCellCompatible = 1,  ///< static entry: commute
+    kCellConflict = 2,    ///< static entry: conflict
+    kCellPredicate = 3,   ///< parameter-dependent
+  };
+
+  /// The compiled dense cell for (m1, m2) of `type` in the published
+  /// snapshot. kCellUnknown when no snapshot, no table, or out of range.
+  CellKind CompiledCell(TypeId type, MethodId m1, MethodId m2) const;
+
+  /// The raw args_sensitive bit of the compiled snapshot (WITHOUT the
+  /// generic key-addressed-op override that ArgsMatter layers on top).
+  bool CompiledArgsSensitive(TypeId type, MethodId m) const;
+
+  /// Dimension (interner size at compile time) of `type`'s compiled table;
+  /// 0 if the type has no table.
+  uint32_t CompiledDim(TypeId type) const;
+
+  /// Types that have at least one registered entry.
+  std::vector<TypeId> RegisteredTypes() const;
+
+  /// All registered (canonically ordered) method-name pairs of `type`.
+  std::vector<std::pair<std::string, std::string>> RegisteredPairs(
+      TypeId type) const;
+
+  // --- test-only mutation hooks (tests/matrix_verify_test.cc) -------------
+  // Corrupt the PUBLISHED snapshot in place so the verifier's rejection of
+  // each defect class can be exercised. One direction only — Define() always
+  // writes symmetric cells, so a broken matrix can otherwise not be built
+  // through the public API. Never call outside tests.
+
+  /// Overwrite the single cell (m1, m2) — not (m2, m1) — with `cell`
+  /// (a raw CellKind value). Returns false if the cell is out of range.
+  bool TestOnlyCorruptCell(TypeId type, const std::string& m1,
+                           const std::string& m2, CellKind cell);
+
+  /// Overwrite args_sensitive[m]. Returns false if out of range.
+  bool TestOnlyCorruptArgsSensitive(TypeId type, const std::string& m,
+                                    bool sensitive);
+
   /// For matrix printing: the static entry, or nullopt if the pair is
   /// predicate-based or unregistered.
   std::optional<bool> StaticEntry(TypeId type, const std::string& m1,

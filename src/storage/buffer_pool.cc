@@ -14,7 +14,13 @@ BufferPool::BufferPool(size_t pool_size, DiskManager* disk) : disk_(disk) {
   }
 }
 
-BufferPool::~BufferPool() { FlushAll(); }
+BufferPool::~BufferPool() {
+  // A destructor cannot propagate failure; surface it instead of dropping it.
+  const Status flushed = FlushAll();
+  if (!flushed.ok()) {
+    SEMCC_LOG(Error) << "final FlushAll failed: " << flushed.ToString();
+  }
+}
 
 Result<size_t> BufferPool::Pin(PageId id, bool* hit) {
   MutexLock guard(mu_);

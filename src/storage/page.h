@@ -15,10 +15,10 @@
 
 #include <cstdint>
 #include <cstring>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 
+#include "util/annotations.h"
 #include "util/macros.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -72,10 +72,10 @@ class Page {
   char* data() { return data_; }
 
   // Latching (physical consistency; independent of transactional locks).
-  void RLatch() const { latch_.lock_shared(); }
-  void RUnlatch() const { latch_.unlock_shared(); }
-  void WLatch() const { latch_.lock(); }
-  void WUnlatch() const { latch_.unlock(); }
+  void RLatch() const SEMCC_ACQUIRE_SHARED(latch_) { latch_.LockShared(); }
+  void RUnlatch() const SEMCC_RELEASE_SHARED(latch_) { latch_.UnlockShared(); }
+  void WLatch() const SEMCC_ACQUIRE(latch_) { latch_.Lock(); }
+  void WUnlatch() const SEMCC_RELEASE(latch_) { latch_.Unlock(); }
 
  private:
   uint16_t ReadU16(size_t off) const {
@@ -109,7 +109,7 @@ class Page {
   void Compact();
 
   char data_[kPageSize];
-  mutable std::shared_mutex latch_;
+  mutable SharedMutex latch_;
 };
 
 }  // namespace semcc

@@ -12,8 +12,11 @@ namespace semcc {
 
 /// \brief Either a value of type T or a non-OK Status explaining why the
 /// value could not be produced.
+///
+/// [[nodiscard]] for the same reason as Status: a dropped Result hides both
+/// the value and the failure (see scripts/semcc_lint.py, discarded-status).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Construct from an error status. Must not be OK.
   Result(Status status) : status_(std::move(status)) {  // NOLINT implicit

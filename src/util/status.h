@@ -31,7 +31,12 @@ enum class StatusCode : int {
 ///
 /// A moved-from or default-constructed Status is OK. Non-OK statuses carry a
 /// heap-allocated state so that the common OK path is a single null pointer.
-class Status {
+///
+/// [[nodiscard]]: ignoring a Status silently swallows failures (the classic
+/// unchecked-fsync bug); callers that genuinely do not care must say so with
+/// an explicit `(void)` cast. scripts/semcc_lint.py check `discarded-status`
+/// relies on this attribute being present.
+class [[nodiscard]] Status {
  public:
   Status() noexcept : state_(nullptr) {}
   Status(StatusCode code, std::string msg);

@@ -4,12 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <set>
 #include <thread>
 
 #include "adt/standard_adts.h"
 #include "core/serializability.h"
+#include "util/annotations.h"
 #include "util/sync.h"
 
 namespace semcc {
@@ -49,14 +49,14 @@ TEST_F(CounterTest, ConcurrentBlindUpdatesNeverLost) {
   constexpr int kThreads = 8;
   constexpr int kOps = 200;
   std::vector<std::thread> threads;
-  std::mutex fail_mu;
+  Mutex fail_mu;
   std::vector<std::string> failures;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&]() {
       for (int i = 0; i < kOps; ++i) {
         auto r = Call("Increment", {Value(1)});
         if (!r.ok()) {
-          std::lock_guard<std::mutex> guard(fail_mu);
+          MutexLock guard(fail_mu);
           failures.push_back(r.status().ToString());
         }
       }

@@ -92,7 +92,9 @@ std::unique_ptr<Database> RestartFromPrefix(const GroundTruth& truth, size_t k,
   {
     PosixWritableFile f;
     EXPECT_TRUE(f.Open(dir + "/wal-000001.log").ok());
-    if (k > 0) EXPECT_TRUE(f.Append(truth.image.data(), k).ok());
+    if (k > 0) {
+      EXPECT_TRUE(f.Append(truth.image.data(), k).ok());
+    }
     EXPECT_TRUE(f.Sync().ok());
     EXPECT_TRUE(f.Close().ok());
   }

@@ -92,7 +92,7 @@ TEST(WalConcurrency, ParallelAppendsGetUniqueMonotoneLsns) {
     });
   }
   for (auto& th : threads) th.join();
-  wal.Flush();
+  ASSERT_TRUE(wal.Flush().ok());
   auto records = wal.StableRecords().ValueOrDie();
   ASSERT_EQ(records.size(), static_cast<size_t>(kThreads * kPerThread));
   std::set<Lsn> lsns;
@@ -128,7 +128,7 @@ TEST(WalConcurrency, FlushRacesWithAppends) {
     }
   });
   for (int i = 0; i < 200; ++i) {
-    wal.Flush();
+    ASSERT_TRUE(wal.Flush().ok());
     // Decodes everything stable.
     auto records = wal.StableRecords().ValueOrDie();
     EXPECT_LE(records.size(), wal.total_count());

@@ -9,7 +9,6 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,6 +16,7 @@
 #include "cc/compatibility.h"
 #include "cc/lock_manager.h"
 #include "cc/subtxn.h"
+#include "util/annotations.h"
 
 namespace semcc {
 namespace {
@@ -144,14 +144,14 @@ TEST_P(LockShardTest, FcfsGrantOrderWithinQueue) {
   }
 
   std::vector<int> grant_order;
-  std::mutex order_mu;
+  Mutex order_mu;
   std::vector<std::thread> threads;
   for (int i = 0; i < kWaiters; ++i) {
     threads.emplace_back([&, i]() {
       Status st = lm->Acquire(actions[i], LockTarget::ForObject(kObjA), true);
       ASSERT_TRUE(st.ok()) << st.ToString();
       {
-        std::lock_guard<std::mutex> g(order_mu);
+        MutexLock g(order_mu);
         grant_order.push_back(i);
       }
       // Retire this transaction so the next-in-line waiter can be granted.

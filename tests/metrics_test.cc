@@ -278,7 +278,9 @@ TEST(TraceRing, WraparoundKeepsNewestEventsAndCountsDropped) {
   // The survivors are the 8 newest, in emit order.
   for (size_t i = 0; i < events.size(); ++i) {
     EXPECT_EQ(events[i].value, 12 + i);
-    if (i > 0) EXPECT_GT(events[i].seq, events[i - 1].seq);
+    if (i > 0) {
+      EXPECT_GT(events[i].seq, events[i - 1].seq);
+    }
   }
   trace::SetRingCapacityForTesting(8192);
 }

@@ -88,7 +88,7 @@ TEST(Wal, CrashDropsVolatileTail) {
   rec.type = LogType::kTxnBegin;
   rec.txn = 1;
   wal.Append(rec);
-  wal.Flush();
+  ASSERT_TRUE(wal.Flush().ok());
   rec.txn = 2;
   wal.Append(rec);
   EXPECT_EQ(wal.total_count(), 2u);
@@ -107,12 +107,14 @@ TEST(Wal, StableRecordsDecodeInOrder) {
     rec.object = static_cast<Oid>(i);
     wal.Append(rec);
   }
-  wal.Flush();
+  ASSERT_TRUE(wal.Flush().ok());
   auto records = wal.StableRecords().ValueOrDie();
   ASSERT_EQ(records.size(), 10u);
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(records[i].object, static_cast<Oid>(i));
-    if (i > 0) EXPECT_GT(records[i].lsn, records[i - 1].lsn);
+    if (i > 0) {
+      EXPECT_GT(records[i].lsn, records[i - 1].lsn);
+    }
   }
 }
 
@@ -188,7 +190,7 @@ TEST_F(RecoveryTest, LoserShipOrderIsCompensatedAtRestart) {
     TxnCtx ctx(db->store(), db->locks(), db->methods(), &tree, db->recovery());
     db->recovery()->OnTxnBegin(tree.root()->id());
     ASSERT_TRUE(ctx.Invoke(item, "ShipOrder", {Value(1)}).ok());
-    db->wal()->Flush();  // the work reached the disk, the commit did not
+    ASSERT_TRUE(db->wal()->Flush().ok());  // work reached disk, commit did not
   }
   // The damage is visible pre-crash.
   ASSERT_LT(ReadQohRaw(db.get(), item).ValueOrDie(), 50);
@@ -230,7 +232,7 @@ TEST_F(RecoveryTest, LoserUndoPreservesWinnersCommutingUpdate) {
     ASSERT_TRUE(db->RunTransaction(
                       "winner", T2_PayTwoOrders(item, 1, data.item_oids[1], 1))
                     .ok());
-    db->wal()->Flush();
+    ASSERT_TRUE(db->wal()->Flush().ok());
   }
   auto db2 = MakeRecoveryTarget();
   auto stats = db2->RecoverFrom(db->wal()->StableRecords().ValueOrDie());
@@ -262,7 +264,7 @@ TEST_F(RecoveryTest, LoserNewOrderRemovedAtRestart) {
     auto ono = ctx.Invoke(item, "NewOrder", {Value(9), Value(4)});
     ASSERT_TRUE(ono.ok());
     EXPECT_EQ(ono.ValueOrDie().AsInt(), 3);
-    db->wal()->Flush();
+    ASSERT_TRUE(db->wal()->Flush().ok());
   }
   auto db2 = MakeRecoveryTarget();
   ASSERT_TRUE(db2->RecoverFrom(db->wal()->StableRecords().ValueOrDie()).ok());
@@ -291,7 +293,7 @@ TEST_F(RecoveryTest, UncommittedLeafOnlyWorkIsPhysicallyUndone) {
     TxnCtx ctx(db->store(), db->locks(), db->methods(), &tree, db->recovery());
     db->recovery()->OnTxnBegin(tree.root()->id());
     ASSERT_TRUE(ctx.Put(status_atom, Value(int64_t{3})).ok());  // raw bypass
-    db->wal()->Flush();
+    ASSERT_TRUE(db->wal()->Flush().ok());
   }
   auto db2 = MakeRecoveryTarget();
   auto stats = db2->RecoverFrom(db->wal()->StableRecords().ValueOrDie());
@@ -310,7 +312,7 @@ TEST_F(RecoveryTest, VolatileTailLossDropsUnflushedWork) {
   spec.num_items = 1;
   spec.orders_per_item = 1;
   auto data = Load(db.get(), types, spec).ValueOrDie();
-  db->wal()->Flush();
+  ASSERT_TRUE(db->wal()->Flush().ok());
   const size_t stable_before = db->wal()->stable_count();
   // A committed transaction forces the log (survives)...
   ASSERT_TRUE(db->RunTransaction("t", T2_PayTwoOrders(data.item_oids[0], 1,
