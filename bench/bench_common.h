@@ -89,6 +89,15 @@ struct RunSummary {
   uint64_t coalesced = 0;
   uint64_t memo_hits = 0;
   uint64_t timeouts = 0;
+  // Reader/writer split (readers = T3/T4/T5) and MVCC counters; the
+  // versions_* fields stay zero unless the run had mvcc_reads on.
+  double read_tps = 0;
+  double write_tps = 0;
+  uint64_t reader_root_waits = 0;
+  uint64_t writer_root_waits = 0;
+  uint64_t snapshot_reads = 0;
+  uint64_t versions_installed = 0;
+  uint64_t versions_reclaimed = 0;
 };
 
 /// Per-thread transaction count, overridable via SEMCC_BENCH_TXNS (the CI
@@ -135,7 +144,7 @@ class JsonSink {
   /// "theta=0.90"); keep it free of JSON-significant characters.
   void Add(const RunSummary& s, const std::string& label = "") {
     if (!enabled()) return;
-    char buf[768];
+    char buf[1536];
     int n = std::snprintf(
         buf, sizeof(buf),
         "  {\"protocol\": \"%s\", \"label\": \"%s\", \"threads\": %d, "
@@ -167,6 +176,20 @@ class JsonSink {
           static_cast<unsigned long long>(s.coalesced),
           static_cast<unsigned long long>(s.memo_hits),
           static_cast<unsigned long long>(s.timeouts));
+      if (n > 0 && static_cast<size_t>(n) < sizeof(buf)) {
+        n += std::snprintf(
+            buf + n, sizeof(buf) - n,
+            ", \"read_tps\": %.2f, \"write_tps\": %.2f, "
+            "\"reader_root_waits\": %llu, \"writer_root_waits\": %llu, "
+            "\"snapshot_reads\": %llu, \"versions_installed\": %llu, "
+            "\"versions_reclaimed\": %llu",
+            s.read_tps, s.write_tps,
+            static_cast<unsigned long long>(s.reader_root_waits),
+            static_cast<unsigned long long>(s.writer_root_waits),
+            static_cast<unsigned long long>(s.snapshot_reads),
+            static_cast<unsigned long long>(s.versions_installed),
+            static_cast<unsigned long long>(s.versions_reclaimed));
+      }
     }
     if (n > 0 && static_cast<size_t>(n) + 1 < sizeof(buf)) {
       buf[n] = '}';
@@ -205,6 +228,11 @@ inline RunSummary RunWorkload(const ProtocolConfig& proto,
   DatabaseOptions dopts;
   dopts.protocol = proto.options;
   dopts.record_history = false;  // perf run: do not accumulate trees
+  // Production flags regardless of build type: debug_lock_checks defaults
+  // on in Debug builds and force-disables the lock fast path, which is why
+  // an earlier perf trajectory showed fast_path_hits == 0 — perf rows must
+  // always come from the production configuration.
+  dopts.protocol.debug_lock_checks = false;
   Database db(dopts);
   orderentry::InstallOptions iopts;
   iopts.parameter_refined_item_matrix = proto.refined_matrix;
@@ -238,6 +266,16 @@ inline RunSummary RunWorkload(const ProtocolConfig& proto,
   s.coalesced = ls.coalesced_grants;
   s.memo_hits = ls.memo_hits;
   s.timeouts = ls.timeouts;
+  s.read_tps = result.read_tps;
+  s.write_tps = result.write_tps;
+  s.reader_root_waits = result.reader_root_waits;
+  s.writer_root_waits = result.writer_root_waits;
+  const DatabaseStats ds = db.Stats();
+  if (ds.mvcc_enabled) {
+    s.snapshot_reads = ds.versions.snapshot_reads;
+    s.versions_installed = ds.versions.versions_installed;
+    s.versions_reclaimed = ds.versions.versions_reclaimed;
+  }
   return s;
 }
 

@@ -18,8 +18,13 @@ breakdown (commute/case1/case2/root_waits/retained_hits/...); those are
 compared as *shares of the row's verdict total* and a drift beyond
 --verdict-drift (default 10 percentage points) warns — catching protocol-
 behavior changes (e.g. Case 1 relief silently stopping) that throughput
-alone would hide. ALWAYS exits 0 — the trajectory is tracked, not gated;
-gating on shared-runner timing would make CI flaky.
+alone would hide.
+
+Timing and verdict-mix drifts never gate (exit 0) — gating on shared-runner
+timing would make CI flaky. *Coverage* loss does gate: a (protocol, label,
+threads) row — or a google-benchmark name — present in the old baseline but
+absent from the new run means a bench configuration silently disappeared,
+and the script exits 1.
 """
 
 import argparse
@@ -112,6 +117,14 @@ def main():
     old_verdicts = index_verdicts(old_data)
     new_verdicts = index_verdicts(new_data)
 
+    # Coverage: every baseline row must still exist in the new run. A row
+    # vanishing means a bench configuration was silently dropped (e.g. a
+    # label renamed or a sweep section deleted) — that gates, unlike timing.
+    missing = sorted(k for k in old if k not in new)
+    for key in missing:
+        print(f"ERROR: baseline row {key} missing from {args.new} "
+              "(bench configuration disappeared)")
+
     warned = 0
     for key, metrics in sorted(new.items()):
         old_metrics = old.get(key)
@@ -153,11 +166,12 @@ def main():
                 )
                 drifted += 1
 
-    if warned == 0 and drifted == 0:
+    if warned == 0 and drifted == 0 and not missing:
         print(f"check_bench_regression: {args.new} OK vs {args.old} "
               f"(no metric >{args.threshold * 100.0:.0f}% worse, "
-              "no verdict drift)")
-    return 0  # never gate on timing or behavior mix
+              "no verdict drift, all baseline rows present)")
+    # Timing and behavior mix never gate; lost coverage does.
+    return 1 if missing else 0
 
 
 if __name__ == "__main__":

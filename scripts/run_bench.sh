@@ -15,8 +15,9 @@
 # Every emitted file is validated as JSON — a bench that writes a malformed
 # or empty file fails the script. If a previous copy of a BENCH file exists
 # (the committed perf trajectory), scripts/check_bench_regression.py compares
-# new against old and WARNS on >15% regressions; the comparison never fails
-# the script (perf is tracked, not gated, here).
+# new against old: >15% timing regressions WARN only (perf is tracked, not
+# gated, here), but a baseline row missing from the new run FAILS the script
+# — bench coverage must never shrink silently.
 #
 # The build directory must be a Release build (cmake -DCMAKE_BUILD_TYPE=Release)
 # or the numbers are meaningless.
@@ -66,6 +67,21 @@ done
 # files track protocol behavior, not just throughput.
 "$build_dir/bench/bench_throughput" --stats --json="$repo_root/BENCH_throughput.json"
 validate_json "$repo_root/BENCH_throughput.json"
+# The read-mix sections (MVCC snapshot reads vs locking readers) must be
+# present — their rows are the mvcc_reads ablation record.
+if ! python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    labels = {row.get("label", "") for row in json.load(f)}
+required = ["readmix90-t16", "readmix90-mvcc-t16",
+            "readmix50-t16", "readmix50-mvcc-t16"]
+missing = [l for l in required if l not in labels]
+if missing:
+    sys.exit("missing read-mix rows: " + ", ".join(missing))
+' "$repo_root/BENCH_throughput.json"; then
+  echo "error: BENCH_throughput.json lacks the read-mix (mvcc) rows" >&2
+  exit 1
+fi
 "$build_dir/bench/bench_contention" --stats --json="$repo_root/BENCH_contention.json"
 validate_json "$repo_root/BENCH_contention.json"
 "$build_dir/bench/bench_recovery" --stats --json="$repo_root/BENCH_recovery.json"
@@ -80,7 +96,10 @@ echo
 for f in "${bench_files[@]}"; do
   echo "wrote $repo_root/$f"
   if [[ -f "$stash_dir/$f" ]]; then
+    # Timing regressions only warn (exit 0), but a baseline row that
+    # disappeared from the new run exits 1 and fails the script: bench
+    # coverage must never shrink silently.
     python3 "$repo_root/scripts/check_bench_regression.py" \
-      "$stash_dir/$f" "$repo_root/$f" || true
+      "$stash_dir/$f" "$repo_root/$f"
   fi
 done

@@ -78,6 +78,7 @@ def summarize(events):
         "txn_aborts": 0,
         "txn_retries": 0,
         "wal_flushes": 0,
+        "snapshot_reads": 0,
         "wait_us": [],
         "roots": set(),
     }
@@ -114,6 +115,8 @@ def summarize(events):
             s["txn_retries"] += 1
         elif kind == "wal-flush":
             s["wal_flushes"] += 1
+        elif kind == "snapshot-read":
+            s["snapshot_reads"] += 1
     return s
 
 
@@ -136,6 +139,9 @@ def print_summary(s):
               f"{s['timeouts']} timeouts")
     if s["wal_flushes"]:
         print(f"wal flushes      : {s['wal_flushes']}")
+    if s["snapshot_reads"]:
+        print(f"snapshot reads   : {s['snapshot_reads']} "
+              "(MVCC reads that took no semantic lock)")
     if s["wait_us"]:
         waits = sorted(s["wait_us"])
 
@@ -168,6 +174,8 @@ def event_line(e):
         parts.append(f"attempt={e.get('value', 0)}")
     if kind == "wal-flush":
         parts.append(f"batch={e.get('other', 0)} device={e.get('value', 0)}us")
+    if kind == "snapshot-read":
+        parts.append(f"S={e.get('other', 0)} saw=ts{e.get('value', 0)}")
     return "  " + " ".join(parts)
 
 

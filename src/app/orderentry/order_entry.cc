@@ -404,9 +404,26 @@ TxnManager::Body T4_CheckPayment(Oid item1, int64_t order1, Oid item2,
   return CheckTwoOrders(item1, order1, item2, order2, kPaid, think_micros);
 }
 
-TxnManager::Body T5_TotalPayment(Oid item) {
+TxnManager::Body T5_TotalPayment(Oid item, int repeat) {
   return [=](TxnCtx& ctx) -> Result<Value> {
-    return ctx.Invoke(item, "TotalPayment", {});
+    Result<Value> r = ctx.Invoke(item, "TotalPayment", {});
+    for (int i = 1; r.ok() && i < repeat; ++i) {
+      r = ctx.Invoke(item, "TotalPayment", {});
+    }
+    return r;
+  };
+}
+
+TxnManager::Body T5_TotalPaymentScan(std::vector<Oid> items, int repeat) {
+  return [items = std::move(items), repeat](TxnCtx& ctx) -> Result<Value> {
+    int64_t total = 0;
+    for (int i = 0; i < repeat; ++i) {
+      for (Oid item : items) {
+        SEMCC_ASSIGN_OR_RETURN(Value v, ctx.Invoke(item, "TotalPayment", {}));
+        if (i == 0) total += v.AsInt();
+      }
+    }
+    return Value(total);
   };
 }
 

@@ -108,7 +108,15 @@ TxnManager::Body T3_CheckShipment(Oid item1, int64_t order1, Oid item2,
 TxnManager::Body T4_CheckPayment(Oid item1, int64_t order1, Oid item2,
                                  int64_t order2, int64_t think_micros = 0);
 /// T5: compute the total payment for an item (TotalPayment on the item).
-TxnManager::Body T5_TotalPayment(Oid item);
+/// `repeat` > 1 scans the item that many times in one transaction; the
+/// re-invocations reacquire locks the tree already holds, exercising the
+/// lock manager's per-tree grant cache (fast-path reacquire).
+TxnManager::Body T5_TotalPayment(Oid item, int repeat = 1);
+/// T5 variant: one transaction that computes TotalPayment over *every* item.
+/// Under plain locking the scan read-locks the whole item set, so it
+/// conflicts with any in-flight updater; under `mvcc_reads` snapshot mode it
+/// runs lock-free. Used by the read-mix benchmarks to expose the gap.
+TxnManager::Body T5_TotalPaymentScan(std::vector<Oid> items, int repeat = 1);
 
 /// Extra (exercises NewOrder; not one of the paper's five read/update mixes
 /// but required to drive the NewOrder method and the set-insert path).

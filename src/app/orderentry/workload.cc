@@ -59,6 +59,8 @@ int64_t OrderEntryWorkload::PickOrder(WorkerState* ws,
 
 Status OrderEntryWorkload::RunOne(WorkerState* ws) {
   const TxnKind kind = PickKind(&ws->rng);
+  const bool is_reader = kind == TxnKind::kT3 || kind == TxnKind::kT4 ||
+                         kind == TxnKind::kT5;
   size_t i1 = 0;
   size_t i2 = 0;
   Oid item1 = PickItem(ws, &i1);
@@ -68,6 +70,18 @@ Status OrderEntryWorkload::RunOne(WorkerState* ws) {
        ++guard) {
     item2 = PickItem(ws, &i2);
   }
+  // Readers go through RunReadTransaction when snapshot_readers is set (a
+  // lock-free snapshot with mvcc_reads, the plain locking path without).
+  auto run_reader = [this](const std::string& name,
+                           const TxnManager::Body& body) {
+    return opts_.snapshot_readers
+               ? db_->RunReadTransaction(name, body, opts_.max_retries)
+               : db_->RunTransaction(name, body, opts_.max_retries);
+  };
+  const uint64_t waits_before = LockManager::ThreadRootWaits();
+  const int64_t reader_think = opts_.reader_think_micros >= 0
+                                   ? opts_.reader_think_micros
+                                   : opts_.think_micros;
   Result<Value> r = Value();
   switch (kind) {
     case TxnKind::kT1:
@@ -85,22 +99,20 @@ Status OrderEntryWorkload::RunOne(WorkerState* ws) {
           opts_.max_retries);
       break;
     case TxnKind::kT3:
-      r = db_->RunTransaction(
-          "T3",
-          T3_CheckShipment(item1, PickOrder(ws, i1), item2, PickOrder(ws, i2),
-                           opts_.think_micros),
-          opts_.max_retries);
+      r = run_reader("T3", T3_CheckShipment(item1, PickOrder(ws, i1), item2,
+                                            PickOrder(ws, i2), reader_think));
       break;
     case TxnKind::kT4:
-      r = db_->RunTransaction(
-          "T4",
-          T4_CheckPayment(item1, PickOrder(ws, i1), item2, PickOrder(ws, i2),
-                          opts_.think_micros),
-          opts_.max_retries);
+      r = run_reader("T4", T4_CheckPayment(item1, PickOrder(ws, i1), item2,
+                                           PickOrder(ws, i2), reader_think));
       break;
-    case TxnKind::kT5:
-      r = db_->RunTransaction("T5", T5_TotalPayment(item1), opts_.max_retries);
+    case TxnKind::kT5: {
+      const int repeat = opts_.t5_double_scan ? 2 : 1;
+      r = opts_.t5_scan_all
+              ? run_reader("T5", T5_TotalPaymentScan(data_.item_oids, repeat))
+              : run_reader("T5", T5_TotalPayment(item1, repeat));
       break;
+    }
     case TxnKind::kNewOrder: {
       const int64_t customer = static_cast<int64_t>(ws->rng.Uniform(1000)) + 1;
       const int64_t qty = static_cast<int64_t>(ws->rng.Uniform(9)) + 1;
@@ -118,11 +130,19 @@ Status OrderEntryWorkload::RunOne(WorkerState* ws) {
       break;
     }
   }
+  const uint64_t waits = LockManager::ThreadRootWaits() - waits_before;
+  if (is_reader) {
+    ws->reader_root_waits += waits;
+  } else {
+    ws->writer_root_waits += waits;
+  }
   if (r.ok()) {
     ws->committed++;
+    if (is_reader) ws->read_committed++;
     return Status::OK();
   }
   ws->failed++;
+  if (is_reader) ws->read_failed++;
   return r.status();
 }
 
@@ -151,11 +171,20 @@ OrderEntryWorkload::RunResult OrderEntryWorkload::Run(int threads,
   for (const auto& ws : states) {
     result.committed += ws->committed;
     result.failed += ws->failed;
+    result.read_committed += ws->read_committed;
+    result.read_failed += ws->read_failed;
+    result.reader_root_waits += ws->reader_root_waits;
+    result.writer_root_waits += ws->writer_root_waits;
   }
-  result.throughput_tps =
-      result.seconds > 0
-          ? static_cast<double>(result.committed) / result.seconds
-          : 0;
+  result.write_committed = result.committed - result.read_committed;
+  if (result.seconds > 0) {
+    result.throughput_tps =
+        static_cast<double>(result.committed) / result.seconds;
+    result.read_tps =
+        static_cast<double>(result.read_committed) / result.seconds;
+    result.write_tps =
+        static_cast<double>(result.write_committed) / result.seconds;
+  }
   return result;
 }
 

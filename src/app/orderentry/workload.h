@@ -30,6 +30,27 @@ struct WorkloadOptions {
   int64_t think_micros = 0;
   uint64_t seed = 42;
   int max_retries = 16;
+  /// Run the read-only transaction types (T3, T4, T5) through
+  /// Database::RunReadTransaction. With protocol.mvcc_reads these become
+  /// lock-free snapshot reads; without it they degrade to the ordinary
+  /// locking path — same workload code either way, which is what makes the
+  /// mvcc_reads flag a clean on/off ablation.
+  bool snapshot_readers = false;
+  /// Make T5 scan the item twice. The second TotalPayment re-acquires a
+  /// lock the tree already holds, driving the lock manager's per-tree grant
+  /// cache (fast-path reacquire) under the locking protocols.
+  bool t5_double_scan = false;
+  /// Make T5 scan *all* items in one transaction (T5_TotalPaymentScan)
+  /// instead of a single zipf-picked item. Under plain locking the scan
+  /// read-locks the whole item set and so collides with any in-flight
+  /// updater; under mvcc_reads it is lock-free. This is the read-mix
+  /// benchmark's lever for exposing the snapshot-read gap.
+  bool t5_scan_all = false;
+  /// Think time for the reader transactions (T3/T4) only; -1 means "use
+  /// think_micros". The read-mix benchmarks set this to 0 so reader
+  /// throughput is bounded by lock waiting (or, under mvcc, by nothing)
+  /// rather than by sleeping.
+  int64_t reader_think_micros = -1;
 };
 
 /// \brief Per-worker-thread state (own PRNG streams, so runs are
@@ -41,6 +62,13 @@ struct WorkerState {
   ZipfianGenerator zipf;
   uint64_t committed = 0;
   uint64_t failed = 0;
+  // Reader/writer split (readers = T3/T4/T5; writers = T1/T2/NewOrder).
+  uint64_t read_committed = 0;
+  uint64_t read_failed = 0;
+  /// Root waits suffered by this worker while executing readers / writers
+  /// (from LockManager::ThreadRootWaits deltas around each transaction).
+  uint64_t reader_root_waits = 0;
+  uint64_t writer_root_waits = 0;
 };
 
 /// \brief Generates and runs the five paper transaction types (plus
@@ -63,6 +91,14 @@ class OrderEntryWorkload {
     uint64_t failed = 0;
     double seconds = 0;
     double throughput_tps = 0;
+    // Reader/writer split (readers = T3/T4/T5; writers = T1/T2/NewOrder).
+    uint64_t read_committed = 0;
+    uint64_t write_committed = 0;
+    uint64_t read_failed = 0;
+    uint64_t reader_root_waits = 0;
+    uint64_t writer_root_waits = 0;
+    double read_tps = 0;
+    double write_tps = 0;
   };
   RunResult Run(int threads, int txns_per_thread);
 

@@ -7,6 +7,17 @@
 #include "util/stopwatch.h"
 
 namespace semcc {
+namespace {
+
+// Root-wait verdicts observed by this thread (lock waits run on the
+// acquiring thread). Lets workloads split root-waits by transaction class
+// (LockManager::ThreadRootWaits) — the striped counter bank can't: its
+// stripes are keyed by lock-table shard, not by requester.
+thread_local uint64_t t_root_waits = 0;
+
+}  // namespace
+
+uint64_t LockManager::ThreadRootWaits() { return t_root_waits; }
 
 const char* ProtocolName(Protocol p) {
   switch (p) {
@@ -373,6 +384,7 @@ void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
             break;
           case ConflictOutcome::kRootWait:
             counters_.Inc(stripe, kCtrRootWaits);
+            ++t_root_waits;
             break;
           default:
             break;

@@ -171,6 +171,15 @@ struct ProtocolOptions {
   /// flag scopes it to one database. Off: one predicted-false branch per
   /// instrumented operation.
   bool trace = false;
+
+  /// Multi-version snapshot reads (DESIGN.md §5.7): the database keeps a
+  /// VersionedObjectStore beside the live store, and read-only transactions
+  /// submitted through Database::RunReadTransaction execute against a
+  /// commit-consistent snapshot without acquiring any locks. Writers are
+  /// unaffected (same protocol, plus one version-store bookkeeping call per
+  /// written object). Default off for ablation: with the flag off,
+  /// RunReadTransaction degrades to the ordinary locking path.
+  bool mvcc_reads = false;
 };
 
 // LockTarget and LockTargetHash live in cc/lock_target.h (included above);
@@ -302,6 +311,12 @@ class LockManager {
 
   /// Logical timestamp source shared with the history recorder.
   uint64_t NextSeq() { return clock_.fetch_add(1) + 1; }
+
+  /// Root-wait verdicts charged to the CALLING thread (cumulative,
+  /// process-wide across managers). Lock waits run on the acquiring thread,
+  /// so a workload can attribute root-waits to the transaction class it is
+  /// executing by differencing this around a transaction.
+  static uint64_t ThreadRootWaits();
 
   /// Aggregate counter snapshot (sums the per-shard stripes; see the
   /// LockStats comment for the consistency contract).

@@ -124,6 +124,22 @@ class SubTxn {
   uint64_t end_seq() const { return end_seq_; }
   void set_end_seq(uint64_t s) { end_seq_ = s; }
 
+  // --- snapshot-read bookkeeping (ProtocolOptions::mvcc_reads) ------------
+  /// On the ROOT of a snapshot-read transaction: the snapshot timestamp S
+  /// it reads as of. 0 on locking transactions. Set once at begin, by the
+  /// owning thread, before any action runs.
+  bool snapshot() const { return snapshot_ts_ != 0 || snapshot_; }
+  uint64_t snapshot_ts() const { return snapshot_ts_; }
+  void set_snapshot_ts(uint64_t s) {
+    snapshot_ = true;
+    snapshot_ts_ = s;
+  }
+  /// On a leaf READ action of a snapshot transaction: the version timestamp
+  /// the read observed (0 = base/pre-first-write state). Feeds the
+  /// snapshot-reads serializability check via the history recorder.
+  uint64_t observed_ts() const { return observed_ts_; }
+  void set_observed_ts(uint64_t ts) { observed_ts_ = ts; }
+
   /// Compensation for this completed action, set after successful execution.
   /// Run (in reverse order of completion) when an ancestor aborts.
   std::function<void()> inverse;
@@ -152,6 +168,9 @@ class SubTxn {
   bool compensation_ = false;
   uint64_t grant_seq_ = 0;
   uint64_t end_seq_ = 0;
+  bool snapshot_ = false;      // root only; owner-thread, set before use
+  uint64_t snapshot_ts_ = 0;   // root only
+  uint64_t observed_ts_ = 0;   // leaf reads of snapshot transactions
 
   mutable Mutex children_mu_;
   std::vector<SubTxn*> children_ SEMCC_GUARDED_BY(children_mu_);

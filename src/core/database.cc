@@ -31,10 +31,14 @@ Database::Database(DatabaseOptions options)
     recovery_ = std::make_unique<RecoveryManager>(wal_.get(), ropts);
     store_->SetListener(recovery_.get());
   }
+  if (options_.protocol.mvcc_reads) {
+    versioned_store_ = std::make_unique<VersionedObjectStore>(store_.get());
+  }
   lock_manager_ = std::make_unique<LockManager>(options_.protocol, &compat_);
   txn_manager_ = std::make_unique<TxnManager>(store_.get(), lock_manager_.get(),
                                               &methods_, &history_,
-                                              recovery_.get());
+                                              recovery_.get(),
+                                              versioned_store_.get());
 }
 
 Database::~Database() = default;
@@ -44,6 +48,7 @@ std::string DatabaseStats::ToJson() const {
   w.FieldRaw("locks", locks.ToJson());
   w.FieldRaw("txns", txns.ToJson());
   if (wal_enabled) w.FieldRaw("wal", wal.ToJson());
+  if (mvcc_enabled) w.FieldRaw("versions", versions.ToJson());
   return w.Close();
 }
 
@@ -54,6 +59,10 @@ DatabaseStats Database::Stats() const {
   if (wal_ != nullptr) {
     s.wal_enabled = true;
     s.wal = wal_->stats();
+  }
+  if (versioned_store_ != nullptr) {
+    s.mvcc_enabled = true;
+    s.versions = versioned_store_->stats();
   }
   return s;
 }
@@ -72,6 +81,13 @@ Result<Value> Database::RunTransaction(const std::string& name,
 Result<Value> Database::RunTransactionOnce(const std::string& name,
                                            const TxnManager::Body& body) {
   return txn_manager_->RunOnce(name, body);
+}
+
+Result<Value> Database::RunReadTransaction(const std::string& name,
+                                           const TxnManager::Body& body,
+                                           int max_retries) {
+  if (versioned_store_ != nullptr) return txn_manager_->RunSnapshot(name, body);
+  return txn_manager_->Run(name, body, max_retries);
 }
 
 Status Database::SetNamedRoot(const std::string& name, Oid oid) {

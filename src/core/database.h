@@ -24,6 +24,7 @@
 #include "cc/lock_manager.h"
 #include "object/object_store.h"
 #include "object/schema.h"
+#include "object/versioned_store.h"
 #include "storage/buffer_pool.h"
 #include "recovery/recovery_manager.h"
 #include "recovery/wal.h"
@@ -61,8 +62,11 @@ struct DatabaseStats {
   TxnStats txns;
   bool wal_enabled = false;
   WalStats wal;  ///< zeroes unless wal_enabled
+  bool mvcc_enabled = false;
+  VersionStats versions;  ///< zeroes unless mvcc_enabled
 
-  /// One JSON object with "locks"/"txns" (and "wal" when enabled) fields.
+  /// One JSON object with "locks"/"txns" (and "wal"/"versions" when the
+  /// corresponding subsystem is enabled) fields.
   std::string ToJson() const;
 };
 
@@ -84,6 +88,8 @@ class Database {
   /// Null unless options.enable_wal.
   WriteAheadLog* wal() { return wal_.get(); }
   RecoveryManager* recovery() { return recovery_.get(); }
+  /// Null unless options.protocol.mvcc_reads.
+  VersionedObjectStore* versions() { return versioned_store_.get(); }
 
   const DatabaseOptions& options() const { return options_; }
 
@@ -102,6 +108,14 @@ class Database {
   /// Run exactly one attempt (scenario tests).
   Result<Value> RunTransactionOnce(const std::string& name,
                                    const TxnManager::Body& body);
+
+  /// Run a read-only transaction. With options.protocol.mvcc_reads this is
+  /// a lock-free snapshot read (TxnManager::RunSnapshot); without the flag
+  /// it degrades to the ordinary locking path, which is what makes the
+  /// flag a clean on/off ablation for identical workload code.
+  Result<Value> RunReadTransaction(const std::string& name,
+                                   const TxnManager::Body& body,
+                                   int max_retries = 16);
 
   // --- durable named roots & restart --------------------------------------
 
@@ -137,6 +151,7 @@ class Database {
   HistoryRecorder history_;
   std::unique_ptr<WriteAheadLog> wal_;
   std::unique_ptr<RecoveryManager> recovery_;
+  std::unique_ptr<VersionedObjectStore> versioned_store_;
   std::unique_ptr<LockManager> lock_manager_;
   std::unique_ptr<TxnManager> txn_manager_;
   mutable Mutex roots_mu_;

@@ -290,4 +290,54 @@ CheckResult CheckRWConflictSerializability(
   return result;
 }
 
+CheckResult CheckSnapshotReads(const std::vector<TxnRecord>& history,
+                               const std::vector<VersionInstall>& installs) {
+  CheckResult result;
+
+  // Per-oid sorted list of install timestamps. Install groups are stamped
+  // under one mutex, so the log order is already ascending in ts; sort
+  // defensively anyway (the checker must not trust its input's invariants).
+  std::map<Oid, std::vector<uint64_t>> by_oid;
+  for (const VersionInstall& inst : installs) {
+    for (Oid oid : inst.oids) by_oid[oid].push_back(inst.ts);
+  }
+  for (auto& [oid, ts_list] : by_oid) {
+    (void)oid;
+    std::sort(ts_list.begin(), ts_list.end());
+  }
+
+  auto is_read = [](const std::string& m) {
+    return m == generic_ops::kGet || m == generic_ops::kSelect ||
+           m == generic_ops::kScan || m == generic_ops::kSize;
+  };
+
+  for (const TxnRecord& txn : history) {
+    if (!txn.snapshot || !txn.committed) continue;
+    result.serial_order.push_back(txn.id);
+    for (const ActionRecord& a : txn.actions) {
+      if (a.id == a.parent_id) continue;  // root carries no access
+      if (!is_read(a.method)) continue;
+      // Expected version: newest install ts <= S covering this object,
+      // else 0 (base version / live fallback on a never-installed object).
+      uint64_t expected = 0;
+      auto it = by_oid.find(a.object);
+      if (it != by_oid.end()) {
+        auto ub = std::upper_bound(it->second.begin(), it->second.end(),
+                                   txn.snapshot_ts);
+        if (ub != it->second.begin()) expected = *(ub - 1);
+      }
+      if (a.observed_ts != expected) {
+        result.serializable = false;
+        result.violations.push_back(
+            "snapshot T" + std::to_string(txn.id) + " (S=" +
+            std::to_string(txn.snapshot_ts) + ") read " + a.Label() +
+            " from version ts=" + std::to_string(a.observed_ts) +
+            ", expected ts=" + std::to_string(expected) +
+            " (newest install <= S)");
+      }
+    }
+  }
+  return result;
+}
+
 }  // namespace semcc

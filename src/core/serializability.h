@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "cc/compatibility.h"
+#include "object/versioned_store.h"
 #include "txn/history.h"
 #include "util/macros.h"
 
@@ -68,6 +69,21 @@ class SemanticSerializabilityChecker {
 /// semantics. The conventional baselines must pass this; histories of the
 /// semantic protocol in general do NOT (that is the concurrency gain).
 CheckResult CheckRWConflictSerializability(const std::vector<TxnRecord>& history);
+
+/// \brief Snapshot-read validation for MVCC mode: every read of a committed
+/// snapshot transaction must have observed exactly the newest version
+/// installed at or before its snapshot timestamp S (observed_ts == 0 means
+/// the base/pre-first-write version, expected when no install <= S covers
+/// the object). In other words, each snapshot reads-from the committed
+/// prefix of the install order at S — neither an uncommitted value, nor a
+/// later version, nor a stale one.
+///
+/// `installs` is the database's version install log
+/// (VersionedObjectStore::InstallLog(); call SetInstallLogEnabled(true)
+/// before the run). Objects that never appear in the install log are not
+/// checked beyond requiring observed_ts == 0 (live fallback).
+CheckResult CheckSnapshotReads(const std::vector<TxnRecord>& history,
+                               const std::vector<VersionInstall>& installs);
 
 }  // namespace semcc
 

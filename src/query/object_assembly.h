@@ -10,6 +10,11 @@
 // TxnCtx, every read takes the generic semantic locks, and the §4 protocol
 // is what makes its coexistence with method-invoking transactions safe.
 //
+// MVCC: every access here flows through the TxnCtx generic-read API, so
+// under Database::RunReadTransaction with protocol.mvcc_reads these same
+// queries run as lock-free snapshot reads against the versioned store —
+// no code change needed in this module (see object/versioned_store.h).
+//
 // Two facilities:
 //  * PathExpr — a parsed navigation path evaluated against a root object:
 //        "Orders[3].Status"          component + keyed set selection

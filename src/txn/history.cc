@@ -27,6 +27,8 @@ void HistoryRecorder::RecordTree(TxnTree* tree, bool committed) {
   rec.id = root->id();
   rec.name = root->method();
   rec.committed = committed;
+  rec.snapshot = root->snapshot();
+  rec.snapshot_ts = root->snapshot_ts();
   for (SubTxn* node : tree->Nodes()) {
     ActionRecord a;
     a.id = node->id();
@@ -41,6 +43,7 @@ void HistoryRecorder::RecordTree(TxnTree* tree, bool committed) {
     a.end_seq = node->end_seq();
     a.final_state = node->state();
     a.compensation = node->compensation();
+    a.observed_ts = node->observed_ts();
     rec.actions.push_back(std::move(a));
   }
   MutexLock guard(mu_);

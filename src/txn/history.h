@@ -28,6 +28,9 @@ struct ActionRecord {
   uint64_t end_seq = 0;    ///< logical time the action completed
   TxnState final_state = TxnState::kActive;
   bool compensation = false;
+  /// Snapshot transactions only: version timestamp this read observed
+  /// (0 = base/pre-first-write state; meaningless on non-snapshot actions).
+  uint64_t observed_ts = 0;
 
   bool committed() const { return final_state == TxnState::kCommitted; }
   std::string Label() const;
@@ -38,6 +41,10 @@ struct TxnRecord {
   TxnId id = 0;
   std::string name;
   bool committed = false;
+  /// True when the transaction ran in MVCC snapshot-read mode; snapshot_ts
+  /// is the commit timestamp S it read as of.
+  bool snapshot = false;
+  uint64_t snapshot_ts = 0;
   /// All actions including the root, in creation order.
   std::vector<ActionRecord> actions;
 

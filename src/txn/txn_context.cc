@@ -5,9 +5,30 @@
 namespace semcc {
 
 TxnCtx::TxnCtx(ObjectStore* store, LockManager* lm, MethodRegistry* methods,
-               TxnTree* tree, ActionLogger* logger)
+               TxnTree* tree, ActionLogger* logger,
+               VersionedObjectStore* versions)
     : store_(store), lm_(lm), methods_(methods), tree_(tree), logger_(logger),
-      current_(tree->root()) {}
+      versions_(versions), current_(tree->root()) {}
+
+void TxnCtx::NoteWrite(Oid oid, bool is_set) {
+  if (versions_ != nullptr && written_.insert(oid).second) {
+    versions_->BeginWrite(oid, is_set);
+  }
+}
+
+void TxnCtx::TraceSnapshotRead(const SubTxn* node, uint64_t observed_ts) {
+  if (!trace::Active(lm_->options().trace)) return;
+  trace::Event e;
+  e.kind = static_cast<uint8_t>(trace::EventKind::kSnapshotRead);
+  e.txn = node->id();
+  e.root = root()->id();
+  e.other = root()->snapshot_ts();  // the snapshot S
+  e.value = observed_ts;            // the version ts the read resolved to
+  e.target = node->object();
+  e.depth = static_cast<uint16_t>(node->depth());
+  e.set_method(node->method());
+  trace::Emit(e);
+}
 
 Result<SubTxn*> TxnCtx::BeginAction(Oid obj, const std::string& method,
                                     Args args, bool is_write, bool is_leaf) {
@@ -27,6 +48,13 @@ Result<SubTxn*> TxnCtx::BeginAction(Oid obj, const std::string& method,
 }
 
 Status TxnCtx::AcquireForAction(SubTxn* node, bool is_write, bool is_leaf) {
+  if (snapshot_mode()) {
+    // Snapshot transactions never touch the lock manager: no shard mutex,
+    // no queue entry, no waits-for registration — just the atomic clock
+    // tick every node needs for the history recorder's ordering.
+    node->set_grant_seq(lm_->NextSeq());
+    return Status::OK();
+  }
   const ProtocolOptions& opts = lm_->options();
   switch (opts.protocol) {
     case Protocol::kSemanticONT:
@@ -74,11 +102,23 @@ void TxnCtx::CommitAction(SubTxn* node, std::function<void()> inverse,
   node->inverse = std::move(inverse);
   node->inverse_is_total = inverse_is_total;
   node->set_state(TxnState::kCommitted);
+  if (snapshot_mode()) {
+    // A snapshot node holds no locks and nobody can be waiting on its
+    // completion, so the lock manager's completion sweep (which takes the
+    // global graph mutex to find waiters) has nothing to do. Keep only the
+    // end-seq stamp it would have provided.
+    node->set_end_seq(lm_->NextSeq());
+    return;
+  }
   lm_->OnSubTxnCompleted(node);
 }
 
 void TxnCtx::AbortAction(SubTxn* node) {
   node->set_state(TxnState::kAborted);
+  if (snapshot_mode()) {
+    node->set_end_seq(lm_->NextSeq());
+    return;
+  }
   lm_->OnSubTxnCompleted(node);
 }
 
@@ -87,6 +127,10 @@ void TxnCtx::AbortAction(SubTxn* node) {
 Result<Value> TxnCtx::Invoke(Oid obj, const std::string& method, Args args) {
   SEMCC_ASSIGN_OR_RETURN(TypeId type, store_->TypeOf(obj));
   SEMCC_ASSIGN_OR_RETURN(const MethodDef* def, methods_->Find(type, method));
+  if (snapshot_mode() && !def->read_only) {
+    return Status::PreconditionFailed(
+        "snapshot-read transaction invoked updating method " + method);
+  }
   auto node_r = BeginAction(obj, method, args, !def->read_only,
                             /*is_leaf=*/false);
   if (!node_r.ok()) return node_r.status();
@@ -129,6 +173,19 @@ Result<Value> TxnCtx::Get(Oid atomic) {
                             /*is_leaf=*/true);
   if (!node_r.ok()) return node_r.status();
   SubTxn* node = node_r.ValueOrDie();
+  if (snapshot_mode()) {
+    uint64_t observed = 0;
+    Result<Value> v =
+        versions_->ReadAtomic(atomic, root()->snapshot_ts(), &observed);
+    if (!v.ok()) {
+      AbortAction(node);
+      return v;
+    }
+    node->set_observed_ts(observed);
+    TraceSnapshotRead(node, observed);
+    CommitAction(node, nullptr, false);
+    return v;
+  }
   Result<Value> v = store_->Get(atomic);
   if (!v.ok()) {
     AbortAction(node);
@@ -139,10 +196,14 @@ Result<Value> TxnCtx::Get(Oid atomic) {
 }
 
 Status TxnCtx::Put(Oid atomic, const Value& value) {
+  if (snapshot_mode()) {
+    return Status::PreconditionFailed("Put in snapshot-read transaction");
+  }
   auto node_r = BeginAction(atomic, generic_ops::kPut, {value},
                             /*is_write=*/true, /*is_leaf=*/true);
   if (!node_r.ok()) return node_r.status();
   SubTxn* node = node_r.ValueOrDie();
+  NoteWrite(atomic, /*is_set=*/false);
   Result<Value> old = store_->Get(atomic);
   if (!old.ok()) {
     AbortAction(node);
@@ -179,11 +240,15 @@ Status TxnCtx::Put(Oid atomic, const Value& value) {
 }
 
 Status TxnCtx::SetInsert(Oid set, const Value& key, Oid member) {
+  if (snapshot_mode()) {
+    return Status::PreconditionFailed("Insert in snapshot-read transaction");
+  }
   auto node_r = BeginAction(set, generic_ops::kInsert,
                             {key, Value::Ref(member)}, /*is_write=*/true,
                             /*is_leaf=*/true);
   if (!node_r.ok()) return node_r.status();
   SubTxn* node = node_r.ValueOrDie();
+  NoteWrite(set, /*is_set=*/true);
   // Probe so the undo record below is only logged for an insert that will
   // apply (a logged undo for a refused duplicate insert would make restart
   // remove the pre-existing member). The leaf write lock makes the probe
@@ -217,10 +282,14 @@ Status TxnCtx::SetInsert(Oid set, const Value& key, Oid member) {
 }
 
 Status TxnCtx::SetRemove(Oid set, const Value& key) {
+  if (snapshot_mode()) {
+    return Status::PreconditionFailed("Remove in snapshot-read transaction");
+  }
   auto node_r = BeginAction(set, generic_ops::kRemove, {key},
                             /*is_write=*/true, /*is_leaf=*/true);
   if (!node_r.ok()) return node_r.status();
   SubTxn* node = node_r.ValueOrDie();
+  NoteWrite(set, /*is_set=*/true);
   Result<Oid> member = store_->SetSelect(set, key);
   if (!member.ok()) {
     AbortAction(node);
@@ -253,10 +322,19 @@ Result<Oid> TxnCtx::SetSelect(Oid set, const Value& key) {
                             /*is_write=*/false, /*is_leaf=*/true);
   if (!node_r.ok()) return node_r.status();
   SubTxn* node = node_r.ValueOrDie();
-  Result<Oid> member = store_->SetSelect(set, key);
+  uint64_t observed = 0;
+  Result<Oid> member =
+      snapshot_mode()
+          ? versions_->ReadSetSelect(set, key, root()->snapshot_ts(),
+                                     &observed)
+          : store_->SetSelect(set, key);
   if (!member.ok()) {
     AbortAction(node);
     return member;
+  }
+  if (snapshot_mode()) {
+    node->set_observed_ts(observed);
+    TraceSnapshotRead(node, observed);
   }
   CommitAction(node, nullptr, false);
   return member;
@@ -267,10 +345,18 @@ Result<std::vector<std::pair<Value, Oid>>> TxnCtx::SetScan(Oid set) {
                             /*is_leaf=*/true);
   if (!node_r.ok()) return node_r.status();
   SubTxn* node = node_r.ValueOrDie();
-  auto members = store_->SetScan(set);
+  uint64_t observed = 0;
+  auto members =
+      snapshot_mode()
+          ? versions_->ReadSetScan(set, root()->snapshot_ts(), &observed)
+          : store_->SetScan(set);
   if (!members.ok()) {
     AbortAction(node);
     return members;
+  }
+  if (snapshot_mode()) {
+    node->set_observed_ts(observed);
+    TraceSnapshotRead(node, observed);
   }
   CommitAction(node, nullptr, false);
   return members;
@@ -281,10 +367,18 @@ Result<size_t> TxnCtx::SetSize(Oid set) {
                             /*is_leaf=*/true);
   if (!node_r.ok()) return node_r.status();
   SubTxn* node = node_r.ValueOrDie();
-  auto size = store_->SetSize(set);
+  uint64_t observed = 0;
+  auto size = snapshot_mode()
+                  ? versions_->ReadSetSize(set, root()->snapshot_ts(),
+                                           &observed)
+                  : store_->SetSize(set);
   if (!size.ok()) {
     AbortAction(node);
     return size;
+  }
+  if (snapshot_mode()) {
+    node->set_observed_ts(observed);
+    TraceSnapshotRead(node, observed);
   }
   CommitAction(node, nullptr, false);
   return size;
@@ -307,6 +401,9 @@ Status TxnCtx::PutField(Oid tuple, const std::string& name, const Value& v) {
 }
 
 Result<Oid> TxnCtx::CreateAtomic(TypeId type, const Value& initial) {
+  if (snapshot_mode()) {
+    return Status::PreconditionFailed("Create in snapshot-read transaction");
+  }
   SEMCC_ASSIGN_OR_RETURN(Oid oid, store_->CreateAtomic(type, initial));
   // Creation needs no lock: the new object is unreachable by other
   // transactions until linked into a locked set. The enclosing method's
@@ -316,10 +413,18 @@ Result<Oid> TxnCtx::CreateAtomic(TypeId type, const Value& initial) {
 
 Result<Oid> TxnCtx::CreateTuple(
     TypeId type, std::vector<std::pair<std::string, Oid>> components) {
+  if (snapshot_mode()) {
+    return Status::PreconditionFailed("Create in snapshot-read transaction");
+  }
   return store_->CreateTuple(type, std::move(components));
 }
 
-Result<Oid> TxnCtx::CreateSet(TypeId type) { return store_->CreateSet(type); }
+Result<Oid> TxnCtx::CreateSet(TypeId type) {
+  if (snapshot_mode()) {
+    return Status::PreconditionFailed("Create in snapshot-read transaction");
+  }
+  return store_->CreateSet(type);
+}
 
 // --- compensation -----------------------------------------------------------
 

@@ -17,6 +17,7 @@
 #define SEMCC_TXN_TXN_CONTEXT_H_
 
 #include <functional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "cc/lock_manager.h"
 #include "cc/subtxn.h"
 #include "object/object_store.h"
+#include "object/versioned_store.h"
 #include "txn/method_registry.h"
 #include "util/macros.h"
 
@@ -49,8 +51,16 @@ class ActionLogger {
 
 class TxnCtx {
  public:
+  /// `versions` (the MVCC layer, ProtocolOptions::mvcc_reads) may be null;
+  /// when present, writers report their write sets to it and a tree whose
+  /// root carries a snapshot timestamp executes in snapshot-read mode:
+  /// every action skips the lock manager entirely (grant/end seqs still
+  /// come from its atomic clock), reads are served by the version store as
+  /// of the snapshot, and any write or method invocation that is not
+  /// read-only fails with PreconditionFailed.
   TxnCtx(ObjectStore* store, LockManager* lm, MethodRegistry* methods,
-         TxnTree* tree, ActionLogger* logger = nullptr);
+         TxnTree* tree, ActionLogger* logger = nullptr,
+         VersionedObjectStore* versions = nullptr);
   SEMCC_DISALLOW_COPY_AND_ASSIGN(TxnCtx);
 
   // --- method invocation (non-leaf actions) ------------------------------
@@ -94,6 +104,15 @@ class TxnCtx {
   ObjectStore* store() const { return store_; }
   bool abort_requested() const { return root()->abort_requested(); }
 
+  /// True when this tree executes against an MVCC snapshot (zero locks).
+  bool snapshot_mode() const {
+    return versions_ != nullptr && root()->snapshot();
+  }
+  /// Objects this transaction reported to the version store (first-write
+  /// dedup). The transaction manager passes this to
+  /// VersionedObjectStore::OnTxnEnd once the tree is finished.
+  const std::set<Oid>& write_set() const { return written_; }
+
   /// Compensate all committed work of the tree, in reverse completion order,
   /// running inverses as new subtransactions of this (same) transaction.
   /// Called by the transaction manager on abort; must run on the
@@ -110,13 +129,22 @@ class TxnCtx {
   void AbortAction(SubTxn* node);
   void Compensate(SubTxn* node);
 
+  /// First-write hook: report `oid` to the version store once per
+  /// transaction, BEFORE the physical write (the ordering the snapshot
+  /// readers' live-store fallback depends on). No-op without MVCC.
+  void NoteWrite(Oid oid, bool is_set);
+  /// Emit a snapshot-read trace event for a completed snapshot read.
+  void TraceSnapshotRead(const SubTxn* node, uint64_t observed_ts);
+
   ObjectStore* const store_;
   LockManager* const lm_;
   MethodRegistry* const methods_;
   TxnTree* const tree_;
   ActionLogger* const logger_;
+  VersionedObjectStore* const versions_;
   SubTxn* current_;
   bool in_compensation_ = false;
+  std::set<Oid> written_;
 };
 
 }  // namespace semcc

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "object/schema.h"
+#include "util/logging.h"
 #include "util/random.h"
 #include "util/trace.h"
 
@@ -56,12 +57,13 @@ std::string TxnStats::ToJson() const {
 
 TxnManager::TxnManager(ObjectStore* store, LockManager* lm,
                        MethodRegistry* methods, HistoryRecorder* recorder,
-                       ActionLogger* logger)
+                       ActionLogger* logger, VersionedObjectStore* versions)
     : store_(store),
       lm_(lm),
       methods_(methods),
       recorder_(recorder),
       logger_(logger),
+      versions_(versions),
       counters_(kTxnCounterStripes, kCtrCount) {}
 
 TxnStats TxnManager::stats() const {
@@ -80,7 +82,7 @@ Result<Value> TxnManager::RunAttempt(const std::string& name, const Body& body,
   SubTxn* root = tree.root();
   if (priority != 0) root->set_priority(priority);
   root->set_grant_seq(lm_->NextSeq());
-  TxnCtx ctx(store_, lm_, methods_, &tree, logger_);
+  TxnCtx ctx(store_, lm_, methods_, &tree, logger_, versions_);
 
   const size_t stripe = metrics::ThreadStripeSlot();
   const bool tracing = trace::Active(lm_->options().trace);
@@ -93,6 +95,11 @@ Result<Value> TxnManager::RunAttempt(const std::string& name, const Body& body,
   if (commit) {
     root->set_state(TxnState::kCommitted);
     lm_->OnSubTxnCompleted(root);
+    // Hand the finished write set to the version store BEFORE the locks go:
+    // once ReleaseTree runs, another writer may start mutating these objects
+    // and the install of this (or an entangled) commit group must know this
+    // transaction is no longer an active writer.
+    if (versions_ != nullptr) versions_->OnTxnEnd(root->id(), ctx.write_set());
     if (recorder_ != nullptr) recorder_->RecordTree(&tree, /*committed=*/true);
     if (logger_ != nullptr) logger_->OnTxnCommit(root->id());
     lm_->ReleaseTree(root);
@@ -109,6 +116,10 @@ Result<Value> TxnManager::RunAttempt(const std::string& name, const Body& body,
   ctx.Rollback();
   root->set_state(TxnState::kAborted);
   lm_->OnSubTxnCompleted(root);
+  // Aborted trees publish too (after compensation the live state is a
+  // committed-equivalent state; see versioned_store.h) — and the writer
+  // counts MUST be released either way or entangled commits never install.
+  if (versions_ != nullptr) versions_->OnTxnEnd(root->id(), ctx.write_set());
   if (recorder_ != nullptr) recorder_->RecordTree(&tree, /*committed=*/false);
   if (logger_ != nullptr) logger_->OnTxnAbort(root->id());
   lm_->ReleaseTree(root);
@@ -122,6 +133,51 @@ Result<Value> TxnManager::RunAttempt(const std::string& name, const Body& body,
 
 Result<Value> TxnManager::RunOnce(const std::string& name, const Body& body) {
   return RunAttempt(name, body, /*priority=*/0);
+}
+
+Result<Value> TxnManager::RunSnapshot(const std::string& name,
+                                      const Body& body) {
+  SEMCC_CHECK(versions_ != nullptr)
+      << "RunSnapshot requires ProtocolOptions::mvcc_reads";
+  TxnTree tree(TxnTree::NextId(), name, kDatabaseOid, Schema::kDatabaseTypeId);
+  SubTxn* root = tree.root();
+  root->set_grant_seq(lm_->NextSeq());
+  const uint64_t snapshot_ts = versions_->BeginSnapshot();
+  root->set_snapshot_ts(snapshot_ts);
+  TxnCtx ctx(store_, lm_, methods_, &tree, /*logger=*/nullptr, versions_);
+
+  const size_t stripe = metrics::ThreadStripeSlot();
+  const bool tracing = trace::Active(lm_->options().trace);
+  counters_.Inc(stripe, kCtrBegins);
+  if (tracing) {
+    EmitTxnEvent(trace::EventKind::kTxnBegin, root->id(), name, snapshot_ts);
+  }
+
+  Result<Value> result = body(ctx);
+  // Deregister the snapshot no matter what — a leaked registration pins the
+  // GC watermark forever.
+  versions_->EndSnapshot(snapshot_ts);
+
+  const bool commit = result.ok();
+  root->set_state(commit ? TxnState::kCommitted : TxnState::kAborted);
+  root->set_end_seq(lm_->NextSeq());
+  if (recorder_ != nullptr) recorder_->RecordTree(&tree, commit);
+  if (commit) {
+    counters_.Inc(stripe, kCtrCommits);
+    if (tracing) {
+      EmitTxnEvent(trace::EventKind::kTxnCommit, root->id(), name,
+                   snapshot_ts);
+    }
+    return result;
+  }
+  // With no locks there is no system abort and nothing to compensate
+  // (writes are rejected before they apply): the error is the body's own.
+  counters_.Inc(stripe, kCtrAborts);
+  counters_.Inc(stripe, kCtrAppErrors);
+  if (tracing) {
+    EmitTxnEvent(trace::EventKind::kTxnAbort, root->id(), name, snapshot_ts);
+  }
+  return result;
 }
 
 namespace {

@@ -33,8 +33,12 @@ class TxnManager {
  public:
   using Body = std::function<Result<Value>(TxnCtx&)>;
 
+  /// `versions` is the MVCC layer (ProtocolOptions::mvcc_reads); null when
+  /// the flag is off. With it present, every transaction reports its write
+  /// set on completion and RunSnapshot becomes available.
   TxnManager(ObjectStore* store, LockManager* lm, MethodRegistry* methods,
-             HistoryRecorder* recorder, ActionLogger* logger = nullptr);
+             HistoryRecorder* recorder, ActionLogger* logger = nullptr,
+             VersionedObjectStore* versions = nullptr);
   SEMCC_DISALLOW_COPY_AND_ASSIGN(TxnManager);
 
   /// Execute `body` as a top-level transaction named `name`.
@@ -54,6 +58,15 @@ class TxnManager {
   /// Like Run but never retries; useful in scenario tests that need to
   /// observe a single attempt.
   Result<Value> RunOnce(const std::string& name, const Body& body);
+
+  /// Execute `body` as a snapshot-read transaction (requires a version
+  /// store, i.e. ProtocolOptions::mvcc_reads): reads observe a
+  /// commit-consistent snapshot, no lock is ever acquired, and writes fail
+  /// with PreconditionFailed. Never retried — with no locks there are no
+  /// system aborts; any error is the body's own.
+  Result<Value> RunSnapshot(const std::string& name, const Body& body);
+
+  VersionedObjectStore* versions() const { return versions_; }
 
   /// Monotonic lower-bound snapshot (exact at quiesce; see
   /// metrics::CounterBank).
@@ -78,6 +91,7 @@ class TxnManager {
   MethodRegistry* const methods_;
   HistoryRecorder* const recorder_;
   ActionLogger* const logger_;
+  VersionedObjectStore* const versions_;
   metrics::CounterBank counters_;
 };
 

@@ -136,6 +136,7 @@ const char* EventKindName(EventKind k) {
     case EventKind::kWalAppend: return "wal-append";
     case EventKind::kWalFlush: return "wal-flush";
     case EventKind::kWalDegrade: return "wal-degrade";
+    case EventKind::kSnapshotRead: return "snapshot-read";
   }
   return "?";
 }

@@ -56,6 +56,8 @@ enum class EventKind : uint8_t {
   kWalAppend = 15,     ///< `txn` = lsn
   kWalFlush = 16,      ///< `other` = records in batch, `value` = micros
   kWalDegrade = 17,    ///< flush retries exhausted; WAL now read-only
+  kSnapshotRead = 18,  ///< MVCC read, no lock; `other` = snapshot ts,
+                       ///< `value` = version ts observed
 };
 
 const char* EventKindName(EventKind k);
