@@ -25,6 +25,7 @@ struct WalRun {
   double tps = 0;
   uint64_t committed = 0;
   size_t log_records = 0;
+  size_t retained_records = 0;
   uint64_t log_bytes = 0;
   uint64_t flushes = 0;
   uint64_t device_syncs = 0;
@@ -48,12 +49,14 @@ void CleanLogDir(const std::string& dir) { CleanupDirectoryForTesting(dir); }
 
 WalRun RunOnce(LogBackend backend, int threads, int txns_per_thread,
                uint32_t flush_micros = 0, bool group_commit = false,
-               const char* tag = "run") {
+               const char* tag = "run", uint64_t checkpoint_every = 0,
+               int num_items = 64) {
   DatabaseOptions options;
   options.enable_wal = backend != LogBackend::kNone;
   options.record_history = false;
   options.recovery.wal_flush_micros = flush_micros;
   options.recovery.group_commit = group_commit;
+  options.recovery.checkpoint_every_records = checkpoint_every;
   std::string log_dir;
   if (backend == LogBackend::kFile) {
     log_dir = MakeLogDir(tag);
@@ -65,7 +68,11 @@ WalRun RunOnce(LogBackend backend, int threads, int txns_per_thread,
     Database db(options);
     auto types = Install(&db).ValueOrDie();
     WorkloadOptions wopts;
-    wopts.load.num_items = 8;
+    // 64 items by default: enough spread that semantic-lock conflicts are
+    // rare, so the WAL sections measure commit-policy cost (sync count and
+    // batching), not lock-handoff latency. At 8 items the lock chains couple
+    // every thread to the parked committers and mask the device entirely.
+    wopts.load.num_items = num_items;
     wopts.load.orders_per_item = 8;
     wopts.seed = 11;
     OrderEntryWorkload workload(&db, types, wopts);
@@ -78,6 +85,7 @@ WalRun RunOnce(LogBackend backend, int threads, int txns_per_thread,
     out.flushes = db.wal()->flush_count();
     out.device_syncs = db.wal()->device()->sync_count();
     out.log_records = db.wal()->stable_count();
+    out.retained_records = db.wal()->retained_count();
     out.log_bytes = db.wal()->stable_bytes();
 
     if (backend == LogBackend::kMemory) {
@@ -153,10 +161,12 @@ class RecoveryJsonSink {
         buf, sizeof(buf),
         "  {\"section\": \"%s\", \"label\": \"%s\", "
         "\"throughput_tps\": %.2f, \"committed\": %llu, "
-        "\"log_records\": %zu, \"log_bytes\": %llu, \"flushes\": %llu, "
+        "\"log_records\": %zu, \"retained_records\": %zu, "
+        "\"log_bytes\": %llu, \"flushes\": %llu, "
         "\"device_syncs\": %llu, \"recover_ms\": %.3f, \"redo_applied\": %zu}",
         section.c_str(), label.c_str(), r.tps,
         static_cast<unsigned long long>(r.committed), r.log_records,
+        r.retained_records,
         static_cast<unsigned long long>(r.log_bytes),
         static_cast<unsigned long long>(r.flushes),
         static_cast<unsigned long long>(r.device_syncs),
@@ -190,17 +200,25 @@ class RecoveryJsonSink {
 
 int main(int argc, char** argv) {
   RecoveryJsonSink json(argc, argv);
-  const int base_txns = bench::TxnsPerThread(250);
+  // 8 threads: on the sync-bound file backend a batch can only carry
+  // committers that exist, so the thread count bounds the batching win —
+  // match the simulated-fsync group-commit section below for an
+  // apples-to-apples file/memory gap.
+  const int base_txns = bench::TxnsPerThread(125);
 
-  std::printf("== Logging overhead (semantic protocol, 4 threads) ==\n\n");
+  std::printf("== Logging overhead (semantic protocol, 8 threads) ==\n\n");
   std::printf("%-10s %9s %7s %12s %12s %10s %14s %10s\n", "wal", "commits",
               "tps", "log_records", "log_KiB", "fsyncs", "recover_ms",
               "redo_ops");
   std::printf("%s\n", std::string(92, '-').c_str());
   for (LogBackend b :
        {LogBackend::kNone, LogBackend::kMemory, LogBackend::kFile}) {
-    WalRun r = RunOnce(b, 4, base_txns, /*flush_micros=*/0,
-                       /*group_commit=*/b == LogBackend::kFile, "overhead");
+    // Same commit policy (group commit) on both durable backends, so the
+    // memory/file ratio isolates what the *device* costs — not a policy
+    // difference. The force-vs-group policy comparison has its own
+    // sections below.
+    WalRun r = RunOnce(b, 8, base_txns, /*flush_micros=*/0,
+                       /*group_commit=*/b != LogBackend::kNone, "overhead");
     std::printf("%-10s %9llu %7.0f %12zu %12llu %10llu %14.1f %10zu\n",
                 BackendName(b), static_cast<unsigned long long>(r.committed),
                 r.tps, r.log_records,
@@ -220,6 +238,21 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.log_bytes / 1024),
                 r.recover_seconds * 1000);
     json.Add("restart-cost", "txns=" + std::to_string(txns), r);
+  }
+
+  std::printf("\n== Restart cost with periodic fuzzy checkpoints "
+              "(6400 txns, single-threaded) ==\n\n");
+  std::printf("%-18s %12s %12s %14s %10s\n", "checkpoint every",
+              "log_records", "retained", "recover_ms", "redo_ops");
+  std::printf("%s\n", std::string(72, '-').c_str());
+  for (uint64_t every : {0ull, 32768ull, 8192ull, 2048ull}) {
+    WalRun r = RunOnce(LogBackend::kMemory, 1, 6400, 0, false, "ckpt", every);
+    std::printf("%-18s %12zu %12zu %14.1f %10zu\n",
+                every == 0 ? "off" : std::to_string(every).c_str(),
+                r.log_records, r.retained_records, r.recover_seconds * 1000,
+                r.redo_applied);
+    json.Add("checkpoint-restart",
+             every == 0 ? "off" : "every=" + std::to_string(every), r);
   }
 
   std::printf("\n== Group commit under a 100 µs simulated fsync "
@@ -250,13 +283,13 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n== File-backed log: real fsync, force vs group commit "
-              "(4 threads) ==\n\n");
+              "(8 threads) ==\n\n");
   std::printf("%-22s %9s %7s %10s %12s %14s\n", "commit policy", "commits",
               "tps", "fsyncs", "log_KiB", "restart_ms");
   std::printf("%s\n", std::string(80, '-').c_str());
   {
-    const int file_txns = bench::TxnsPerThread(50);
-    WalRun force = RunOnce(LogBackend::kFile, 4, file_txns, 0,
+    const int file_txns = bench::TxnsPerThread(125);
+    WalRun force = RunOnce(LogBackend::kFile, 8, file_txns, 0,
                            /*group_commit=*/false, "file-force");
     std::printf("%-22s %9llu %7.0f %10llu %12llu %14.1f\n", "force-per-commit",
                 static_cast<unsigned long long>(force.committed), force.tps,
@@ -264,7 +297,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(force.log_bytes / 1024),
                 force.recover_seconds * 1000);
     json.Add("file-backed", "force-per-commit", force);
-    WalRun group = RunOnce(LogBackend::kFile, 4, file_txns, 0,
+    WalRun group = RunOnce(LogBackend::kFile, 8, file_txns, 0,
                            /*group_commit=*/true, "file-group");
     std::printf("%-22s %9llu %7.0f %10llu %12llu %14.1f\n", "group-commit",
                 static_cast<unsigned long long>(group.committed), group.tps,
@@ -276,11 +309,12 @@ int main(int argc, char** argv) {
 
   std::printf(
       "\nExpected shape: WAL costs a modest constant factor in throughput\n"
-      "(more with a real fsync per commit — which is what group commit\n"
-      "amortizes); restart time grows linearly with the log (full-replay\n"
-      "restart, no checkpoints — checkpointing is the natural next step and\n"
-      "falls out of the chained-recovery design: replaying into a fresh log\n"
-      "IS a checkpoint, see tests/recovery_test.cc\n"
-      "RecoveredDatabaseKeepsWorking).\n");
+      "(more with a real fsync per commit). On the file-backed device the\n"
+      "pipelined group commit must BEAT force-per-commit — absorption during\n"
+      "the in-flight fsync batches followers for free (the adaptive window\n"
+      "converges to ~0). Without checkpoints restart time grows linearly\n"
+      "with the log; periodic fuzzy checkpoints truncate the replayed prefix\n"
+      "so retained records and restart time plateau at the checkpoint\n"
+      "interval plus one dump.\n");
   return 0;
 }

@@ -24,7 +24,11 @@ Timing and verdict-mix drifts never gate (exit 0) — gating on shared-runner
 timing would make CI flaky. *Coverage* loss does gate: a (protocol, label,
 threads) row — or a google-benchmark name — present in the old baseline but
 absent from the new run means a bench configuration silently disappeared,
-and the script exits 1.
+and the script exits 1. One *ordering* invariant also gates, because it is
+timing-ratio-based and robust to runner speed: on the file-backed log the
+group-commit row must not be slower than force-per-commit (group commit
+exists to amortize fsyncs; losing to the unbatched policy means the
+batching layer itself is broken).
 """
 
 import argparse
@@ -38,10 +42,35 @@ VERDICT_COLS = ("commute", "case1", "case2", "root_waits", "retained_hits")
 
 
 def row_key(row):
-    name = row.get("protocol") or row.get("experiment") or "?"
+    name = (row.get("protocol") or row.get("experiment") or
+            row.get("section") or "?")
     label = row.get("label", "")
     threads = row.get("threads", "")
     return f"{name}/{label}/t{threads}"
+
+
+def group_commit_inversion(data):
+    """Gating invariant over a bench_recovery result: on the file-backed
+    (real-fsync) device, group commit must not be slower than forcing every
+    commit. Group commit exists purely to amortize fsyncs; if it loses to
+    the policy it amortizes, the batching layer is broken (the PR 8 bug),
+    no matter how the absolute numbers moved. Returns an error string or
+    None."""
+    if not isinstance(data, list):
+        return None
+    tps = {}
+    for row in data:
+        if isinstance(row, dict) and row.get("section") == "file-backed":
+            tps[row.get("label")] = float(row.get("throughput_tps", 0.0))
+    force = tps.get("force-per-commit")
+    group = tps.get("group-commit")
+    if force is None or group is None or force <= 0:
+        return None
+    if group < force:
+        return (f"file-backed group-commit ({group:.0f} tps) is slower than "
+                f"force-per-commit ({force:.0f} tps) — the batching layer "
+                "costs more than the fsyncs it saves")
+    return None
 
 
 def row_metrics(row):
@@ -125,6 +154,10 @@ def main():
         print(f"ERROR: baseline row {key} missing from {args.new} "
               "(bench configuration disappeared)")
 
+    inversion = group_commit_inversion(new_data)
+    if inversion is not None:
+        print(f"ERROR: {inversion}")
+
     warned = 0
     for key, metrics in sorted(new.items()):
         old_metrics = old.get(key)
@@ -166,12 +199,13 @@ def main():
                 )
                 drifted += 1
 
-    if warned == 0 and drifted == 0 and not missing:
+    if warned == 0 and drifted == 0 and not missing and inversion is None:
         print(f"check_bench_regression: {args.new} OK vs {args.old} "
               f"(no metric >{args.threshold * 100.0:.0f}% worse, "
               "no verdict drift, all baseline rows present)")
-    # Timing and behavior mix never gate; lost coverage does.
-    return 1 if missing else 0
+    # Timing and behavior mix never gate; lost coverage and the
+    # group-commit inversion do.
+    return 1 if (missing or inversion is not None) else 0
 
 
 if __name__ == "__main__":

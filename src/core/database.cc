@@ -30,6 +30,9 @@ Database::Database(DatabaseOptions options)
     }
     recovery_ = std::make_unique<RecoveryManager>(wal_.get(), ropts);
     store_->SetListener(recovery_.get());
+    if (ropts.checkpoint_every_records > 0) {
+      recovery_->SetCheckpointTrigger([this]() { return Checkpoint(); });
+    }
   }
   if (options_.protocol.mvcc_reads) {
     versioned_store_ = std::make_unique<VersionedObjectStore>(store_.get());
@@ -106,6 +109,18 @@ Result<Oid> Database::GetNamedRoot(const std::string& name) const {
     return Status::NotFound("no named root: " + name);
   }
   return it->second;
+}
+
+Status Database::Checkpoint() {
+  if (recovery_ == nullptr) {
+    return Status::PreconditionFailed("Checkpoint needs enable_wal");
+  }
+  std::vector<std::pair<std::string, Oid>> roots;
+  {
+    MutexLock guard(roots_mu_);
+    roots.assign(named_roots_.begin(), named_roots_.end());
+  }
+  return recovery_->Checkpoint(store_.get(), roots);
 }
 
 Result<RecoveryManager::RecoveryStats> Database::RecoverFrom(

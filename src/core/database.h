@@ -124,6 +124,16 @@ class Database {
   Status SetNamedRoot(const std::string& name, Oid oid);
   Result<Oid> GetNamedRoot(const std::string& name) const;
 
+  /// Take an online fuzzy checkpoint: dump the live object graph into the
+  /// log between kCkptBegin/kCkptEnd markers, force it stable, and (per
+  /// options.recovery.checkpoint_truncate) truncate the log prefix the
+  /// checkpoint covers — bounding both the WAL's memory and the replay work
+  /// of the next restart. Runs concurrently with transactions (see
+  /// RecoveryManager::Checkpoint); with
+  /// options.recovery.checkpoint_every_records > 0 it also fires
+  /// automatically as the log grows. Needs enable_wal.
+  Status Checkpoint();
+
   /// Rebuild this (freshly constructed, schema- and method-installed but
   /// object-empty) database from a log. See RecoveryManager::Recover.
   /// Re-logs everything into this database's own WAL (if enabled), so the

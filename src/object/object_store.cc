@@ -109,14 +109,18 @@ Result<Oid> ObjectStore::CreateSet(TypeId type) {
 }
 
 Status ObjectStore::Destroy(Oid oid) {
-  SEMCC_ASSIGN_OR_RETURN(ObjectMeta * meta, Find(oid));
+  // Writer meta_mu_ across delete + mark + log: the checkpoint dump holds
+  // the reader lock for its whole scan, so a destroy can never interleave
+  // with a dump (the dump would read the deleted record), and the destroy's
+  // log position matches its apply position.
+  WriterMutexLock guard(meta_mu_);
+  if (oid >= objects_.size()) return Status::NotFound("unknown oid");
+  ObjectMeta* meta = objects_[oid].get();
+  if (meta->destroyed) return Status::NotFound("object destroyed");
   if (meta->rid.valid()) {
     SEMCC_RETURN_NOT_OK(records_->Delete(meta->rid));
   }
-  {
-    WriterMutexLock guard(meta_mu_);
-    meta->destroyed = true;
-  }
+  meta->destroyed = true;
   if (listener_ != nullptr) listener_->OnDestroy(oid);
   return Status::OK();
 }
@@ -129,6 +133,12 @@ Result<Value> ObjectStore::Get(Oid oid) {
 
 Status ObjectStore::Put(Oid oid, const Value& value) {
   SEMCC_ASSIGN_OR_RETURN(ObjectMeta * meta, FindOfKind(oid, ObjectKind::kAtomic));
+  // Per-object apply+log atomicity (set_mu doubles as the object latch for
+  // atoms): the checkpoint dump reads the record and logs its restore under
+  // the same lock, so per object the log order always equals the apply
+  // order — the property the in-checkpoint-region replay tolerance relies
+  // on.
+  MutexLock obj(meta->set_mu);
   SEMCC_RETURN_NOT_OK(records_->Update(meta->rid, value.Serialize()));
   if (listener_ != nullptr) listener_->OnPut(oid, value);
   return Status::OK();
@@ -274,6 +284,53 @@ Status ObjectStore::RestoreSet(Oid oid, TypeId type) {
     SEMCC_RETURN_NOT_OK(EmplaceAt(oid, std::move(meta)));
   }
   if (listener_ != nullptr) listener_->OnCreateSet(oid, type);
+  return Status::OK();
+}
+
+Status ObjectStore::DumpForCheckpoint() {
+  if (listener_ == nullptr) return Status::OK();
+  // Reader meta_mu_ for the whole scan: value writes and set mutations on
+  // existing objects proceed (they hold only the per-object set_mu), but
+  // creates and destroys — structure changes — wait for the dump. That is
+  // the "fuzzy" granularity: per object, never globally consistent.
+  ReaderMutexLock guard(meta_mu_);
+  for (Oid oid = 1; oid < objects_.size(); ++oid) {
+    ObjectMeta* meta = objects_[oid].get();
+    if (meta->destroyed) continue;
+    switch (meta->kind) {
+      case ObjectKind::kAtomic: {
+        // Read + log under the object latch, mirroring Put: the restore
+        // record lands in the log at a position consistent with every
+        // concurrent write to this object.
+        MutexLock obj(meta->set_mu);
+        SEMCC_ASSIGN_OR_RETURN(std::string bytes, records_->Read(meta->rid));
+        SEMCC_ASSIGN_OR_RETURN(Value value, Value::Deserialize(bytes));
+        listener_->OnCreateAtomic(oid, meta->type, value);
+        break;
+      }
+      case ObjectKind::kTuple:
+        // Structure is immutable after creation; no latch needed.
+        listener_->OnCreateTuple(oid, meta->type, meta->components);
+        break;
+      case ObjectKind::kSet: {
+        MutexLock obj(meta->set_mu);
+        listener_->OnCreateSet(oid, meta->type);
+        for (const auto& [key, member] : meta->members) {
+          listener_->OnSetInsert(oid, key, member);
+        }
+        break;
+      }
+    }
+  }
+  // Destroyed objects are skipped (EmplaceAt pads the gaps at replay), but
+  // a destroyed *last* oid would silently shrink the replayed oid space and
+  // let a post-restart create reuse its oid while retained log records
+  // still name it. Pin the end with a placeholder create + destroy.
+  const Oid last = objects_.size() - 1;
+  if (last >= 1 && objects_[last]->destroyed) {
+    listener_->OnCreateAtomic(last, objects_[last]->type, Value());
+    listener_->OnDestroy(last);
+  }
   return Status::OK();
 }
 

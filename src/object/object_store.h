@@ -79,6 +79,13 @@ class ObjectStore {
                       std::vector<std::pair<std::string, Oid>> components);
   Status RestoreSet(Oid oid, TypeId type);
 
+  /// Emit the live object graph to the listener as restore records — the
+  /// body of an online fuzzy checkpoint. Holds the reader meta lock for the
+  /// whole scan (creates/destroys wait; value and set writes proceed) and
+  /// each object's own latch while reading + logging it, so per object the
+  /// dumped state is consistent and its log position matches apply order.
+  Status DumpForCheckpoint() SEMCC_EXCLUDES(meta_mu_);
+
   // --- atomic objects (generic methods Get / Put, paper §2.2) -----------
 
   Result<Value> Get(Oid oid);
@@ -120,7 +127,9 @@ class ObjectStore {
     bool destroyed = false;
     // Tuple: immutable after creation.
     std::vector<std::pair<std::string, Oid>> components;
-    // Set: mutable, guarded by set_mu.
+    // Per-object latch: guards `members` for sets, and serializes
+    // apply+log (Put / checkpoint-dump read) for atoms so the log order
+    // matches the apply order per object.
     mutable Mutex set_mu;
     std::map<Value, Oid> members SEMCC_GUARDED_BY(set_mu);
   };

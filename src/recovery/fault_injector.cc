@@ -57,6 +57,12 @@ Status FaultInjector::Truncate(uint64_t size) {
   return inner_->Truncate(size);
 }
 
+Result<uint64_t> FaultInjector::DropPrefix(uint64_t bytes) {
+  MutexLock guard(mu_);
+  if (powered_off_) return Status::IOError("simulated power loss");
+  return inner_->DropPrefix(bytes);
+}
+
 void FaultInjector::SetPlan(FaultPlan plan) {
   MutexLock guard(mu_);
   plan_ = plan;

@@ -52,6 +52,7 @@ class FaultInjector : public LogDevice {
   Status Sync() override SEMCC_EXCLUDES(mu_);
   Result<std::string> ReadDurable() override SEMCC_EXCLUDES(mu_);
   Status Truncate(uint64_t size) override SEMCC_EXCLUDES(mu_);
+  Result<uint64_t> DropPrefix(uint64_t bytes) override SEMCC_EXCLUDES(mu_);
 
   uint64_t written_bytes() const override { return inner_->written_bytes(); }
   uint64_t synced_bytes() const override { return inner_->synced_bytes(); }

@@ -79,6 +79,13 @@ Result<std::unique_ptr<FileLogDevice>> FileLogDevice::Open(
   }
   SEMCC_RETURN_NOT_OK(
       device->current_.Open(device->SegmentPath(device->current_index_)));
+  // Only a *fresh* tail segment is preallocated here: a reopened tail may
+  // carry padding (or a torn frame) from the previous run, and recovery
+  // truncates it to the last valid frame before anything is appended —
+  // padding added now would just be cut again.
+  if (options.preallocate && device->current_.size() == 0) {
+    SEMCC_RETURN_NOT_OK(device->current_.PreallocateTo(options.segment_bytes));
+  }
   SEMCC_RETURN_NOT_OK(SyncDirectory(dir));
   device->synced_ = device->written_bytes();
   return device;
@@ -92,6 +99,9 @@ Status FileLogDevice::Rotate() {
   closed_bytes_ += size;
   current_index_++;
   SEMCC_RETURN_NOT_OK(current_.Open(SegmentPath(current_index_)));
+  if (options_.preallocate) {
+    SEMCC_RETURN_NOT_OK(current_.PreallocateTo(options_.segment_bytes));
+  }
   return SyncDirectory(dir_);
 }
 
@@ -117,8 +127,35 @@ Result<std::string> FileLogDevice::ReadDurable() {
     image += chunk;
   }
   SEMCC_RETURN_NOT_OK(ReadFileToString(SegmentPath(current_index_), &chunk));
+  // Cap the tail at its logical size: bytes past it are preallocation
+  // padding, not content. (After a reopen the logical size *includes* any
+  // padding left by the previous process — recovery sees those zeros, scans
+  // them as a torn tail, and truncates; see FileLogDeviceOptions.)
+  if (chunk.size() > current_.size()) chunk.resize(current_.size());
   image += chunk;
   return image;
+}
+
+Result<uint64_t> FileLogDevice::DropPrefix(uint64_t bytes) {
+  uint64_t dropped = 0;
+  size_t n = 0;
+  for (const Segment& s : closed_) {
+    if (dropped + s.size > bytes) break;
+    dropped += s.size;
+    n++;
+  }
+  if (n == 0) return uint64_t{0};
+  // Unlink in index order: a crash mid-way leaves a contiguous suffix of
+  // segments, which Open accepts (only a *gap* is corruption).
+  for (size_t i = 0; i < n; ++i) {
+    SEMCC_RETURN_NOT_OK(RemoveFile(SegmentPath(closed_[i].index)));
+  }
+  closed_.erase(closed_.begin(), closed_.begin() + n);
+  closed_bytes_ -= dropped;
+  // Closed segments were fsynced at rotation, so they are inside synced_.
+  synced_ -= dropped;
+  SEMCC_RETURN_NOT_OK(SyncDirectory(dir_));
+  return dropped;
 }
 
 Status FileLogDevice::Truncate(uint64_t size) {
@@ -137,6 +174,14 @@ Status FileLogDevice::Truncate(uint64_t size) {
     }
     base += all[i].size;
   }
+  // Remember the kept segment's on-disk extent: repair restores padding up
+  // to it (zero-scrubbing whatever the truncated region held, so torn bytes
+  // cannot resurface as a fake tail) but never *grows* the file — a log
+  // written without preallocation stays unpadded, which keeps sweep-style
+  // tests that restart thousands of times from rewriting a full segment of
+  // zeros per restart.
+  SEMCC_ASSIGN_OR_RETURN(const uint64_t keep_physical,
+                         FileSize(SegmentPath(all[keep].index)));
   SEMCC_RETURN_NOT_OK(TruncateFile(SegmentPath(all[keep].index), size - base));
   for (size_t i = keep + 1; i < all.size(); ++i) {
     SEMCC_RETURN_NOT_OK(RemoveFile(SegmentPath(all[i].index)));
@@ -146,6 +191,9 @@ Status FileLogDevice::Truncate(uint64_t size) {
   current_index_ = all[keep].index;
   SEMCC_RETURN_NOT_OK(current_.Open(SegmentPath(current_index_)));
   SEMCC_RETURN_NOT_OK(current_.Sync());
+  if (options_.preallocate && keep_physical > size - base) {
+    SEMCC_RETURN_NOT_OK(current_.PreallocateTo(keep_physical));
+  }
   SEMCC_RETURN_NOT_OK(SyncDirectory(dir_));
   synced_ = std::min<uint64_t>(synced_, size);
   return Status::OK();

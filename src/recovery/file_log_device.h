@@ -32,6 +32,14 @@ namespace semcc {
 struct FileLogDeviceOptions {
   /// Rotate to a new segment once the current one reaches this size.
   uint64_t segment_bytes = 4u << 20;
+  /// Preallocate each fresh segment with written-through zeros so commit
+  /// syncs are pure data overwrites (no block allocation or inode update in
+  /// the journal — roughly halves fdatasync latency on ext4 and collapses
+  /// its tail). The padding beyond the last append reads back as zeros,
+  /// which the frame scanner treats as a torn tail and RecoverAtStartup
+  /// truncates away — so a reopened log must run recovery before appending
+  /// (the WAL always does).
+  bool preallocate = true;
 };
 
 class FileLogDevice : public LogDevice {
@@ -46,6 +54,11 @@ class FileLogDevice : public LogDevice {
   Status Sync() override;
   Result<std::string> ReadDurable() override;
   Status Truncate(uint64_t size) override;
+  /// Unlinks the closed segments that lie entirely inside the prefix (whole
+  /// segments only — a batch append never spans a rotation, so segment
+  /// boundaries are always frame boundaries). Restart tolerates a first
+  /// segment index > 1; only gaps are corruption.
+  Result<uint64_t> DropPrefix(uint64_t bytes) override;
 
   uint64_t written_bytes() const override {
     return closed_bytes_ + current_.size();

@@ -71,6 +71,17 @@ Result<Scan> ScanFrames(std::string_view image) {
     // Bad frame at `off`. An intact frame anywhere after the damage means
     // later bytes survived — that is mid-log corruption, not a tear.
     for (size_t probe = off + 1; probe + kHeaderSize <= image.size(); ++probe) {
+      // Skip zero runs in bulk — preallocated segments pad megabytes of
+      // zeros after the last append, and probing them byte-by-byte would
+      // dominate restart. A frame cannot start anywhere its 4-byte length
+      // field lies wholly inside a zero run (zero length is invalid), so a
+      // 64-byte zero window rules out all but its last 3 start positions.
+      static constexpr char kZeros[64] = {};
+      while (probe + sizeof(kZeros) <= image.size() &&
+             std::memcmp(image.data() + probe, kZeros, sizeof(kZeros)) == 0) {
+        probe += sizeof(kZeros) - 3;
+      }
+      if (probe + kHeaderSize > image.size()) break;
       uint32_t ignored = 0;
       if (FrameAt(image, probe, &ignored)) {
         return Status::Corruption(
@@ -113,6 +124,15 @@ Status InMemoryLogDevice::Truncate(uint64_t size) {
   if (size < image_.size()) image_.resize(size);
   synced_ = std::min<uint64_t>(synced_, size);
   return Status::OK();
+}
+
+Result<uint64_t> InMemoryLogDevice::DropPrefix(uint64_t bytes) {
+  // Only a synced prefix may be dropped (the caller guarantees this; clamp
+  // defensively so a bug degrades to dropping less, never more).
+  const uint64_t n = std::min<uint64_t>(bytes, synced_);
+  image_.erase(0, n);
+  synced_ -= n;
+  return n;
 }
 
 }  // namespace semcc

@@ -51,6 +51,19 @@ class LogDevice {
   /// detected torn write).
   virtual Status Truncate(uint64_t size) = 0;
 
+  /// Release up to the first `bytes` bytes of the image — a log prefix made
+  /// redundant by a completed checkpoint. Implementations free storage at
+  /// their own granularity and may drop *fewer* bytes (the file device only
+  /// unlinks whole closed segments); dropping nothing is a valid
+  /// implementation, which is also the base-class default. The caller must
+  /// only name bytes that are already synced. After a drop, every offset
+  /// (written_bytes / synced_bytes / Truncate sizes) is relative to the
+  /// retained image. Returns the bytes actually dropped.
+  virtual Result<uint64_t> DropPrefix(uint64_t bytes) {
+    (void)bytes;
+    return uint64_t{0};
+  }
+
   /// Bytes accepted by Append so far (including torn prefixes).
   virtual uint64_t written_bytes() const = 0;
   /// Bytes covered by the last successful Sync.
@@ -122,6 +135,7 @@ class InMemoryLogDevice : public LogDevice {
   Status Sync() override;
   Result<std::string> ReadDurable() override;
   Status Truncate(uint64_t size) override;
+  Result<uint64_t> DropPrefix(uint64_t bytes) override;
 
   uint64_t written_bytes() const override { return image_.size(); }
   uint64_t synced_bytes() const override { return synced_; }

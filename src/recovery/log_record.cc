@@ -38,6 +38,10 @@ const char* LogTypeName(LogType type) {
       return "LeafSetInsert";
     case LogType::kLeafSetRemove:
       return "LeafSetRemove";
+    case LogType::kCkptBegin:
+      return "CkptBegin";
+    case LogType::kCkptEnd:
+      return "CkptEnd";
   }
   return "?";
 }

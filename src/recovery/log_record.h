@@ -51,6 +51,14 @@ enum class LogType : uint8_t {
   kLeafSetInsert = 21, // txn, subtxn, parent, object = set, args[0] = key
   kLeafSetRemove = 22, // txn, subtxn, parent, object = set, args[0] = key,
                        // aux_oid = removed member
+  // Checkpoint region markers (online fuzzy checkpoints; see
+  // recovery_manager.h). Between kCkptBegin and kCkptEnd the log carries a
+  // restore-record dump of the live object graph; REDO starts at the last
+  // *complete* (Begin..End) checkpoint and treats the region's records as
+  // idempotent (AlreadyExists/NotFound are benign there, because online
+  // records of concurrent transactions interleave with the fuzzy dump).
+  kCkptBegin = 30,     // (no payload)
+  kCkptEnd = 31,       // txn = lsn of the matching kCkptBegin
 };
 
 const char* LogTypeName(LogType type);

@@ -1,5 +1,6 @@
 #include "recovery/recovery_manager.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -10,60 +11,107 @@ namespace semcc {
 
 RecoveryManager::RecoveryManager(WriteAheadLog* wal, RecoveryOptions options)
     : wal_(wal), options_(options) {
+  if (options_.checkpoint_every_records > 0) {
+    ckpt_next_at_.store(options_.checkpoint_every_records,
+                        std::memory_order_relaxed);
+  }
   if (options_.group_commit) {
-    gc_flusher_ = std::thread([this]() { GroupFlusherLoop(); });
+    const int n = std::max(1, options_.flusher_threads);
+    gc_live_ = n;
+    for (int i = 0; i < n; ++i) {
+      gc_pool_.emplace_back([this]() { GroupFlusherLoop(); });
+    }
   }
 }
 
 RecoveryManager::~RecoveryManager() { Shutdown(); }
 
 void RecoveryManager::Shutdown() {
-  if (!gc_flusher_.joinable()) return;
+  if (gc_pool_.empty()) return;
   {
     MutexLock guard(gc_mu_);
     gc_stop_ = true;
   }
   gc_cv_.NotifyAll();
-  gc_flusher_.join();
+  for (std::thread& t : gc_pool_) t.join();
+  gc_pool_.clear();
+}
+
+std::chrono::microseconds RecoveryManager::AdaptiveWindow() const {
+  if (!options_.adaptive_group_window) return options_.group_window;
+  // Adaptive mode never sleeps a timed window: the in-flight fsync *is* the
+  // window. The first commit's demand starts a sync immediately; every
+  // commit that arrives while it runs is claimed by the listening pool
+  // thread into the next pipelined batch and absorbed for free when that
+  // batch wins the device. Batch size then self-tunes to the device: a slow
+  // sync accumulates more followers, a fast one fewer, and the device never
+  // idles. A timed gather-window is strictly worse here — any variant that
+  // waits for committers to pile up (measured on this device with an
+  // all-aboard window capped at one p50 sync) parks every closed-loop
+  // thread before syncing, so nothing is appended *during* the fsync, the
+  // pipeline never forms, and each cycle restarts cold: window + sync
+  // serialize instead of overlapping, and group commit loses to
+  // force-per-commit. The fixed-window option preserves the pre-adaptive
+  // timed behaviour for comparison.
+  return std::chrono::microseconds(0);
 }
 
 void RecoveryManager::GroupFlusherLoop() {
   MutexLock lock(gc_mu_);
   while (true) {
-    // Sleep until there is unflushed demand. The demand signal is the
-    // requested-LSN watermark compared against what is already stable, so
-    // a request that arrives while a flush is in flight stays visible — a
-    // boolean batch flag would be wiped by the post-flush reset and leave
-    // that committer waiting forever.
-    while (!gc_stop_ && gc_requested_ <= wal_->stable_lsn()) {
+    // Sleep until there is *unclaimed* demand. The demand signal is the
+    // requested-LSN watermark compared against what an in-flight batch has
+    // already claimed: a request covered by a running flush needs no second
+    // flusher (its publisher wakes the committer), but a request beyond it
+    // wakes another pool thread, which leads the next pipelined batch while
+    // the first one's fsync is still in flight.
+    while (!gc_stop_ && gc_status_.ok() &&
+           gc_requested_ <= wal_->claimed_lsn()) {
       gc_cv_.Wait(lock);
     }
+    if (!gc_status_.ok()) break;
     // On stop, drain: keep flushing until the watermark is stable, so a
     // committer already waiting in MakeStable is never abandoned.
-    if (gc_requested_ <= wal_->stable_lsn()) break;
+    if (gc_requested_ <= wal_->stable_lsn()) {
+      if (gc_stop_) break;
+      continue;  // claimed and already published between checks
+    }
     if (!gc_stop_) {
-      // Batching window: let concurrent committers pile in behind the
-      // first one. Interruptible (a stop request cuts it short) — the old
-      // uninterruptible sleep also missed every record appended after the
-      // flush snapshot it preceded; waiting on the condvar keeps the
-      // window exact without losing wakeups, because the watermark re-check
-      // above catches anything that arrived meanwhile.
-      const auto deadline =
-          std::chrono::steady_clock::now() + options_.group_window;
-      while (!gc_stop_ &&
-             gc_cv_.WaitUntil(lock, deadline) != std::cv_status::timeout) {
+      // Batching window. In adaptive mode this is zero — see
+      // AdaptiveWindow(): the in-flight fsync is the window, and sleeping
+      // here on top of it only idles the device. With the fixed-window
+      // option the configured window is slept so concurrent committers can
+      // pile in behind the first one (the pre-adaptive behaviour, kept for
+      // comparison); a stop request cuts it short.
+      const auto window = AdaptiveWindow();
+      if (window.count() > 0) {
+        const auto deadline = std::chrono::steady_clock::now() + window;
+        while (!gc_stop_ &&
+               gc_cv_.WaitUntil(lock, deadline) != std::cv_status::timeout) {
+        }
       }
     }
+    const Lsn target = gc_requested_;
+    // Both pool threads wake on the same demand; only one can lead. If a
+    // concurrent flusher already claimed this target, tailgating it into
+    // FlushTo would just block as a follower until its publish — leaving
+    // NOBODY listening for the commits that arrive during its fsync, which
+    // serializes the pipeline back into lockstep. Loop back to the
+    // demand-wait instead: this thread becomes the listener that leads the
+    // next batch while the claimed one's fsync is in flight. (On stop,
+    // fall through: the drain must not spin on a covered-but-unstable
+    // watermark.)
+    if (target <= wal_->claimed_lsn() && !gc_stop_) continue;
     lock.Unlock();
-    const Status st = wal_->Flush();
+    const Status st = wal_->FlushTo(target);
     lock.Lock();
     if (!st.ok()) {
-      gc_status_ = st;
+      if (gc_status_.ok()) gc_status_ = st;
       break;
     }
     gc_cv_.NotifyAll();
   }
-  gc_exited_ = true;
+  if (--gc_live_ == 0) gc_exited_ = true;
   gc_cv_.NotifyAll();
 }
 
@@ -73,7 +121,10 @@ Status RecoveryManager::MakeStable(Lsn lsn) {
     const Status st = wal_->health();
     return st.ok() ? Status::IOError("log append failed") : st;
   }
-  if (!options_.group_commit) return wal_->Flush();
+  // Force-per-commit: this commit pays for its own device sync (FlushForce
+  // never rides an earlier sync), which is exactly what the policy's name
+  // promises — and the baseline the group-commit policy amortizes.
+  if (!options_.group_commit) return wal_->FlushForce(lsn);
   MutexLock lock(gc_mu_);
   if (gc_requested_ < lsn) gc_requested_ = lsn;
   gc_cv_.NotifyAll();
@@ -176,13 +227,102 @@ void RecoveryManager::OnNamedRoot(const std::string& name, Oid oid) {
   if (!st.ok()) RecordFailure(st);
 }
 
+// --- online fuzzy checkpoint ----------------------------------------------
+
+Status RecoveryManager::Checkpoint(
+    ObjectStore* store, const std::vector<std::pair<std::string, Oid>>& roots) {
+  MutexLock run(ckpt_run_mu_);
+  SEMCC_RETURN_NOT_OK(health());
+
+  Lsn begin_lsn = kInvalidLsn;
+  Lsn trunc_lsn = kInvalidLsn;
+  {
+    // Atomically append the begin marker and snapshot the active set (see
+    // OnTxnBegin): the truncation point must cover every transaction that
+    // could still be a loser at a crash after this checkpoint.
+    MutexLock guard(ckpt_mu_);
+    LogRecord begin;
+    begin.type = LogType::kCkptBegin;
+    begin_lsn = wal_->Append(std::move(begin));
+    if (begin_lsn == kInvalidLsn) {
+      const Status st = wal_->health();
+      return st.ok() ? Status::IOError("log append failed") : st;
+    }
+    trunc_lsn = begin_lsn;
+    for (const auto& [txn, lsn] : active_txn_begin_) {
+      trunc_lsn = std::min(trunc_lsn, lsn);
+    }
+  }
+
+  // Fuzzy dump: per-object consistent restore records, interleaved in the
+  // log with the records of concurrent transactions. Per object, log order
+  // equals apply order (both hold the object's lock across apply+log), so
+  // REDO can treat the region idempotently.
+  SEMCC_RETURN_NOT_OK(store->DumpForCheckpoint());
+
+  // Re-log the named-root directory: truncation may drop the original
+  // binding records.
+  for (const auto& [name, oid] : roots) {
+    LogRecord rec;
+    rec.type = LogType::kNamedRoot;
+    rec.name = name;
+    rec.object = oid;
+    wal_->Append(std::move(rec));
+  }
+
+  LogRecord end;
+  end.type = LogType::kCkptEnd;
+  end.txn = begin_lsn;  // ties End to its Begin: only complete pairs count
+  const Lsn end_lsn = wal_->Append(std::move(end));
+  if (end_lsn == kInvalidLsn) {
+    const Status st = wal_->health();
+    return st.ok() ? Status::IOError("log append failed") : st;
+  }
+  // The checkpoint exists only once its End is durable; truncating before
+  // that would leave a log whose head is a dump with no End — REDO would
+  // rightly ignore it and find the covered records gone.
+  SEMCC_RETURN_NOT_OK(MakeStable(end_lsn));
+
+  if (options_.checkpoint_truncate) {
+    auto dropped = wal_->TruncateCheckpointed(trunc_lsn);
+    SEMCC_RETURN_NOT_OK(dropped.status());
+  }
+  return Status::OK();
+}
+
+void RecoveryManager::MaybeTriggerCheckpoint() {
+  if (options_.checkpoint_every_records == 0 || !ckpt_trigger_) return;
+  const uint64_t appended = wal_->next_lsn_hint();
+  if (appended < ckpt_next_at_.load(std::memory_order_relaxed)) return;
+  if (ckpt_in_trigger_.exchange(true)) return;  // one trigger at a time
+  const Status st = ckpt_trigger_();
+  if (!st.ok()) {
+    SEMCC_LOG(Warn) << "automatic checkpoint failed: " << st.ToString();
+  }
+  // Re-arm from the LSN *after* the checkpoint: the dump appends one record
+  // per live object, so arming from the pre-checkpoint LSN would count the
+  // dump itself toward the next threshold — and once the object graph
+  // outgrows the interval, every checkpoint immediately triggers the next
+  // (a checkpoint storm that once logged 12M records for 6400 txns).
+  ckpt_next_at_.store(wal_->next_lsn_hint() +
+                      options_.checkpoint_every_records);
+  ckpt_in_trigger_.store(false);
+}
+
 // --- transactional stratum -------------------------------------------------
 
 void RecoveryManager::OnTxnBegin(TxnId txn) {
   LogRecord rec;
   rec.type = LogType::kTxnBegin;
   rec.txn = txn;
-  wal_->Append(std::move(rec));
+  // ckpt_mu_ across append+insert: a concurrent checkpoint either sees the
+  // begin in the active map (and keeps its undo records) or the begin lands
+  // after the checkpoint's own kCkptBegin (and is past the truncation
+  // point). Without the lock a begin could slip between the two and have
+  // its undo information truncated.
+  MutexLock guard(ckpt_mu_);
+  const Lsn lsn = wal_->Append(std::move(rec));
+  if (lsn != kInvalidLsn) active_txn_begin_.emplace(txn, lsn);
 }
 
 void RecoveryManager::OnTxnCommit(TxnId txn) {
@@ -192,7 +332,17 @@ void RecoveryManager::OnTxnCommit(TxnId txn) {
   const Lsn lsn = wal_->Append(std::move(rec));
   // Force at commit (individually or via group commit).
   const Status st = MakeStable(lsn);
-  if (!st.ok()) RecordFailure(st);
+  if (!st.ok()) {
+    RecordFailure(st);
+    return;  // still possibly a loser: keep it pinned in the active map
+  }
+  {
+    // Only now — with the commit record stable — may a checkpoint truncate
+    // this transaction's records.
+    MutexLock guard(ckpt_mu_);
+    active_txn_begin_.erase(txn);
+  }
+  MaybeTriggerCheckpoint();
 }
 
 void RecoveryManager::OnTxnAbort(TxnId txn) {
@@ -202,7 +352,12 @@ void RecoveryManager::OnTxnAbort(TxnId txn) {
   const Lsn lsn = wal_->Append(std::move(rec));
   // Abort is complete: restart must not re-undo.
   const Status st = MakeStable(lsn);
-  if (!st.ok()) RecordFailure(st);
+  if (!st.ok()) {
+    RecordFailure(st);
+    return;
+  }
+  MutexLock guard(ckpt_mu_);
+  active_txn_begin_.erase(txn);
 }
 
 LogRecord RecoveryManager::ActionBase(const SubTxn& node, LogType type) {
@@ -246,12 +401,12 @@ void RecoveryManager::OnLeafSetRemove(const SubTxn& node, Oid removed_member) {
 // --- restart -----------------------------------------------------------------
 
 std::string RecoveryManager::RecoveryStats::ToString() const {
-  char buf[160];
+  char buf[200];
   std::snprintf(buf, sizeof(buf),
-                "records=%zu redo=%zu winners=%zu losers=%zu inverses=%zu "
-                "leaf_undos=%zu",
-                records, redo_applied, winners, losers, inverses_run,
-                leaf_undos);
+                "records=%zu redo=%zu skipped=%zu ckpt=%d winners=%zu "
+                "losers=%zu inverses=%zu leaf_undos=%zu",
+                records, redo_applied, redo_skipped, used_checkpoint ? 1 : 0,
+                winners, losers, inverses_run, leaf_undos);
   return buf;
 }
 
@@ -263,44 +418,121 @@ Result<RecoveryManager::RecoveryStats> RecoveryManager::Recover(
   RecoveryStats stats;
   stats.records = log.size();
 
-  // Pass 1 — REDO: replay physical records; classify transactions.
+  // Locate the last *complete* checkpoint region: a kCkptEnd whose txn
+  // field names the LSN of a kCkptBegin present in the log. Physical REDO
+  // starts at that Begin — everything before it is covered by the fuzzy
+  // dump (a truncated log starts there anyway; an untruncated one keeps the
+  // prefix only for UNDO information). A Begin without an End is a
+  // checkpoint that died mid-dump: ignored entirely.
+  size_t redo_start = 0;
+  {
+    std::map<Lsn, size_t> begin_at;
+    for (size_t i = 0; i < log.size(); ++i) {
+      if (log[i].type == LogType::kCkptBegin) {
+        begin_at[log[i].lsn] = i;
+      } else if (log[i].type == LogType::kCkptEnd) {
+        auto it = begin_at.find(static_cast<Lsn>(log[i].txn));
+        if (it != begin_at.end()) {
+          redo_start = it->second;
+          stats.used_checkpoint = true;
+        }
+      }
+    }
+  }
+
+  // Pass 1 — REDO: replay physical records from redo_start; classify
+  // transactions and replay the named-root directory over the whole log.
+  // Inside the checkpoint region the fuzzy dump and the records of
+  // concurrent transactions interleave, so replay there is idempotent:
+  // a restore that finds its object already rebuilt, or an online write
+  // whose object is not dumped yet, is simply the other copy of the same
+  // effect (per object, log order equals apply order) and is skipped.
   std::set<TxnId> begun, committed, aborted;
-  for (const LogRecord& rec : log) {
+  bool in_region = false;
+  for (size_t i = 0; i < log.size(); ++i) {
+    const LogRecord& rec = log[i];
+    const bool redo = i >= redo_start;
     switch (rec.type) {
-      case LogType::kCreateAtomic:
-        SEMCC_RETURN_NOT_OK(store->RestoreAtomic(rec.object, rec.obj_type, rec.value));
+      case LogType::kCkptBegin:
+        if (redo) in_region = true;
+        break;
+      case LogType::kCkptEnd:
+        in_region = false;
+        break;
+      case LogType::kCreateAtomic: {
+        if (!redo) { stats.redo_skipped++; break; }
+        Status st = store->RestoreAtomic(rec.object, rec.obj_type, rec.value);
+        if (!st.ok()) {
+          if (!(in_region && st.IsAlreadyExists())) return st;
+          stats.redo_skipped++;
+          break;
+        }
         stats.redo_applied++;
         break;
-      case LogType::kCreateTuple:
-        SEMCC_RETURN_NOT_OK(
-            store->RestoreTuple(rec.object, rec.obj_type, rec.components));
+      }
+      case LogType::kCreateTuple: {
+        if (!redo) { stats.redo_skipped++; break; }
+        Status st = store->RestoreTuple(rec.object, rec.obj_type, rec.components);
+        if (!st.ok()) {
+          if (!(in_region && st.IsAlreadyExists())) return st;
+          stats.redo_skipped++;
+          break;
+        }
         stats.redo_applied++;
         break;
-      case LogType::kCreateSet:
-        SEMCC_RETURN_NOT_OK(store->RestoreSet(rec.object, rec.obj_type));
+      }
+      case LogType::kCreateSet: {
+        if (!redo) { stats.redo_skipped++; break; }
+        Status st = store->RestoreSet(rec.object, rec.obj_type);
+        if (!st.ok()) {
+          if (!(in_region && st.IsAlreadyExists())) return st;
+          stats.redo_skipped++;
+          break;
+        }
         stats.redo_applied++;
         break;
+      }
       case LogType::kDestroy: {
+        if (!redo) { stats.redo_skipped++; break; }
         Status st = store->Destroy(rec.object);
         if (!st.ok() && !st.IsNotFound()) return st;
         stats.redo_applied++;
         break;
       }
-      case LogType::kAtomWrite:
-        SEMCC_RETURN_NOT_OK(store->Put(rec.object, rec.value));
+      case LogType::kAtomWrite: {
+        if (!redo) { stats.redo_skipped++; break; }
+        Status st = store->Put(rec.object, rec.value);
+        if (!st.ok()) {
+          if (!(in_region && st.IsNotFound())) return st;
+          stats.redo_skipped++;  // object dumped later in the region
+          break;
+        }
         stats.redo_applied++;
         break;
-      case LogType::kSetInsert:
-        SEMCC_RETURN_NOT_OK(store->SetInsert(rec.object, rec.args[0], rec.aux_oid));
+      }
+      case LogType::kSetInsert: {
+        if (!redo) { stats.redo_skipped++; break; }
+        Status st = store->SetInsert(rec.object, rec.args[0], rec.aux_oid);
+        if (!st.ok()) {
+          if (!(in_region && (st.IsNotFound() || st.IsAlreadyExists()))) {
+            return st;
+          }
+          stats.redo_skipped++;
+          break;
+        }
         stats.redo_applied++;
         break;
+      }
       case LogType::kSetRemove: {
+        if (!redo) { stats.redo_skipped++; break; }
         Status st = store->SetRemove(rec.object, rec.args[0]);
         if (!st.ok() && !st.IsNotFound()) return st;
         stats.redo_applied++;
         break;
       }
       case LogType::kNamedRoot:
+        // Applied over the whole log: the checkpoint re-logs the directory,
+        // and later bindings overwrite earlier ones in log order.
         if (named_root_sink) named_root_sink(rec.name, rec.object);
         break;
       case LogType::kTxnBegin:

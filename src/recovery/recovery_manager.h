@@ -9,10 +9,16 @@
 //     before-images for leaf writes).
 //
 // At restart, Recover():
-//   1. REDO: replays all physical records of the stable log in LSN order
-//      into a fresh store, reproducing the exact crash-time state including
-//      the original object ids (the data "disk" is not consulted: the log is
-//      the authoritative copy — a log-structured restart);
+//   1. REDO: replays physical records of the stable log in LSN order into a
+//      fresh store, reproducing the exact crash-time state including the
+//      original object ids (the data "disk" is not consulted: the log is
+//      the authoritative copy — a log-structured restart). When the log
+//      contains a complete checkpoint region (kCkptBegin..kCkptEnd), replay
+//      starts at that region instead of the head: earlier physical records
+//      are covered by the fuzzy dump, and records *inside* the region are
+//      applied idempotently (AlreadyExists/NotFound are benign there,
+//      because online records of concurrent transactions interleave with
+//      the dump);
 //   2. UNDO: identifies loser transactions (begun, neither committed nor
 //      abort-completed) and walks their transactional records in reverse LSN
 //      order, skipping records covered by a committed ancestor that carries
@@ -25,10 +31,13 @@
 #ifndef SEMCC_RECOVERY_RECOVERY_MANAGER_H_
 #define SEMCC_RECOVERY_RECOVERY_MANAGER_H_
 
+#include <atomic>
 #include <chrono>
 #include <functional>
+#include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "object/object_store.h"
@@ -49,8 +58,32 @@ struct RecoveryOptions {
   /// arrived in the window. With a non-zero WAL flush latency this is the
   /// classic group-commit throughput win.
   bool group_commit = false;
-  /// Batching window of the group flusher.
-  std::chrono::microseconds group_window{200};
+  /// Timed batching window slept before each group flush when
+  /// adaptive_group_window is off (the pre-PR-8 fixed-window behaviour,
+  /// kept for comparison benchmarks). Ignored in adaptive mode, where the
+  /// window is always zero: the in-flight device sync is the batching
+  /// window — commits that arrive while it runs ride the next pipelined
+  /// batch — and any timed wait on top only idles the device (measured: a
+  /// timed window parks every closed-loop committer before syncing, so the
+  /// pipeline never forms and group commit loses to force-per-commit).
+  std::chrono::microseconds group_window{1000};
+  /// Flush on demand with no timed window, batching purely by absorption
+  /// into the pipelined flush (see group_window).
+  bool adaptive_group_window = true;
+  /// Number of group-flusher threads. Two pipelines the flush path: one
+  /// thread claims and encodes the next batch while the other's fsync is
+  /// still in flight (see WriteAheadLog::FlushTo). One degenerates to the
+  /// serial flusher.
+  int flusher_threads = 2;
+  /// > 0: after roughly this many appended log records, a commit triggers
+  /// an online fuzzy checkpoint through the trigger installed with
+  /// SetCheckpointTrigger (the Database wires itself in). 0 = no automatic
+  /// checkpoints (Database::Checkpoint can still be called manually).
+  uint64_t checkpoint_every_records = 0;
+  /// Truncate the WAL prefix covered by a completed checkpoint (memory and
+  /// device). false keeps the full log — the crash-offset sweep uses this
+  /// to enumerate every historical crash point across a checkpoint.
+  bool checkpoint_truncate = true;
   /// Empty: in-memory log device (tests, perf baselines). Non-empty:
   /// durable file-backed log in this directory — append-only segment files
   /// written through POSIX write/fsync (see file_log_device.h).
@@ -100,6 +133,26 @@ class RecoveryManager : public StoreListener, public ActionLogger {
   /// Log a named-root binding (durable directory of entry-point objects).
   void OnNamedRoot(const std::string& name, Oid oid);
 
+  /// Take an online fuzzy checkpoint: append a kCkptBegin marker, dump the
+  /// live object graph as restore records (store->DumpForCheckpoint, which
+  /// excludes concurrent writers per object, not globally — transactions
+  /// keep committing), re-log the named roots, append kCkptEnd, force it
+  /// stable, and (if options.checkpoint_truncate) drop the log prefix the
+  /// checkpoint made redundant. The truncation point is
+  /// min(checkpoint-begin LSN, begin LSN of every transaction still active
+  /// at checkpoint begin) so no loser's undo information is ever dropped.
+  /// Serialized against itself; safe to call concurrently with commits.
+  Status Checkpoint(ObjectStore* store,
+                    const std::vector<std::pair<std::string, Oid>>& roots)
+      SEMCC_EXCLUDES(gc_mu_);
+
+  /// Install the callback MaybeTriggerCheckpoint fires when the log grows
+  /// past checkpoint_every_records (the Database installs its own
+  /// Checkpoint()). Call once, before transactions start.
+  void SetCheckpointTrigger(std::function<Status()> trigger) {
+    ckpt_trigger_ = std::move(trigger);
+  }
+
   WriteAheadLog* wal() { return wal_; }
 
   /// OK, or the first durability failure observed on a commit/abort force
@@ -114,6 +167,13 @@ class RecoveryManager : public StoreListener, public ActionLogger {
   struct RecoveryStats {
     size_t records = 0;
     size_t redo_applied = 0;
+    /// In-checkpoint-region records skipped as already covered by the fuzzy
+    /// dump (benign AlreadyExists/NotFound), plus pre-checkpoint physical
+    /// records not replayed at all.
+    size_t redo_skipped = 0;
+    /// True when REDO started from a complete kCkptBegin..kCkptEnd region
+    /// instead of the head of the log.
+    bool used_checkpoint = false;
     size_t winners = 0;
     size_t losers = 0;
     size_t inverses_run = 0;
@@ -147,6 +207,15 @@ class RecoveryManager : public StoreListener, public ActionLogger {
   void GroupFlusherLoop() SEMCC_EXCLUDES(gc_mu_);
   /// Record a durability failure in health() (first one wins) and log it.
   void RecordFailure(const Status& st) SEMCC_EXCLUDES(gc_mu_);
+  /// The next group flush's batching window: always zero in adaptive mode
+  /// (batching happens by absorption into the in-flight sync), the
+  /// configured group_window otherwise.
+  std::chrono::microseconds AdaptiveWindow() const;
+  /// Fire the checkpoint trigger if the log has grown past the configured
+  /// record budget. Runs the checkpoint synchronously on the calling
+  /// (committing) thread; concurrent commits proceed — only one trigger
+  /// runs at a time.
+  void MaybeTriggerCheckpoint();
 
   WriteAheadLog* const wal_;
   const RecoveryOptions options_;
@@ -161,10 +230,29 @@ class RecoveryManager : public StoreListener, public ActionLogger {
   Lsn gc_requested_ SEMCC_GUARDED_BY(gc_mu_) = 0;
   /// First group-flush failure; sticky, returned to every waiter.
   Status gc_status_ SEMCC_GUARDED_BY(gc_mu_);
+  /// Pool threads still running; 0 => gc_exited_.
+  int gc_live_ SEMCC_GUARDED_BY(gc_mu_) = 0;
   bool gc_exited_ SEMCC_GUARDED_BY(gc_mu_) = false;
   /// First durability failure observed on any commit/abort path.
   Status health_ SEMCC_GUARDED_BY(gc_mu_);
-  std::thread gc_flusher_;
+  std::vector<std::thread> gc_pool_;
+
+  // Checkpoint machinery.
+  /// Begin LSN of every transaction with a logged begin and no stable
+  /// commit/abort yet. Entries are erased only *after* the commit/abort
+  /// record is stable: a checkpoint must never truncate the undo records of
+  /// a transaction that could still be a loser.
+  std::map<TxnId, Lsn> active_txn_begin_ SEMCC_GUARDED_BY(ckpt_mu_);
+  /// Guards the active-transaction map; held across the kCkptBegin append
+  /// so the truncation point and the map snapshot are atomic w.r.t.
+  /// concurrent OnTxnBegin (which holds it across append+insert).
+  mutable Mutex ckpt_mu_;
+  /// Serializes whole checkpoint runs.
+  Mutex ckpt_run_mu_;
+  std::function<Status()> ckpt_trigger_;
+  /// next_lsn_hint threshold at which the next automatic checkpoint fires.
+  std::atomic<uint64_t> ckpt_next_at_{0};
+  std::atomic<bool> ckpt_in_trigger_{false};
 };
 
 }  // namespace semcc

@@ -24,7 +24,10 @@ PosixWritableFile::~PosixWritableFile() {
 
 Status PosixWritableFile::Open(const std::string& path) {
   if (fd_ >= 0) return Status::InvalidArgument("file already open: " + path_);
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  // No O_APPEND: appends go through pwrite at the tracked logical offset
+  // (Linux pwrite on an O_APPEND fd ignores the offset and appends, which
+  // would defeat preallocated-overwrite segments).
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
   if (fd < 0) return Errno("open", path);
   const off_t end = ::lseek(fd, 0, SEEK_END);
   if (end < 0) {
@@ -33,6 +36,7 @@ Status PosixWritableFile::Open(const std::string& path) {
   }
   fd_ = fd;
   size_ = static_cast<uint64_t>(end);
+  physical_size_ = size_;
   path_ = path;
   return Status::OK();
 }
@@ -40,21 +44,56 @@ Status PosixWritableFile::Open(const std::string& path) {
 Status PosixWritableFile::Append(const char* data, size_t n) {
   if (fd_ < 0) return Status::InvalidArgument("append on closed file");
   while (n > 0) {
-    const ssize_t w = ::write(fd_, data, n);
+    const ssize_t w = ::pwrite(fd_, data, n, static_cast<off_t>(size_));
     if (w < 0) {
       if (errno == EINTR) continue;
-      return Errno("write", path_);
+      return Errno("pwrite", path_);
     }
     data += w;
     n -= static_cast<size_t>(w);
     size_ += static_cast<uint64_t>(w);
   }
+  physical_size_ = std::max(physical_size_, size_);
+  return Status::OK();
+}
+
+Status PosixWritableFile::PreallocateTo(uint64_t physical_bytes) {
+  if (fd_ < 0) return Status::InvalidArgument("preallocate on closed file");
+  if (physical_size_ >= physical_bytes) return Status::OK();
+  // Written-through zeros, not fallocate: unwritten extents would still
+  // journal an extent-state conversion on the first real overwrite, which
+  // is the metadata cost preallocation exists to pay up front.
+  char zeros[1 << 16] = {};
+  uint64_t off = physical_size_;
+  while (off < physical_bytes) {
+    const size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(sizeof(zeros), physical_bytes - off));
+    const ssize_t w = ::pwrite(fd_, zeros, chunk, static_cast<off_t>(off));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pwrite (preallocate)", path_);
+    }
+    off += static_cast<uint64_t>(w);
+  }
+  // Full fsync: the size change and new extents must be durable before any
+  // commit relies on a data-only fdatasync of the overwritten range.
+  if (::fsync(fd_) != 0) return Errno("fsync (preallocate)", path_);
+  physical_size_ = physical_bytes;
   return Status::OK();
 }
 
 Status PosixWritableFile::Sync() {
   if (fd_ < 0) return Status::InvalidArgument("sync on closed file");
+#if defined(__linux__)
+  // fdatasync skips the inode-metadata write when only mtime changed. For
+  // an append-only log segment the file size changes too, and POSIX
+  // guarantees fdatasync still flushes the metadata needed to read the new
+  // bytes back — so this is safe for the WAL and saves a journal commit on
+  // filesystems that would otherwise flush atime/mtime.
+  if (::fdatasync(fd_) != 0) return Errno("fdatasync", path_);
+#else
   if (::fsync(fd_) != 0) return Errno("fsync", path_);
+#endif
   return Status::OK();
 }
 
@@ -64,6 +103,7 @@ Status PosixWritableFile::Truncate(uint64_t size) {
     return Errno("ftruncate", path_);
   }
   size_ = size;
+  physical_size_ = size;
   return Status::OK();
 }
 

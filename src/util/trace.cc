@@ -137,6 +137,7 @@ const char* EventKindName(EventKind k) {
     case EventKind::kWalFlush: return "wal-flush";
     case EventKind::kWalDegrade: return "wal-degrade";
     case EventKind::kSnapshotRead: return "snapshot-read";
+    case EventKind::kWalCheckpoint: return "wal-checkpoint";
   }
   return "?";
 }

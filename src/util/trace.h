@@ -58,6 +58,8 @@ enum class EventKind : uint8_t {
   kWalDegrade = 17,    ///< flush retries exhausted; WAL now read-only
   kSnapshotRead = 18,  ///< MVCC read, no lock; `other` = snapshot ts,
                        ///< `value` = version ts observed
+  kWalCheckpoint = 19, ///< log prefix truncated; `txn` = trunc LSN,
+                       ///< `other` = records dropped, `value` = bytes freed
 };
 
 const char* EventKindName(EventKind k);

@@ -51,9 +51,10 @@ struct GroundTruth {
   std::vector<int64_t> order_nos;
 };
 
-GroundTruth GenerateWorkload(int txns) {
+GroundTruth GenerateWorkload(int txns, int checkpoint_after = -1) {
   DatabaseOptions options;
   options.enable_wal = true;  // in-memory device, force-per-commit
+  options.recovery.checkpoint_truncate = false;  // keep every byte sweepable
   Database db(options);
   auto types = Install(&db).ValueOrDie();
   LoadSpec spec;
@@ -67,6 +68,12 @@ GroundTruth GenerateWorkload(int txns) {
   truth.baseline = db.wal()->device()->synced_bytes();
   const Oid item = data.item_oids[0];
   for (int i = 0; i < txns; ++i) {
+    if (i == checkpoint_after) {
+      // Fuzzy checkpoint mid-history (without truncation): the dump's
+      // restore records land between two commit boundaries, so the sweep
+      // cuts straight through them.
+      EXPECT_TRUE(db.Checkpoint().ok());
+    }
     auto order_no =
         db.RunTransaction("enter", TN_EnterOrder(item, 100 + i, 1 + i % 3));
     EXPECT_TRUE(order_no.ok()) << order_no.status().ToString();
@@ -122,15 +129,16 @@ int64_t CountOrders(Database* db) {
   return static_cast<int64_t>(db->store()->SetSize(orders).ValueOrDie());
 }
 
-TEST(CrashSweep, EveryByteOffsetRecoversExactCommittedState) {
-  const int kTxns = 8;
-  const GroundTruth truth = GenerateWorkload(kTxns);
+/// Run the every-offset sweep over `truth` starting at `floor` (0 = from
+/// the empty prefix), asserting the recovered order count and identity at
+/// each cut.
+void SweepEveryOffset(const GroundTruth& truth, const std::string& dir,
+                      size_t floor = 0) {
   const size_t stride =
       static_cast<size_t>(test_env::IterCount("SEMCC_SWEEP_STRIDE", 1));
-  const std::string dir = SweepDir();
 
   std::vector<size_t> cuts;
-  for (size_t k = 0; k < truth.image.size(); k += stride) cuts.push_back(k);
+  for (size_t k = floor; k < truth.image.size(); k += stride) cuts.push_back(k);
   cuts.push_back(truth.image.size());
 
   for (size_t k : cuts) {
@@ -179,6 +187,25 @@ TEST(CrashSweep, EveryByteOffsetRecoversExactCommittedState) {
           << "uncommitted order resurrected at cut " << k;
     }
   }
+}
+
+TEST(CrashSweep, EveryByteOffsetRecoversExactCommittedState) {
+  const GroundTruth truth = GenerateWorkload(8);
+  const std::string dir = SweepDir();
+  SweepEveryOffset(truth, dir);
+  CleanupDirectoryForTesting(dir);
+}
+
+TEST(CrashSweep, EveryByteOffsetAcrossCheckpointRecoversExactState) {
+  // Same sweep, but with a fuzzy checkpoint dumped mid-history (kept, not
+  // truncated). Cuts before the dump recover from plain replay; cuts inside
+  // it leave an incomplete Begin-without-End region whose restore records
+  // must be tolerated; cuts after it recover from the checkpoint image plus
+  // the post-checkpoint tail. The committed-order invariant is identical in
+  // all three regimes.
+  const GroundTruth truth = GenerateWorkload(8, /*checkpoint_after=*/4);
+  const std::string dir = SweepDir() + "_ckpt";
+  SweepEveryOffset(truth, dir);
   CleanupDirectoryForTesting(dir);
 }
 
@@ -219,6 +246,119 @@ TEST(CrashSweep, RestartIsIdempotent) {
     // The loser was marked abort-complete by restart #1; restart #2 must
     // classify it as resolved, not undo it again.
     EXPECT_EQ(stats.ValueOrDie().losers, 0u);
+    EXPECT_EQ(CountOrders(&db2), first_count);
+  }
+  CleanupDirectoryForTesting(dir);
+}
+
+TEST(CrashSweep, TruncatedCheckpointSweepAndDoubleRestart) {
+  // Checkpoint WITH truncation: the durable image afterwards is the
+  // post-truncation suffix, which always begins with (or before) a complete
+  // Begin..End checkpoint region — truncation only runs after the End
+  // record is stable, so no reachable crash state has a truncated log
+  // without its checkpoint. Sweep every byte offset of the suffix from the
+  // end-of-checkpoint floor: pre-checkpoint commits must be present at
+  // EVERY cut (they live only in the checkpoint image now), and
+  // post-checkpoint commits obey the usual boundary rule.
+  const int kBefore = 4;
+  const int kAfter = 4;
+  DatabaseOptions options;
+  options.enable_wal = true;
+  options.recovery.checkpoint_truncate = true;
+  Database db(options);
+  auto types = Install(&db).ValueOrDie();
+  LoadSpec spec;
+  spec.num_items = 1;
+  spec.orders_per_item = 1;
+  spec.initial_qoh = 1'000'000;
+  auto data = Load(&db, types, spec).ValueOrDie();
+  ASSERT_TRUE(db.wal()->Flush().ok());
+  const Oid item = data.item_oids[0];
+
+  std::vector<int64_t> pre_orders;
+  for (int i = 0; i < kBefore; ++i) {
+    auto order_no =
+        db.RunTransaction("enter", TN_EnterOrder(item, 100 + i, 1));
+    ASSERT_TRUE(order_no.ok()) << order_no.status().ToString();
+    pre_orders.push_back(order_no.ValueOrDie().AsInt());
+  }
+  ASSERT_TRUE(db.Checkpoint().ok());
+  ASSERT_GT(db.wal()->truncated_count(), 0u) << "checkpoint did not truncate";
+  // Everything at or above the floor contains the complete checkpoint.
+  const size_t floor = db.wal()->device()->synced_bytes();
+
+  GroundTruth truth;
+  truth.baseline = 0;  // the suffix always has the full load via the dump
+  for (int i = 0; i < kAfter; ++i) {
+    auto order_no =
+        db.RunTransaction("enter", TN_EnterOrder(item, 200 + i, 1));
+    ASSERT_TRUE(order_no.ok()) << order_no.status().ToString();
+    truth.order_nos.push_back(order_no.ValueOrDie().AsInt());
+    truth.boundaries.push_back(db.wal()->device()->synced_bytes());
+  }
+  truth.image = db.wal()->device()->ReadDurable().ValueOrDie();
+  ASSERT_EQ(truth.image.size(), truth.boundaries.back());
+
+  const std::string dir = SweepDir() + "_trunc";
+  const size_t stride =
+      static_cast<size_t>(test_env::IterCount("SEMCC_SWEEP_STRIDE", 1));
+  std::vector<size_t> cuts;
+  for (size_t k = floor; k < truth.image.size(); k += stride) cuts.push_back(k);
+  cuts.push_back(truth.image.size());
+
+  for (size_t k : cuts) {
+    Status st;
+    auto rdb = RestartFromPrefix(truth, k, dir, &st);
+    ASSERT_TRUE(st.ok()) << "restart failed at cut " << k << ": "
+                         << st.ToString();
+    size_t durable_post = 0;
+    while (durable_post < truth.boundaries.size() &&
+           truth.boundaries[durable_post] <= k) {
+      durable_post++;
+    }
+    const int64_t orders = CountOrders(rdb.get());
+    ASSERT_GE(orders, 0) << "object graph unreachable at cut " << k;
+    EXPECT_EQ(orders, 1 + kBefore + static_cast<int64_t>(durable_post))
+        << "cut " << k;
+    // Every pre-checkpoint commit is reachable purely via the checkpoint
+    // image — the original create records were truncated away.
+    auto items = rdb->GetNamedRoot("Items").ValueOrDie();
+    Oid ritem = rdb->store()->SetSelect(items, Value(1)).ValueOrDie();
+    Oid order_set = rdb->store()->Component(ritem, "Orders").ValueOrDie();
+    for (int64_t order_no : pre_orders) {
+      EXPECT_TRUE(rdb->store()->SetSelect(order_set, Value(order_no)).ok())
+          << "pre-checkpoint order " << order_no << " lost at cut " << k;
+    }
+  }
+
+  // Double restart across the checkpoint boundary with a genuine loser:
+  // cut mid-way through the last post-checkpoint transaction.
+  const size_t cut =
+      (truth.boundaries[kAfter - 2] + truth.boundaries[kAfter - 1]) / 2;
+  ASSERT_GT(cut, truth.boundaries[kAfter - 2]);
+  ASSERT_LT(cut, truth.boundaries[kAfter - 1]);
+  Status st;
+  int64_t first_count = 0;
+  {
+    auto rdb = RestartFromPrefix(truth, cut, dir, &st);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    first_count = CountOrders(rdb.get());
+    EXPECT_EQ(first_count, 1 + kBefore + (kAfter - 1));
+  }
+  {
+    // Restart #2 reuses the log restart #1 repaired and appended to.
+    DatabaseOptions ropts;
+    ropts.enable_wal = true;
+    ropts.recovery.log_dir = dir;
+    Database db2(ropts);
+    InstallOptions iopts;
+    iopts.register_only = true;
+    (void)Install(&db2, iopts).ValueOrDie();
+    auto stats = db2.RestartFromLog();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_TRUE(stats.ValueOrDie().used_checkpoint);
+    EXPECT_EQ(stats.ValueOrDie().losers, 0u)
+        << "restart #2 re-compensated an already-resolved loser";
     EXPECT_EQ(CountOrders(&db2), first_count);
   }
   CleanupDirectoryForTesting(dir);

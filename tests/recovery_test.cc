@@ -4,6 +4,10 @@
 // wipe out a winner's commuting update.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "app/orderentry/order_entry.h"
 #include "app/orderentry/workload.h"
 #include "core/database.h"
@@ -451,6 +455,146 @@ TEST_F(RecoveryTest, GroupCommitIsDurableAndBatchesFlushes) {
   Oid item = db2->store()->SetSelect(items, Value(1)).ValueOrDie();
   Oid o1 = FindOrder(db2.get(), item, 1).ValueOrDie();
   EXPECT_EQ(ReadStatusRaw(db2.get(), o1).ValueOrDie(), kEventPaidBit);
+}
+
+TEST_F(RecoveryTest, CheckpointedRestartReplaysFromImage) {
+  // After a truncating checkpoint, the log prefix is gone: restart must
+  // rebuild pre-checkpoint state purely from the dumped image, then replay
+  // the tail on top of it.
+  DatabaseOptions options;
+  options.enable_wal = true;
+  options.recovery.checkpoint_truncate = true;
+  Database db(options);
+  auto types = Install(&db).ValueOrDie();
+  LoadSpec spec;
+  spec.num_items = 2;
+  spec.orders_per_item = 2;
+  auto data = Load(&db, types, spec).ValueOrDie();
+  ASSERT_TRUE(db.RunTransaction("pre", T2_PayTwoOrders(data.item_oids[0], 1,
+                                                       data.item_oids[1], 1))
+                  .ok());
+  ASSERT_TRUE(db.Checkpoint().ok());
+  EXPECT_GT(db.wal()->truncated_count(), 0u);
+  ASSERT_TRUE(db.RunTransaction("post", T1_ShipTwoOrders(data.item_oids[0], 1,
+                                                         data.item_oids[1], 2))
+                  .ok());
+
+  auto db2 = MakeRecoveryTarget();
+  auto stats = db2->RecoverFrom(db.wal()->StableRecords().ValueOrDie());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats.ValueOrDie().used_checkpoint);
+  EXPECT_EQ(stats.ValueOrDie().losers, 0u);
+  Oid items = db2->GetNamedRoot("Items").ValueOrDie();
+  EXPECT_EQ(items, types.items);
+  Oid item0 = db2->store()->SetSelect(items, Value(1)).ValueOrDie();
+  EXPECT_EQ(item0, data.item_oids[0]);
+  Oid o1 = FindOrder(db2.get(), item0, 1).ValueOrDie();
+  // Paid before the checkpoint, shipped after: both effects survive.
+  EXPECT_EQ(ReadStatusRaw(db2.get(), o1).ValueOrDie(),
+            kEventShippedBit | kEventPaidBit);
+}
+
+TEST_F(RecoveryTest, AutoCheckpointBoundsWalMemory) {
+  // The WAL used to retain every record ever appended; with periodic
+  // truncating checkpoints its in-memory footprint must plateau instead of
+  // growing linearly with committed transactions.
+  DatabaseOptions options;
+  options.enable_wal = true;
+  options.recovery.checkpoint_every_records = 64;
+  options.recovery.checkpoint_truncate = true;
+  Database db(options);
+  auto types = Install(&db).ValueOrDie();
+  LoadSpec spec;
+  spec.num_items = 2;
+  spec.orders_per_item = 1;
+  spec.initial_qoh = 1'000'000;
+  auto data = Load(&db, types, spec).ValueOrDie();
+
+  size_t retained_half = 0;
+  const int kTxns = 300;
+  for (int i = 0; i < kTxns; ++i) {
+    ASSERT_TRUE(db.RunTransaction("t", T2_PayTwoOrders(data.item_oids[0], 1,
+                                                       data.item_oids[1], 1))
+                    .ok());
+    if (i == kTxns / 2) retained_half = db.wal()->retained_count();
+  }
+  const size_t retained_full = db.wal()->retained_count();
+  const size_t total = db.wal()->total_count();
+  EXPECT_GT(db.wal()->truncated_count(), total / 2)
+      << "checkpoints did not reclaim the bulk of the log";
+  // Doubling the transaction count must not double the retained window:
+  // allow one checkpoint cycle of slack, not linear growth.
+  EXPECT_LT(retained_full, retained_half + 2 * 64 + 64)
+      << "WAL memory still grows linearly with committed transactions "
+      << "(half=" << retained_half << " full=" << retained_full << ")";
+  // Logical counters stay monotonic across all that truncation.
+  EXPECT_EQ(db.wal()->stable_count(),
+            db.wal()->truncated_count() + retained_full);
+  // And the bounded log still restarts correctly.
+  auto db2 = MakeRecoveryTarget();
+  auto stats = db2->RecoverFrom(db.wal()->StableRecords().ValueOrDie());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats.ValueOrDie().used_checkpoint);
+  Oid items = db2->GetNamedRoot("Items").ValueOrDie();
+  Oid item0 = db2->store()->SetSelect(items, Value(1)).ValueOrDie();
+  Oid o1 = FindOrder(db2.get(), item0, 1).ValueOrDie();
+  EXPECT_EQ(ReadStatusRaw(db2.get(), o1).ValueOrDie(), kEventPaidBit);
+}
+
+TEST_F(RecoveryTest, FuzzyCheckpointConcurrentWithWriters) {
+  // Checkpoints taken while committers are running: the dump interleaves
+  // with live transactions, and restart from the resulting (truncated) log
+  // must still reproduce the exact final state.
+  DatabaseOptions options;
+  options.enable_wal = true;
+  options.recovery.group_commit = true;
+  options.recovery.checkpoint_truncate = true;
+  Database db(options);
+  auto types = Install(&db).ValueOrDie();
+  LoadSpec spec;
+  spec.num_items = 8;
+  spec.orders_per_item = 1;
+  spec.initial_qoh = 1'000'000;
+  auto data = Load(&db, types, spec).ValueOrDie();
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t]() {
+      Oid a = data.item_oids[static_cast<size_t>(t) * 2];
+      Oid b = data.item_oids[static_cast<size_t>(t) * 2 + 1];
+      for (int i = 0; i < 25; ++i) {
+        ASSERT_TRUE(db.RunTransaction("t", T2_PayTwoOrders(a, 1, b, 1)).ok());
+      }
+    });
+  }
+  std::thread checkpointer([&]() {
+    while (!done.load()) {
+      ASSERT_TRUE(db.Checkpoint().ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  for (auto& th : threads) th.join();
+  done.store(true);
+  checkpointer.join();
+  EXPECT_TRUE(db.recovery()->health().ok());
+
+  std::vector<int64_t> qoh_before;
+  for (Oid item : data.item_oids) {
+    qoh_before.push_back(ReadQohRaw(&db, item).ValueOrDie());
+  }
+  auto db2 = MakeRecoveryTarget();
+  auto stats = db2->RecoverFrom(db.wal()->StableRecords().ValueOrDie());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.ValueOrDie().losers, 0u);
+  Oid items = db2->GetNamedRoot("Items").ValueOrDie();
+  for (size_t i = 0; i < data.item_oids.size(); ++i) {
+    Oid item = db2->store()
+                   ->SetSelect(items, Value(static_cast<int64_t>(i) + 1))
+                   .ValueOrDie();
+    EXPECT_EQ(ReadQohRaw(db2.get(), item).ValueOrDie(), qoh_before[i])
+        << "item " << i;
+  }
 }
 
 TEST_F(RecoveryTest, NamedRootsAreDurable) {

@@ -2,9 +2,11 @@
 // (CRC, torn-tail truncation, mid-log refusal), the in-memory and
 // file-backed log devices, the WAL's flush retry/degradation contract, and
 // the group-commit shutdown/missed-wakeup fixes.
+#include <fcntl.h>
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <string>
@@ -373,8 +375,13 @@ TEST_F(FileDeviceTest, TruncateRepairsAcrossSegments) {
 }
 
 TEST_F(FileDeviceTest, TornTailOnDiskIsTruncatedAtRestart) {
+  // preallocate=false keeps the physical file size equal to the logical
+  // content, so the final byte-exact FileSize assertion is meaningful; the
+  // preallocated variant is covered below.
+  FileLogDeviceOptions fopts;
+  fopts.preallocate = false;
   {
-    auto device = FileLogDevice::Open(dir_, {});
+    auto device = FileLogDevice::Open(dir_, fopts);
     ASSERT_TRUE(device.ok());
     WriteAheadLog wal(std::move(device).ValueUnsafe(), FastRetryOptions());
     ASSERT_TRUE(wal.RecoverAtStartup().ok());
@@ -389,7 +396,7 @@ TEST_F(FileDeviceTest, TornTailOnDiskIsTruncatedAtRestart) {
     ASSERT_TRUE(f.Append("\x40\x00\x00\x00torn", 8).ok());
     ASSERT_TRUE(f.Sync().ok());
   }
-  auto device = FileLogDevice::Open(dir_, {});
+  auto device = FileLogDevice::Open(dir_, fopts);
   ASSERT_TRUE(device.ok());
   WriteAheadLog wal(std::move(device).ValueUnsafe(), FastRetryOptions());
   auto recovered = wal.RecoverAtStartup();
@@ -398,6 +405,60 @@ TEST_F(FileDeviceTest, TornTailOnDiskIsTruncatedAtRestart) {
   // The file itself was repaired.
   EXPECT_EQ(FileSize(dir_ + "/wal-000001.log").ValueOrDie(),
             wal.stable_bytes());
+}
+
+TEST_F(FileDeviceTest, TornOverwriteInPreallocatedSegmentIsRepaired) {
+  // With preallocation (the default), appends overwrite zero padding in
+  // place, so a crash mid-append tears the frame at the *logical* end with
+  // megabytes of padding after it. Recovery must drop the torn bytes, keep
+  // the padding contract intact, and be idempotent across a second restart.
+  uint64_t stable = 0;
+  {
+    auto device = FileLogDevice::Open(dir_, {});
+    ASSERT_TRUE(device.ok());
+    WriteAheadLog wal(std::move(device).ValueUnsafe(), FastRetryOptions());
+    ASSERT_TRUE(wal.RecoverAtStartup().ok());
+    wal.Append(MakeRecord(1));
+    wal.Append(MakeRecord(2));
+    ASSERT_TRUE(wal.Flush().ok());
+    stable = wal.stable_bytes();
+  }
+  // Simulate the torn in-place overwrite: half a frame at the logical end,
+  // zeros beyond it (PosixWritableFile only appends, so go through pwrite).
+  {
+    const std::string path = dir_ + "/wal-000001.log";
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::pwrite(fd, "\x40\x00\x00\x00torn", 8,
+                       static_cast<off_t>(stable)),
+              8);
+    ASSERT_EQ(::fsync(fd), 0);
+    ::close(fd);
+  }
+  for (int restart = 0; restart < 2; ++restart) {
+    auto device = FileLogDevice::Open(dir_, {});
+    ASSERT_TRUE(device.ok());
+    WriteAheadLog wal(std::move(device).ValueUnsafe(), FastRetryOptions());
+    auto recovered = wal.RecoverAtStartup();
+    ASSERT_TRUE(recovered.ok())
+        << "restart " << restart << ": " << recovered.status().ToString();
+    EXPECT_EQ(recovered.ValueOrDie().size(), 2u) << "restart " << restart;
+    EXPECT_EQ(wal.stable_bytes(), stable) << "restart " << restart;
+    // The logical image holds exactly the valid frames...
+    auto image = wal.device()->ReadDurable();
+    ASSERT_TRUE(image.ok());
+    EXPECT_EQ(image.ValueOrDie().size(), stable) << "restart " << restart;
+    // ...and the segment on disk is re-padded, with the torn bytes scrubbed
+    // back to zeros so they cannot resurface as a fake tail later.
+    EXPECT_EQ(FileSize(dir_ + "/wal-000001.log").ValueOrDie(), 4u << 20)
+        << "restart " << restart;
+    // The repaired log accepts new appends that land where the tear was.
+    if (restart == 1) {
+      wal.Append(MakeRecord(3));
+      ASSERT_TRUE(wal.Flush().ok());
+      EXPECT_GT(wal.stable_bytes(), stable);
+    }
+  }
 }
 
 TEST_F(FileDeviceTest, SegmentGapRefused) {
@@ -506,6 +567,272 @@ TEST(GroupCommit, ForceModeSurfacesWalFailure) {
   EXPECT_TRUE(manager.health().ok());
   manager.OnTxnCommit(1);
   EXPECT_FALSE(manager.health().ok());
+}
+
+// --- pipelined flush (PR 8) -----------------------------------------------
+
+TEST(WalPipeline, ConcurrentFlushToKeepsFrameOrder) {
+  // Many threads racing Append+FlushTo drive the depth-2 device pipeline
+  // hard; whatever interleaving happens, the frames on the device must be
+  // in LSN order with no gaps (the turn-ordered device section is the only
+  // thing enforcing this).
+  WriteAheadLog wal(std::make_unique<InMemoryLogDevice>(/*sync_micros=*/50));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&wal, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Lsn lsn = wal.Append(MakeRecord(1 + t, i));
+        ASSERT_NE(lsn, kInvalidLsn);
+        ASSERT_TRUE(wal.FlushTo(lsn).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(wal.health().ok());
+  EXPECT_EQ(wal.stable_count(), size_t{kThreads * kPerThread});
+  // StableRecords re-reads the durable image; ascending LSNs there prove
+  // no pipelined batch overtook an earlier one on the device.
+  auto stable = wal.StableRecords();
+  ASSERT_TRUE(stable.ok()) << stable.status().ToString();
+  ASSERT_EQ(stable->size(), size_t{kThreads * kPerThread});
+  for (size_t i = 0; i < stable->size(); ++i) {
+    EXPECT_EQ((*stable)[i].lsn, static_cast<Lsn>(i + 1));
+  }
+}
+
+TEST(WalPipeline, RetrySleepDoesNotBlockStableReaders) {
+  // Regression test: the retry backoff used to sleep while holding the
+  // device mutex, so even a FlushTo whose target was already stable (which
+  // never needs the device) queued up behind the sleeping flusher. The
+  // backoff now waits on the device condvar with the lock released.
+  auto injector = std::make_unique<FaultInjector>(
+      std::make_unique<InMemoryLogDevice>());
+  FaultInjector* fi = injector.get();
+  WalOptions wopts;
+  wopts.max_flush_attempts = 2;
+  wopts.flush_retry_backoff = std::chrono::milliseconds(300);
+  WriteAheadLog wal(std::move(injector), wopts);
+  const Lsn first = wal.Append(MakeRecord(1));
+  ASSERT_TRUE(wal.Flush().ok());
+
+  FaultPlan plan;
+  plan.fail_next_syncs = 1;
+  fi->SetPlan(plan);
+  wal.Append(MakeRecord(2));
+  auto flush = std::async(std::launch::async, [&]() { return wal.Flush(); });
+  // Wait until the flusher has taken its first failure and entered backoff.
+  for (int i = 0; i < 10000 && fi->injected_sync_failures() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ASSERT_EQ(fi->injected_sync_failures(), 1u);
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(wal.FlushTo(first).ok());  // already stable: no device needed
+  (void)wal.stats();                     // stats path must not block either
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(150))
+      << "stable-target FlushTo blocked behind the retry backoff";
+
+  ASSERT_EQ(flush.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_TRUE(flush.get().ok());
+  EXPECT_TRUE(wal.health().ok());
+  EXPECT_EQ(wal.stable_count(), 2u);
+}
+
+TEST(GroupCommit, FlusherPoolDeathFailsWaiters) {
+  // With the whole flusher pool hitting a dead device, parked committers
+  // must be failed, not stranded.
+  auto injector = std::make_unique<FaultInjector>(
+      std::make_unique<InMemoryLogDevice>());
+  FaultInjector* fi = injector.get();
+  WriteAheadLog wal(std::move(injector), FastRetryOptions(2));
+  FaultPlan plan;
+  plan.fail_all_syncs = true;
+  fi->SetPlan(plan);
+  RecoveryOptions opts;
+  opts.group_commit = true;
+  opts.flusher_threads = 2;
+  opts.group_window = std::chrono::microseconds(100);
+  RecoveryManager manager(&wal, opts);
+  std::vector<std::future<void>> commits;
+  for (TxnId txn = 1; txn <= 4; ++txn) {
+    commits.push_back(std::async(std::launch::async,
+                                 [&manager, txn]() { manager.OnTxnCommit(txn); }));
+  }
+  for (auto& c : commits) {
+    ASSERT_EQ(c.wait_for(std::chrono::seconds(10)), std::future_status::ready)
+        << "committer hung on a dead flusher pool";
+  }
+  EXPECT_FALSE(manager.health().ok());
+  manager.Shutdown();
+}
+
+TEST(GroupCommit, TransientEioMidPipelineRecovers) {
+  // A transient fsync EIO injected while the two-deep pipeline is busy must
+  // be absorbed by the retry loop: every commit completes, health stays OK,
+  // and nothing is lost.
+  auto injector = std::make_unique<FaultInjector>(
+      std::make_unique<InMemoryLogDevice>(/*sync_micros=*/20));
+  FaultInjector* fi = injector.get();
+  WriteAheadLog wal(std::move(injector), FastRetryOptions(4));
+  RecoveryOptions opts;
+  opts.group_commit = true;
+  opts.flusher_threads = 2;
+  opts.adaptive_group_window = true;
+  RecoveryManager manager(&wal, opts);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&manager, fi, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (t == 0 && i == kPerThread / 2) {
+          FaultPlan plan;
+          plan.fail_next_syncs = 2;
+          fi->SetPlan(plan);
+        }
+        manager.OnTxnCommit(static_cast<TxnId>(1 + t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  manager.Shutdown();
+  EXPECT_TRUE(manager.health().ok());
+  EXPECT_TRUE(wal.health().ok());
+  EXPECT_EQ(wal.stable_count(), size_t{kThreads * kPerThread});
+}
+
+// --- checkpoint truncation (PR 8) -----------------------------------------
+
+TEST(WalCheckpoint, TruncateCheckpointedDropsStablePrefix) {
+  WriteAheadLog wal(std::make_unique<InMemoryLogDevice>());
+  for (int i = 1; i <= 10; ++i) wal.Append(MakeRecord(static_cast<Oid>(i)));
+  ASSERT_TRUE(wal.Flush().ok());
+  const uint64_t bytes_before = wal.device()->written_bytes();
+
+  auto dropped = wal.TruncateCheckpointed(/*up_to=*/6);
+  ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+  EXPECT_EQ(dropped.ValueOrDie(), 5u);  // LSNs 1..5
+  EXPECT_EQ(wal.retained_count(), 5u);
+  EXPECT_EQ(wal.truncated_count(), 5u);
+  EXPECT_EQ(wal.stable_count(), 10u);  // logical counters stay monotonic
+  EXPECT_EQ(wal.total_count(), 10u);
+  EXPECT_EQ(wal.stable_lsn(), 10u);
+  EXPECT_LT(wal.device()->written_bytes(), bytes_before);
+
+  auto stable = wal.StableRecords();
+  ASSERT_TRUE(stable.ok()) << stable.status().ToString();
+  ASSERT_EQ(stable->size(), 5u);
+  for (size_t i = 0; i < stable->size(); ++i) {
+    EXPECT_EQ((*stable)[i].lsn, static_cast<Lsn>(6 + i));
+  }
+  // Idempotent: the prefix is gone, a second call drops nothing.
+  auto again = wal.TruncateCheckpointed(6);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.ValueOrDie(), 0u);
+}
+
+TEST(WalCheckpoint, TruncateOnlyCoversStableRecords) {
+  // Unflushed records are never truncated, even when their LSN is below the
+  // checkpoint bound: only the durable prefix is eligible.
+  WriteAheadLog wal(std::make_unique<InMemoryLogDevice>());
+  for (int i = 1; i <= 3; ++i) wal.Append(MakeRecord(static_cast<Oid>(i)));
+  ASSERT_TRUE(wal.Flush().ok());
+  wal.Append(MakeRecord(4));
+  wal.Append(MakeRecord(5));
+
+  auto dropped = wal.TruncateCheckpointed(/*up_to=*/100);
+  ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+  EXPECT_EQ(dropped.ValueOrDie(), 3u);
+  EXPECT_EQ(wal.retained_count(), 2u);
+  ASSERT_TRUE(wal.Flush().ok());
+  auto stable = wal.StableRecords();
+  ASSERT_TRUE(stable.ok()) << stable.status().ToString();
+  ASSERT_EQ(stable->size(), 2u);
+  EXPECT_EQ((*stable)[0].lsn, 4u);
+  EXPECT_EQ((*stable)[1].lsn, 5u);
+}
+
+TEST(WalCheckpoint, FileDeviceDropsWholeSegmentsAndSurvivesReopen) {
+  const std::string dir = TempDir("ckpt_drop");
+  FileLogDeviceOptions fopts;
+  fopts.segment_bytes = 64;  // rotate roughly every record
+  {
+    auto device = FileLogDevice::Open(dir, fopts);
+    ASSERT_TRUE(device.ok()) << device.status().ToString();
+    WriteAheadLog wal(std::move(device).ValueUnsafe(), FastRetryOptions());
+    for (int i = 1; i <= 8; ++i) {
+      wal.Append(MakeRecord(static_cast<Oid>(i), i));
+      ASSERT_TRUE(wal.Flush().ok());  // flush per record to force rotation
+    }
+    const auto names_before = ListDirectory(dir);
+    ASSERT_TRUE(names_before.ok());
+    auto dropped = wal.TruncateCheckpointed(/*up_to=*/6);
+    ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+    EXPECT_EQ(dropped.ValueOrDie(), 5u);
+    const auto names_after = ListDirectory(dir);
+    ASSERT_TRUE(names_after.ok());
+    EXPECT_LT(names_after->size(), names_before->size())
+        << "no segment files were unlinked";
+  }
+  // Reopen: the device accepts a first segment index > 1 and recovery sees
+  // a contiguous record suffix ending at the last LSN. Whole-segment
+  // granularity may retain a few records below the truncation point; what
+  // matters is that nothing at or above it is missing.
+  auto device = FileLogDevice::Open(dir, fopts);
+  ASSERT_TRUE(device.ok()) << device.status().ToString();
+  WriteAheadLog wal(std::move(device).ValueUnsafe(), FastRetryOptions());
+  auto recovered = wal.RecoverAtStartup();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_FALSE(recovered->empty());
+  EXPECT_EQ(recovered->back().lsn, 8u);
+  EXPECT_LE(recovered->front().lsn, 6u);
+  for (size_t i = 1; i < recovered->size(); ++i) {
+    EXPECT_EQ((*recovered)[i].lsn, (*recovered)[i - 1].lsn + 1);
+  }
+  CleanupDirectoryForTesting(dir);
+}
+
+TEST(WalCheckpoint, TruncateRacingFlushesKeepsEverySuffixRecord) {
+  // Truncation must drain the pipeline and block new claims without losing
+  // records that commit concurrently with it.
+  WriteAheadLog wal(std::make_unique<InMemoryLogDevice>(/*sync_micros=*/20));
+  std::atomic<bool> stop{false};
+  std::atomic<Lsn> last{0};
+  std::thread writer([&]() {
+    while (!stop.load()) {
+      const Lsn lsn = wal.Append(MakeRecord(7));
+      if (lsn == kInvalidLsn) break;
+      if (!wal.FlushTo(lsn).ok()) break;
+      last.store(lsn);
+    }
+  });
+  size_t total_dropped = 0;
+  for (int round = 0; round < 5; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const Lsn bound = last.load();
+    if (bound == 0) continue;
+    auto dropped = wal.TruncateCheckpointed(bound);
+    ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+    total_dropped += dropped.ValueOrDie();
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_TRUE(wal.health().ok());
+  EXPECT_GT(total_dropped, 0u);
+  auto stable = wal.StableRecords();
+  ASSERT_TRUE(stable.ok()) << stable.status().ToString();
+  ASSERT_EQ(stable->size(), wal.retained_count());
+  EXPECT_EQ(wal.stable_count(), wal.truncated_count() + stable->size());
+  if (!stable->empty()) {
+    EXPECT_EQ(stable->back().lsn, wal.stable_lsn());
+    for (size_t i = 1; i < stable->size(); ++i) {
+      EXPECT_EQ((*stable)[i].lsn, (*stable)[i - 1].lsn + 1);
+    }
+  }
 }
 
 }  // namespace
