@@ -57,9 +57,60 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  // --- hot-set sweep: key-range locks on ONE item -------------------------
+  //
+  // Every transaction hits the same item, so its Orders set is the single
+  // hot object and the method-level matrix is the only concurrency left.
+  // Sweeping the NewOrder (insert) share shows what the key intervals buy:
+  // NewOrder carries a [hint,+inf) footprint and Ship/Pay carry point
+  // footprints at existing order numbers, so with keyrange_locks on their
+  // matrix conflicts vanish whenever the keys are disjoint. The off/on pair
+  // per mix is the flag's ablation record.
+  std::printf("== Hot-set sweep: NewOrder share on 1 item (8 threads, "
+              "1 ms think, keyrange off/on) ==\n\n");
+  ProtocolConfig hot_base;
+  hot_base.name = "semantic-param";
+  hot_base.refined_matrix = true;
+  ProtocolConfig hot_keyrange = hot_base;
+  hot_keyrange.name = "semantic-keyrange";
+  hot_keyrange.options.keyrange_locks = true;
+  for (int insert_pct : {10, 30, 50}) {
+    std::printf("--- %d%% NewOrder ---\n", insert_pct);
+    PrintHeader();
+    for (const ProtocolConfig& proto : {hot_base, hot_keyrange}) {
+      orderentry::WorkloadOptions wopts;
+      wopts.load.num_items = 1;
+      wopts.load.orders_per_item = 16;
+      wopts.load.pre_paid = 0.3;
+      wopts.load.pre_shipped = 0.3;
+      // Writer-heavy mix: ship/pay split what NewOrder does not take, a
+      // thin reader tail (T3/T4 5% each, T5 the 10% remainder).
+      wopts.pct_t1 = (80 - insert_pct) / 2;
+      wopts.pct_t2 = (80 - insert_pct) / 2;
+      wopts.pct_t3 = 5;
+      wopts.pct_t4 = 5;
+      wopts.pct_new_order = insert_pct;
+      wopts.think_micros = 1000;
+      wopts.seed = 4;
+      RunSummary s = RunWorkload(proto, wopts, 8, txns);
+      PrintRow(s);
+      char label[48];
+      std::snprintf(label, sizeof(label),
+                    proto.options.keyrange_locks ? "hotset-insert%d-keyrange-t8"
+                                                 : "hotset-insert%d-t8",
+                    insert_pct);
+      json.Add(s, label);
+    }
+    std::printf("\n");
+  }
+
   std::printf(
       "Expected shape: the gap between semantic-param and the conventional\n"
       "protocols widens as skew grows and as the database shrinks (hotter\n"
-      "items); at theta=0 with many items all protocols converge.\n");
+      "items); at theta=0 with many items all protocols converge. In the\n"
+      "hot-set sweep the keyrange rows shed blocked acquires and deadlock\n"
+      "retries as the insert share grows — disjoint-key ops on the one hot\n"
+      "set stop conflicting — while the off rows keep paying the\n"
+      "method-level matrix.\n");
   return 0;
 }

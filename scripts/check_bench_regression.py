@@ -7,7 +7,9 @@ Understands both result schemas in this repo:
   * RunSummary row arrays (bench_throughput / bench_contention /
     bench_recovery): a JSON array of objects keyed by
     (protocol|experiment, label, threads), compared on throughput_tps
-    (higher is better) or *_us / *_micros fields (lower is better).
+    (higher is better), deadlocks / retries (lower is better, skipped below
+    a count of 10 — single-digit counts are run-to-run noise), or
+    *_us / *_micros fields (lower is better).
   * google-benchmark --benchmark_out files (bench_lock_manager): an object
     with a "benchmarks" array, compared on real_time per benchmark name
     (lower is better).
@@ -78,10 +80,15 @@ def row_metrics(row):
     for key, value in row.items():
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             continue
-        if key in ("threads", "committed", "failed", "retries", "txns"):
+        if key in ("threads", "committed", "failed", "txns"):
             continue
         if key == "throughput_tps":
             yield key, float(value), True
+        elif key in ("deadlocks", "retries"):
+            # Lower is better, same warn policy as throughput: a >threshold
+            # rise in deadlock aborts/retries is a contention regression even
+            # when tps holds (retries hide the wasted work).
+            yield key, float(value), False
         elif key.endswith("_us") or key.endswith("_micros") or key.endswith("_ms"):
             yield key, float(value), False
 
@@ -169,6 +176,10 @@ def main():
                 continue
             old_value = ref[0]
             if old_value <= 0:
+                continue
+            if metric in ("deadlocks", "retries") and old_value < 10:
+                # Noise floor: single-digit counts swing by whole multiples
+                # run to run; a ratio over them is meaningless.
                 continue
             if higher_is_better:
                 change = (old_value - value) / old_value  # drop = regression

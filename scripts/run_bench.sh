@@ -82,8 +82,37 @@ if missing:
   echo "error: BENCH_throughput.json lacks the read-mix (mvcc) rows" >&2
   exit 1
 fi
+# The key-range ablation rows (keyrange_locks on, same workload as the
+# semantic-param sweep) are that flag's ablation record.
+if ! python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    labels = {row.get("label", "") for row in json.load(f)}
+required = ["orderentry-zipf0.8-keyrange-t1", "orderentry-zipf0.8-keyrange-t16"]
+missing = [l for l in required if l not in labels]
+if missing:
+    sys.exit("missing key-range ablation rows: " + ", ".join(missing))
+' "$repo_root/BENCH_throughput.json"; then
+  echo "error: BENCH_throughput.json lacks the keyrange ablation rows" >&2
+  exit 1
+fi
 "$build_dir/bench/bench_contention" --stats --json="$repo_root/BENCH_contention.json"
 validate_json "$repo_root/BENCH_contention.json"
+# The hot-set sweep rows (one item, insert-share sweep, keyrange off/on per
+# mix) must be present in both variants or the ablation record is broken.
+if ! python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    labels = {row.get("label", "") for row in json.load(f)}
+required = ["hotset-insert%d-t8" % p for p in (10, 30, 50)]
+required += ["hotset-insert%d-keyrange-t8" % p for p in (10, 30, 50)]
+missing = [l for l in required if l not in labels]
+if missing:
+    sys.exit("missing hot-set rows: " + ", ".join(missing))
+' "$repo_root/BENCH_contention.json"; then
+  echo "error: BENCH_contention.json lacks the hot-set (keyrange) rows" >&2
+  exit 1
+fi
 "$build_dir/bench/bench_recovery" --stats --json="$repo_root/BENCH_recovery.json"
 validate_json "$repo_root/BENCH_recovery.json"
 "$build_dir/bench/bench_lock_manager" \

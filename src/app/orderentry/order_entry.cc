@@ -2,6 +2,8 @@
 #include <chrono>
 #include <thread>
 
+#include "adt/standard_adts.h"
+#include "cc/compatibility.h"
 #include "util/random.h"
 
 namespace semcc {
@@ -19,7 +21,12 @@ namespace {
 
 Result<Value> NewOrderBody(TxnCtx& ctx, Oid self, const Args& args,
                            const OrderEntryTypes& t) {
-  if (args.size() != 2) return Status::InvalidArgument("NewOrder(cust, qty)");
+  // args[2], when present, is an advisory lower bound on the OrderNo about
+  // to be allocated — consumed only by the lock manager's key-interval
+  // annotation (see InstallItemMatrix), never by the body itself.
+  if (args.size() != 2 && args.size() != 3) {
+    return Status::InvalidArgument("NewOrder(cust, qty[, order_no_hint])");
+  }
   const int64_t customer = args[0].AsInt();
   const int64_t quantity = args[1].AsInt();
   SEMCC_ASSIGN_OR_RETURN(Oid next, ctx.Component(self, "NextOrderNo"));
@@ -202,6 +209,33 @@ void InstallItemMatrix(Database* db, TypeId item, const InstallOptions& opts) {
   c->Define(item, "ShipOrder", "TotalPayment", true);
   c->Define(item, "PayOrder", "TotalPayment", false);
   c->Define(item, "TotalPayment", "TotalPayment", true);
+  if (opts.parameter_refined_item_matrix) {
+    // Non-exact key footprints over the item's Orders set, keyed by OrderNo.
+    // exact=false: each method also touches non-keyed state (NextOrderNo,
+    // QuantityOnHand, Price), so the footprints must NOT derive matrix cells
+    // — the hand-written Figure 2 cells above stay authoritative. They exist
+    // purely so that with ProtocolOptions::keyrange_locks each invocation's
+    // lock carries an OrderNo interval, and CONFLICT cells relax when two
+    // intervals are provably disjoint: NewOrder only ever writes order
+    // numbers >= its hint (args[2] is a lower bound — NextOrderNo is
+    // monotone and NewOrderInverse never decrements it), while ShipOrder /
+    // PayOrder address exactly the existing order args[0].
+    MethodSpec new_order;
+    new_order.writes = KeyRef::LowerBound(2);
+    new_order.size_delta = +1;
+    new_order.exact = false;
+    c->DefineMethodSpec(item, "NewOrder", new_order);
+    MethodSpec point_update;
+    point_update.reads = KeyRef::Point(0);
+    point_update.writes = KeyRef::Point(0);
+    point_update.exact = false;
+    c->DefineMethodSpec(item, "ShipOrder", point_update);
+    c->DefineMethodSpec(item, "PayOrder", point_update);
+    MethodSpec scan_all;
+    scan_all.reads = KeyRef::All();
+    scan_all.exact = false;
+    c->DefineMethodSpec(item, "TotalPayment", scan_all);
+  }
 }
 
 void InstallOrderMatrix(Database* db, TypeId order) {
@@ -241,6 +275,10 @@ Result<OrderEntryTypes> Install(Database* db, InstallOptions opts) {
                                   /*encapsulated=*/true));
   SEMCC_ASSIGN_OR_RETURN(t.orders_set,
                          s->DefineSetType("Orders", t.order, "OrderNo"));
+  // OrderNo-keyed footprints for the generic set operations: derives the
+  // Orders matrix cells from the footprint algebra and keys every set-level
+  // lock (keyrange_locks) by the OrderNo it actually touches.
+  adt::InstallKeyedSetSpecs(db, t.orders_set);
   SEMCC_ASSIGN_OR_RETURN(
       t.item, s->DefineTupleType("Item",
                                  {{"ItemNo", t.number},
@@ -427,9 +465,13 @@ TxnManager::Body T5_TotalPaymentScan(std::vector<Oid> items, int repeat) {
   };
 }
 
-TxnManager::Body TN_EnterOrder(Oid item, int64_t customer_no,
-                               int64_t quantity) {
+TxnManager::Body TN_EnterOrder(Oid item, int64_t customer_no, int64_t quantity,
+                               int64_t order_no_hint) {
   return [=](TxnCtx& ctx) -> Result<Value> {
+    if (order_no_hint >= 0) {
+      return ctx.Invoke(item, "NewOrder", {Value(customer_no), Value(quantity),
+                                           Value(order_no_hint)});
+    }
     return ctx.Invoke(item, "NewOrder", {Value(customer_no), Value(quantity)});
   };
 }

@@ -120,8 +120,13 @@ TxnManager::Body T5_TotalPaymentScan(std::vector<Oid> items, int repeat = 1);
 
 /// Extra (exercises NewOrder; not one of the paper's five read/update mixes
 /// but required to drive the NewOrder method and the set-insert path).
+/// `order_no_hint` >= 0 passes a client-known lower bound on the OrderNo the
+/// call will allocate (NextOrderNo is monotone, so any previously observed
+/// order number + 1 is valid). With ProtocolOptions::keyrange_locks the lock
+/// manager turns the hint into the key interval [hint, +inf), letting the
+/// NewOrder lock pass ShipOrder/PayOrder locks on already-existing orders.
 TxnManager::Body TN_EnterOrder(Oid item, int64_t customer_no,
-                               int64_t quantity);
+                               int64_t quantity, int64_t order_no_hint = -1);
 
 // --- non-transactional helpers (test assertions / state inspection) -------
 

@@ -116,7 +116,13 @@ Status OrderEntryWorkload::RunOne(WorkerState* ws) {
     case TxnKind::kNewOrder: {
       const int64_t customer = static_cast<int64_t>(ws->rng.Uniform(1000)) + 1;
       const int64_t qty = static_cast<int64_t>(ws->rng.Uniform(9)) + 1;
-      r = db_->RunTransaction("TN", TN_EnterOrder(item1, customer, qty),
+      // Lower bound on the OrderNo this call will allocate: NextOrderNo is
+      // monotone, so the highest order number any transaction has observed
+      // committed, plus one, is always safe. Lets keyrange_locks prove the
+      // NewOrder disjoint from Ship/Pay locks on existing orders.
+      const int64_t hint =
+          max_order_[i1]->load(std::memory_order_relaxed) + 1;
+      r = db_->RunTransaction("TN", TN_EnterOrder(item1, customer, qty, hint),
                               opts_.max_retries);
       if (r.ok()) {
         // Publish the new order number so later transactions can pick it.

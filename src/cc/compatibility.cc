@@ -17,6 +17,97 @@ PairKey MakeKey(const std::string& m1, const std::string& m2, bool* swapped) {
   *swapped = true;
   return {m2, m1};
 }
+
+// --- derivation algebra helpers (DESIGN.md §5.8) ---------------------------
+
+/// Can footprints f and g ever / always overlap, knowing only their shapes?
+enum class Overlap : uint8_t { kNever, kArgDep, kAlways };
+
+Overlap FootOverlap(const KeyRef& f, const KeyRef& g) {
+  using Kind = KeyRef::Kind;
+  if (f.kind == Kind::kNone || g.kind == Kind::kNone) return Overlap::kNever;
+  if (f.kind == Kind::kAll || g.kind == Kind::kAll) return Overlap::kAlways;
+  if (f.kind == Kind::kLowerBound && g.kind == Kind::kLowerBound) {
+    return Overlap::kAlways;  // two rays to +inf always intersect
+  }
+  return Overlap::kArgDep;
+}
+
+/// A footprint bound to one invocation's actual arguments. Keys stay at the
+/// Value level — comparisons use Value's total order, so string keys behave
+/// exactly like the generic rules' key tests; only the lock manager's
+/// runtime interval (KeyInterval) demands integers.
+struct ConcreteFoot {
+  KeyRef::Kind kind = KeyRef::Kind::kNone;
+  const Value* a = nullptr;  ///< point key / range low / lower bound
+  const Value* b = nullptr;  ///< range high
+  bool unknown = false;      ///< referenced argument missing: assume overlap
+};
+
+ConcreteFoot Resolve(const KeyRef& f, const Args& args) {
+  ConcreteFoot c;
+  c.kind = f.kind;
+  auto bind = [&args](uint8_t i, const Value** out) {
+    if (i >= args.size()) return false;
+    *out = &args[i];
+    return true;
+  };
+  switch (f.kind) {
+    case KeyRef::Kind::kNone:
+    case KeyRef::Kind::kAll:
+      break;
+    case KeyRef::Kind::kPoint:
+    case KeyRef::Kind::kLowerBound:
+      c.unknown = !bind(f.arg_a, &c.a);
+      break;
+    case KeyRef::Kind::kRange:
+      c.unknown = !bind(f.arg_a, &c.a) || !bind(f.arg_b, &c.b);
+      break;
+  }
+  return c;
+}
+
+bool FeetOverlap(const ConcreteFoot& x, const ConcreteFoot& y) {
+  using Kind = KeyRef::Kind;
+  if (x.kind == Kind::kNone || y.kind == Kind::kNone) return false;
+  if (x.unknown || y.unknown) return true;  // safe default: clash
+  if (x.kind == Kind::kAll || y.kind == Kind::kAll) return true;
+  if (x.kind == Kind::kPoint) {
+    switch (y.kind) {
+      case Kind::kPoint:
+        return *x.a == *y.a;
+      case Kind::kRange:
+        return !(*x.a < *y.a) && !(*y.b < *x.a);
+      case Kind::kLowerBound:
+        return !(*x.a < *y.a);
+      default:
+        break;
+    }
+  }
+  if (x.kind == Kind::kRange) {
+    switch (y.kind) {
+      case Kind::kPoint:
+        return FeetOverlap(y, x);
+      case Kind::kRange:
+        return !(*x.b < *y.a) && !(*y.b < *x.a);
+      case Kind::kLowerBound:
+        return !(*x.b < *y.a);
+      default:
+        break;
+    }
+  }
+  if (x.kind == Kind::kLowerBound && y.kind != Kind::kLowerBound) {
+    return FeetOverlap(y, x);
+  }
+  return true;  // lower bound × lower bound
+}
+
+/// One method's result depends on the membership count the other changes —
+/// a conflict no key reasoning can dissolve.
+bool SizeCoupled(const MethodSpec& s1, const MethodSpec& s2) {
+  return (s1.observes_size && s2.size_delta != 0) ||
+         (s2.observes_size && s1.size_delta != 0);
+}
 }  // namespace
 
 void CompatibilityRegistry::DeclareMethod(TypeId type,
@@ -55,11 +146,201 @@ void CompatibilityRegistry::DefinePredicate(TypeId type, const std::string& m1,
   Recompile();
 }
 
+CompatibilityRegistry::DerivedCell CompatibilityRegistry::DeriveCell(
+    const MethodSpec& s1, const MethodSpec& s2) {
+  if (SizeCoupled(s1, s2)) return DerivedCell::kConflict;
+  // Commutativity needs every (write, write/read) footprint pair disjoint;
+  // read/read intersection is harmless.
+  const Overlap terms[] = {FootOverlap(s1.writes, s2.writes),
+                           FootOverlap(s1.writes, s2.reads),
+                           FootOverlap(s1.reads, s2.writes)};
+  DerivedCell cell = DerivedCell::kCompatible;
+  for (Overlap o : terms) {
+    if (o == Overlap::kAlways) return DerivedCell::kConflict;
+    if (o == Overlap::kArgDep) cell = DerivedCell::kPredicate;
+  }
+  return cell;
+}
+
+bool CompatibilityRegistry::SpecsCommute(const MethodSpec& s1, const Args& a1,
+                                         const MethodSpec& s2,
+                                         const Args& a2) {
+  if (SizeCoupled(s1, s2)) return false;
+  const ConcreteFoot w1 = Resolve(s1.writes, a1);
+  const ConcreteFoot r1 = Resolve(s1.reads, a1);
+  const ConcreteFoot w2 = Resolve(s2.writes, a2);
+  const ConcreteFoot r2 = Resolve(s2.reads, a2);
+  return !FeetOverlap(w1, w2) && !FeetOverlap(w1, r2) && !FeetOverlap(r1, w2);
+}
+
+void CompatibilityRegistry::DefineMethodSpec(TypeId type,
+                                             const std::string& method,
+                                             const MethodSpec& spec) {
+  MethodInterner::Global().Intern(method);
+  WriterMutexLock guard(mu_);
+  auto& list = methods_[type];
+  if (std::find(list.begin(), list.end(), method) == list.end()) {
+    list.push_back(method);
+  }
+  specs_[type][method] = spec;
+  if (spec.exact) {
+    auto& type_entries = table_[type];
+    for (const auto& [other, other_spec] : specs_[type]) {
+      if (!other_spec.exact) continue;  // inexact specs derive nothing
+      bool swapped = false;
+      const PairKey key = MakeKey(method, other, &swapped);
+      // A hand-written (or previously derived — same algebra, same result)
+      // cell wins; derivation only fills pairs nobody specified. The matrix
+      // verifier still re-derives every exact pair, so a hand-written cell
+      // that contradicts the specs is reported, not silently kept.
+      if (type_entries.find(key) != type_entries.end()) continue;
+      Entry e;
+      switch (DeriveCell(spec, other_spec)) {
+        case DerivedCell::kCompatible:
+          e.compatible = true;
+          break;
+        case DerivedCell::kConflict:
+          e.compatible = false;
+          break;
+        case DerivedCell::kPredicate: {
+          e.is_predicate = true;
+          const MethodSpec s1 = spec;
+          const MethodSpec s2 = other_spec;
+          e.pred = [s1, s2](const Args& a1, const Args& a2) {
+            return SpecsCommute(s1, a1, s2, a2);
+          };
+          // The predicate contract hands the first registered method's args
+          // first; registration order here is (method, other) == (s1, s2).
+          e.swapped = swapped;
+          break;
+        }
+      }
+      type_entries[key] = std::move(e);
+    }
+  }
+  Recompile();
+}
+
+std::optional<MethodSpec> CompatibilityRegistry::MethodSpecOf(
+    TypeId type, MethodId m) const {
+  const Compiled* compiled = compiled_.load(std::memory_order_acquire);
+  if (compiled != nullptr) {
+    const Compiled::TypeTable* table = compiled->TableFor(type);
+    if (table != nullptr) {
+      auto it = table->specs.find(m);
+      if (it != table->specs.end()) return it->second;
+    }
+  }
+  return GenericMethodSpec(m);
+}
+
+std::optional<MethodSpec> CompatibilityRegistry::GenericMethodSpec(
+    MethodId m) {
+  using namespace generic_ids;
+  MethodSpec s;
+  switch (m) {
+    case kInsert:
+      s.writes = KeyRef::Point(0);
+      s.size_delta = 1;
+      return s;
+    case kRemove:
+      s.reads = KeyRef::Point(0);  // observes presence of the key
+      s.writes = KeyRef::Point(0);
+      s.size_delta = -1;
+      return s;
+    case kSelect:
+    case kMember:
+      s.reads = KeyRef::Point(0);
+      return s;
+    case kRangeScan:
+      s.reads = KeyRef::Range(0, 1);
+      return s;
+    case kScan:
+      s.reads = KeyRef::All();
+      return s;
+    case kSize:
+      s.observes_size = true;
+      return s;
+    default:
+      return std::nullopt;  // Get/Put: atomic objects have no key space
+  }
+}
+
+bool CompatibilityRegistry::KeyInterval(TypeId type, MethodId m,
+                                        const Args& args, int64_t* lo,
+                                        int64_t* hi) const {
+  std::optional<MethodSpec> spec = MethodSpecOf(type, m);
+  // Size dependence is not key-local: a size-observing method must never
+  // carry an interval, or the disjointness precheck could skip an entry the
+  // size coupling makes it conflict with.
+  if (!spec.has_value() || spec->observes_size) return false;
+  bool have = false;
+  int64_t l = 0;
+  int64_t h = 0;
+  auto widen = [&](int64_t flo, int64_t fhi) {
+    if (!have) {
+      l = flo;
+      h = fhi;
+      have = true;
+    } else {
+      l = std::min(l, flo);
+      h = std::max(h, fhi);
+    }
+  };
+  auto int_arg = [&args](uint8_t i, int64_t* out) {
+    if (i >= args.size() || args[i].type() != Value::Type::kInt) return false;
+    *out = args[i].AsInt();
+    return true;
+  };
+  auto fold = [&](const KeyRef& f) {
+    int64_t a = 0;
+    int64_t b = 0;
+    switch (f.kind) {
+      case KeyRef::Kind::kNone:
+        return true;
+      case KeyRef::Kind::kAll:
+        widen(INT64_MIN, INT64_MAX);
+        return true;
+      case KeyRef::Kind::kPoint:
+        if (!int_arg(f.arg_a, &a)) return false;
+        widen(a, a);
+        return true;
+      case KeyRef::Kind::kRange:
+        if (!int_arg(f.arg_a, &a) || !int_arg(f.arg_b, &b)) return false;
+        widen(a, b);
+        return true;
+      case KeyRef::Kind::kLowerBound:
+        if (!int_arg(f.arg_a, &a)) return false;
+        widen(a, INT64_MAX);
+        return true;
+    }
+    return false;
+  };
+  if (!fold(spec->reads) || !fold(spec->writes) || !have) return false;
+  *lo = l;
+  *hi = h;
+  return true;
+}
+
+std::vector<std::string> CompatibilityRegistry::SpecMethodsOf(
+    TypeId type, bool exact_only) const {
+  ReaderMutexLock guard(mu_);
+  std::vector<std::string> out;
+  auto it = specs_.find(type);
+  if (it == specs_.end()) return out;
+  for (const auto& [name, spec] : it->second) {
+    if (exact_only && !spec.exact) continue;
+    out.push_back(name);  // std::map iteration: already name-ordered
+  }
+  return out;
+}
+
 void CompatibilityRegistry::Recompile() {
   auto compiled = std::make_unique<Compiled>();
   MethodInterner& interner = MethodInterner::Global();
+  std::map<TypeId, Compiled::TypeTable> tables;
   for (const auto& [type, entries] : table_) {
-    Compiled::TypeTable table;
+    Compiled::TypeTable& table = tables[type];
     // Every registered name is interned here (cold path), so the table
     // covers all ids the conflict test can ever present for this type;
     // names interned later read kUnknown via the dim bound check.
@@ -100,6 +381,17 @@ void CompatibilityRegistry::Recompile() {
         table.args_sensitive[b] = 1;
       }
     }
+  }
+  // Attach compiled specs. A type with specs but no entries still gets a
+  // table — with dim 0, so every cell reads kUnknown — purely to carry the
+  // specs for MethodSpecOf / KeyInterval.
+  for (const auto& [type, spec_map] : specs_) {
+    Compiled::TypeTable& table = tables[type];
+    for (const auto& [name, spec] : spec_map) {
+      table.specs[interner.Intern(name)] = spec;
+    }
+  }
+  for (auto& [type, table] : tables) {
     if (type <= kMaxDenseTypeId) {
       if (compiled->dense_types.size() <= type) {
         compiled->dense_types.resize(type + 1);
@@ -153,10 +445,13 @@ bool CompatibilityRegistry::Commute(TypeId type, MethodId m1, const Args& a1,
 
 bool CompatibilityRegistry::ArgsMatter(TypeId type, MethodId m) const {
   using namespace generic_ids;
-  // Key-addressed generic ops commute iff their keys differ (GenericCommute)
-  // — argument-sensitive for any type, since unknown cells fall through to
-  // the generic rules.
-  if (m == kInsert || m == kRemove || m == kSelect) return true;
+  // Key-addressed generic ops commute iff their keys differ / ranges miss
+  // (GenericCommute) — argument-sensitive for any type, since unknown cells
+  // fall through to the generic rules.
+  if (m == kInsert || m == kRemove || m == kSelect || m == kMember ||
+      m == kRangeScan) {
+    return true;
+  }
   const Compiled* compiled = compiled_.load(std::memory_order_acquire);
   if (compiled == nullptr) return false;
   const Compiled::TypeTable* table = compiled->TableFor(type);
@@ -193,8 +488,12 @@ std::optional<bool> CompatibilityRegistry::GenericCommute(MethodId m1,
   }
 
   // Set objects.
-  const bool m1_read = (m1 == kSelect || m1 == kScan || m1 == kSize);
-  const bool m2_read = (m2 == kSelect || m2 == kScan || m2 == kSize);
+  auto is_read = [](MethodId m) {
+    return m == kSelect || m == kScan || m == kSize || m == kMember ||
+           m == kRangeScan;
+  };
+  const bool m1_read = is_read(m1);
+  const bool m2_read = is_read(m2);
   if (m1_read && m2_read) return true;
   // One side updates (Insert/Remove).
   const MethodId other = m1_read ? m1 : m2;
@@ -203,8 +502,15 @@ std::optional<bool> CompatibilityRegistry::GenericCommute(MethodId m1,
   if (other == kScan || other == kSize) {
     return false;  // membership-sensitive reads conflict with updates
   }
-  // Key-addressed pairs (Insert/Remove/Select in any combination): commute
-  // iff they address different keys.
+  if (other == kRangeScan) {
+    // Update vs range read: commute iff the updated key falls outside the
+    // closed scan range [lo, hi]; missing arguments assume a clash.
+    if (upd_args.empty() || other_args.size() < 2) return false;
+    const Value& k = upd_args[0];
+    return k < other_args[0] || other_args[1] < k;
+  }
+  // Key-addressed pairs (Insert/Remove/Select/Member in any combination):
+  // commute iff they address different keys.
   return keys_differ(upd_args, other_args);
 }
 
@@ -323,6 +629,25 @@ bool CompatibilityRegistry::TestOnlyCorruptArgsSensitive(TypeId type,
   auto* table = const_cast<Compiled::TypeTable*>(compiled->TableFor(type));
   if (table == nullptr || id >= table->dim) return false;
   table->args_sensitive[id] = sensitive ? 1 : 0;
+  return true;
+}
+
+bool CompatibilityRegistry::TestOnlyCorruptSpec(TypeId type,
+                                                const std::string& method,
+                                                const MethodSpec& spec) {
+  const MethodId id = MethodInterner::Global().Lookup(method);
+  if (id == kInvalidMethodId) return false;
+  auto* compiled = const_cast<Compiled*>(
+      compiled_.load(std::memory_order_acquire));
+  if (compiled == nullptr) return false;
+  auto* table = const_cast<Compiled::TypeTable*>(compiled->TableFor(type));
+  if (table == nullptr) return false;
+  auto it = table->specs.find(id);
+  if (it == table->specs.end()) return false;
+  // Swap the spec WITHOUT re-deriving the cells it once produced — the
+  // published matrix now disagrees with the published footprints, which is
+  // exactly the defect the derivation-agreement check must catch.
+  it->second = spec;
   return true;
 }
 

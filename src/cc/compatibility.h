@@ -46,7 +46,69 @@ inline constexpr const char* kRemove = "Remove";   // args: [key]
 inline constexpr const char* kSelect = "Select";   // args: [key]
 inline constexpr const char* kScan = "Scan";       // args: []
 inline constexpr const char* kSize = "Size";       // args: []
+inline constexpr const char* kMember = "Member";   // args: [key]
+inline constexpr const char* kRangeScan = "RangeScan";  // args: [lo, hi]
 }  // namespace generic_ops
+
+/// \brief Where a method's key footprint lives in its argument list.
+///
+/// One footprint describes the set of member keys a method may read or
+/// write inside its object, as a function of the actual arguments: nothing,
+/// one point key, a closed range, every key, or a half-open lower-bounded
+/// range (an "allocates at or above this hint" postcondition, e.g.
+/// NewOrder's fresh OrderNo).
+struct KeyRef {
+  enum class Kind : uint8_t {
+    kNone = 0,        ///< no keyed access
+    kPoint = 1,       ///< exactly the key in args[arg_a]
+    kRange = 2,       ///< the closed range [args[arg_a], args[arg_b]]
+    kAll = 3,         ///< every key (whole-set scan)
+    kLowerBound = 4,  ///< [args[arg_a], +inf)
+  };
+  Kind kind = Kind::kNone;
+  uint8_t arg_a = 0;  ///< argument index of the point / range-low key
+  uint8_t arg_b = 0;  ///< argument index of the range-high key (kRange)
+
+  static KeyRef None() { return {}; }
+  static KeyRef Point(uint8_t arg) { return {Kind::kPoint, arg, 0}; }
+  static KeyRef Range(uint8_t lo_arg, uint8_t hi_arg) {
+    return {Kind::kRange, lo_arg, hi_arg};
+  }
+  static KeyRef All() { return {Kind::kAll, 0, 0}; }
+  static KeyRef LowerBound(uint8_t arg) {
+    return {Kind::kLowerBound, arg, 0};
+  }
+};
+
+/// \brief Declarative pre/postcondition footprint of one method over the
+/// keyed members of a set-like object: which keys it reads, which it
+/// writes, and how it interacts with the membership count.
+///
+/// Two uses (DESIGN.md §5.8):
+///  * derivation — for a pair of `exact` specs, the commutativity verdict
+///    (static cell or key-overlap predicate) is *computed* from the two
+///    footprints instead of hand-written (CompatibilityRegistry::
+///    DefineMethodSpec), and tools/matrix_verify re-derives every such cell
+///    to prove the published tables agree with the algebra;
+///  * runtime key intervals — the lock manager asks KeyInterval() for the
+///    concrete [lo, hi] an invocation touches and skips provably disjoint
+///    queue entries before consulting the matrix (keyrange_locks).
+struct MethodSpec {
+  KeyRef reads;
+  KeyRef writes;
+  /// The method's result depends on the membership count (e.g. Size);
+  /// conflicts with any size_delta != 0 method regardless of keys.
+  bool observes_size = false;
+  /// Net membership-count change (+1 insert, -1 remove, 0 otherwise).
+  int size_delta = 0;
+  /// True: the footprint is COMPLETE — everything the method depends on or
+  /// changes inside the object is captured, so matrix cells may be derived
+  /// from it. False: an upper-bound footprint used only for the runtime
+  /// key-interval annotation (the hand-written matrix stays authoritative);
+  /// e.g. Item::NewOrder, whose NextOrderNo/QuantityOnHand couplings live
+  /// outside the OrderNo key space.
+  bool exact = true;
+};
 
 /// \brief Per-type compatibility specification.
 ///
@@ -72,6 +134,58 @@ class CompatibilityRegistry {
 
   /// Declare a method name so it shows up in MethodsOf() / matrix printing.
   void DeclareMethod(TypeId type, const std::string& method);
+
+  /// Register the declarative footprint of (type, method) and — for every
+  /// pair of *exact* specs of this type that has no hand-written entry yet —
+  /// derive and install the matrix cell from the two footprints: a static
+  /// commute/conflict cell when the verdict is argument-independent, a
+  /// key-overlap predicate (SpecsCommute over the actual arguments)
+  /// otherwise. Also declares the method. Non-exact specs derive no cells;
+  /// they only feed the runtime key-interval annotation (KeyInterval).
+  void DefineMethodSpec(TypeId type, const std::string& method,
+                        const MethodSpec& spec);
+
+  /// The spec of (type, m) from the compiled snapshot, falling back to the
+  /// built-in generic-operation specs; nullopt if neither exists.
+  std::optional<MethodSpec> MethodSpecOf(TypeId type, MethodId m) const;
+
+  /// Built-in footprints of the generic set operations (Insert, Remove,
+  /// Select, Member, RangeScan, Scan, Size). nullopt for Get/Put (atomic
+  /// objects have no key space) and for non-generic ids.
+  static std::optional<MethodSpec> GenericMethodSpec(MethodId m);
+
+  /// Closed key interval the invocation (type, m, args) may touch: the hull
+  /// of its spec's read+write footprints under `args`. False — no interval,
+  /// caller must assume the whole object — when there is no spec, the
+  /// method observes the membership count (size dependence is not
+  /// key-local), the footprint is empty, or a footprint argument is
+  /// missing / not an integer.
+  bool KeyInterval(TypeId type, MethodId m, const Args& args, int64_t* lo,
+                   int64_t* hi) const;
+
+  // --- derivation algebra (static; also used by cc/matrix_verifier to
+  // re-derive and cross-check every published cell) ------------------------
+
+  enum class DerivedCell : uint8_t { kCompatible, kConflict, kPredicate };
+
+  /// The cell the two footprints imply: conflict if any write footprint
+  /// always overlaps the other's read/write footprint or the pair is
+  /// size-coupled (one observes the count the other changes); predicate if
+  /// some overlap depends on the actual arguments; compatible otherwise.
+  static DerivedCell DeriveCell(const MethodSpec& s1, const MethodSpec& s2);
+
+  /// Runtime evaluation of a derived predicate cell: the invocations
+  /// commute iff no (write, write/read) footprint pair overlaps under the
+  /// actual arguments and the pair is not size-coupled. A footprint whose
+  /// argument is missing is assumed to overlap everything (safe default,
+  /// mirroring the generic rules' empty-args clash).
+  static bool SpecsCommute(const MethodSpec& s1, const Args& a1,
+                           const MethodSpec& s2, const Args& a2);
+
+  /// Methods of `type` with a registered spec, in name order; `exact_only`
+  /// filters to the derivation-eligible ones.
+  std::vector<std::string> SpecMethodsOf(TypeId type,
+                                         bool exact_only = false) const;
 
   /// Do invocations (m1, a1) and (m2, a2) on the same object of `type`
   /// commute? Hot path: dense compiled tables over interned ids; static
@@ -162,6 +276,13 @@ class CompatibilityRegistry {
   bool TestOnlyCorruptArgsSensitive(TypeId type, const std::string& m,
                                     bool sensitive);
 
+  /// Overwrite the published snapshot's spec for (type, method) WITHOUT
+  /// recompiling or re-deriving — seeds a spec/matrix disagreement for the
+  /// verifier's derivation-agreement mutation tests. Returns false if the
+  /// method has no compiled spec.
+  bool TestOnlyCorruptSpec(TypeId type, const std::string& method,
+                           const MethodSpec& spec);
+
   /// For matrix printing: the static entry, or nullopt if the pair is
   /// predicate-based or unregistered.
   std::optional<bool> StaticEntry(TypeId type, const std::string& m1,
@@ -207,6 +328,9 @@ class CompatibilityRegistry {
       /// Directional predicate refs keyed by (m1, m2) ids; consulted only
       /// when the cell says kPredicate.
       std::map<std::pair<MethodId, MethodId>, PredRef> preds;
+      /// Registered method specs by id (KeyInterval / MethodSpecOf); the
+      /// generic-op fallback is layered on in MethodSpecOf, not stored.
+      std::map<MethodId, MethodSpec> specs;
 
       Cell CellAt(MethodId m1, MethodId m2) const {
         if (m1 >= dim || m2 >= dim) return kUnknown;
@@ -239,6 +363,10 @@ class CompatibilityRegistry {
   mutable SharedMutex mu_;
   std::map<TypeId, std::map<PairKey, Entry>> table_ SEMCC_GUARDED_BY(mu_);
   std::map<TypeId, std::vector<std::string>> methods_ SEMCC_GUARDED_BY(mu_);
+  /// Registered method specs (DefineMethodSpec), by type and method name;
+  /// compiled into each snapshot's TypeTable::specs at Recompile time.
+  std::map<TypeId, std::map<std::string, MethodSpec>> specs_
+      SEMCC_GUARDED_BY(mu_);
 
   /// Published snapshot; old versions stay alive in snapshots_ so readers
   /// can keep dereferencing a stale pointer without coordination.

@@ -80,6 +80,16 @@ class GrantCache {
     /// false, re-acquires with *different* args — e.g. repeated Put of new
     /// values — still hit.
     bool args_matter = false;
+    /// Key-interval annotation of the published target (keyrange_locks).
+    /// Checked on every hit, even for args-insensitive methods: the
+    /// interval derives from the arguments, so an args-insensitive method
+    /// can still carry a different interval per invocation, and a hit must
+    /// reproduce the published entry's annotation exactly (foreign scans
+    /// judge this class by that entry's interval). Defaults make the
+    /// comparison vacuous when the flag is off.
+    int64_t key_lo = 0;
+    int64_t key_hi = 0;
+    bool has_interval = false;
     /// Acquirer's argument list; points into the acquiring SubTxn, which
     /// the TxnTree keeps alive for at least as long as this cache.
     const Args* args = nullptr;

@@ -47,9 +47,16 @@ std::string LockTarget::ToString() const {
   const char* space_name = space == Space::kObject   ? "obj"
                            : space == Space::kRecord ? "rec"
                                                      : "page";
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%s:%llu", space_name,
-                static_cast<unsigned long long>(key));
+  char buf[96];
+  if (has_interval) {
+    std::snprintf(buf, sizeof(buf), "%s:%llu[%lld,%lld]", space_name,
+                  static_cast<unsigned long long>(key),
+                  static_cast<long long>(key_lo),
+                  static_cast<long long>(key_hi));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s:%llu", space_name,
+                  static_cast<unsigned long long>(key));
+  }
   return buf;
 }
 
@@ -59,7 +66,7 @@ std::string LockStats::ToString() const {
       buf, sizeof(buf),
       "acquires=%llu blocked=%llu commute=%llu case1=%llu case2=%llu "
       "root_waits=%llu retained=%llu deadlocks=%llu timeouts=%llu "
-      "fast_path=%llu coalesced=%llu memo=%llu",
+      "fast_path=%llu coalesced=%llu memo=%llu keyrange=%llu",
       static_cast<unsigned long long>(acquires),
       static_cast<unsigned long long>(blocked_acquires),
       static_cast<unsigned long long>(commute_grants),
@@ -71,7 +78,8 @@ std::string LockStats::ToString() const {
       static_cast<unsigned long long>(timeouts),
       static_cast<unsigned long long>(fast_path_hits),
       static_cast<unsigned long long>(coalesced_grants),
-      static_cast<unsigned long long>(memo_hits));
+      static_cast<unsigned long long>(memo_hits),
+      static_cast<unsigned long long>(keyrange_skips));
   return buf;
 }
 
@@ -90,6 +98,7 @@ std::string LockStats::ToJson() const {
   w.Field("fast_path_misses", fast_path_misses);
   w.Field("coalesced_grants", coalesced_grants);
   w.Field("memo_hits", memo_hits);
+  w.Field("keyrange_skips", keyrange_skips);
   w.Field("granted_entries", granted_entries);
   w.Field("released_entries", released_entries);
   w.Field("wakeups", wakeups);
@@ -141,6 +150,7 @@ LockStats LockManager::stats() const {
   s.fast_path_misses = counters_.Sum(kCtrFastPathMisses);
   s.coalesced_grants = counters_.Sum(kCtrCoalescedGrants);
   s.memo_hits = counters_.Sum(kCtrMemoHits);
+  s.keyrange_skips = counters_.Sum(kCtrKeyrangeSkips);
   s.granted_entries = counters_.Sum(kCtrGrantedEntries);
   s.released_entries = counters_.Sum(kCtrReleasedEntries);
   s.wakeups = counters_.Sum(kCtrWakeups);
@@ -163,6 +173,7 @@ LockStats LockManager::shard_stats(uint32_t shard) const {
   s.fast_path_misses = counters_.StripeValue(shard, kCtrFastPathMisses);
   s.coalesced_grants = counters_.StripeValue(shard, kCtrCoalescedGrants);
   s.memo_hits = counters_.StripeValue(shard, kCtrMemoHits);
+  s.keyrange_skips = counters_.StripeValue(shard, kCtrKeyrangeSkips);
   s.granted_entries = counters_.StripeValue(shard, kCtrGrantedEntries);
   s.released_entries = counters_.StripeValue(shard, kCtrReleasedEntries);
   s.wakeups = counters_.StripeValue(shard, kCtrWakeups);
@@ -185,6 +196,11 @@ void LockManager::EmitLockEvent(trace::EventKind kind, SubTxn* t,
   e.other = blocker != nullptr ? blocker->id() : 0;
   e.value = value;
   e.flags = flags;
+  if (target.has_interval) {
+    e.key_lo = target.key_lo;
+    e.key_hi = target.key_hi;
+    e.flags |= trace::kFlagKeyRange;
+  }
   e.set_method(t->method());
   trace::Emit(e);
 }
@@ -324,9 +340,10 @@ SubTxn* LockManager::TestConflict(const LockEntry& h, SubTxn* r,
 }
 
 void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
-                                  uint64_t my_seq, SubTxn* t, bool is_write,
-                                  uint32_t stripe, bool count_stats,
-                                  bool memoize, ScanResult* out) {
+                                  const LockTarget& target, uint64_t my_seq,
+                                  SubTxn* t, bool is_write, uint32_t stripe,
+                                  bool count_stats, bool memoize,
+                                  ScanResult* out) {
   (void)shard;  // capability-only parameter (REQUIRES(shard.mu))
   out->Clear();
   for (const LockEntry& e : q.entries) {
@@ -337,6 +354,24 @@ void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
     // behind foreign waiters (which wait for THIS transaction's completion)
     // would deadlock the rollback itself.
     if (!e.granted && (e.seq > my_seq || t->compensation())) continue;
+    // Key-range precheck (keyrange_locks): provably disjoint key intervals
+    // commute by key disjointness — whatever the coarse per-object matrix
+    // would say — so the pair is nil without a conflict test. This is the
+    // semantic escalation of DESIGN.md §5.8; sound because an interval is
+    // only annotated from an (exact or upper-bound) method footprint, never
+    // for size-observing methods. Same-tree entries fall through to the
+    // ordinary kSameTxn verdict so the commute counters keep meaning
+    // "foreign pair commuted" with the flag on or off.
+    if (KeyIntervalsDisjoint(e, target) && !e.acquirer->SameRootAs(t)) {
+      if (count_stats) {
+        counters_.Inc(stripe, kCtrKeyrangeSkips);
+        counters_.Inc(stripe, kCtrCommuteGrants);
+        if (out->grant_relief != ConflictOutcome::kCase1Grant) {
+          out->grant_relief = ConflictOutcome::kCommute;
+        }
+      }
+      continue;
+    }
     if (memoize) {
       // Nil verdicts are stable for a fixed (entry, requester) — states
       // only move active -> terminal — so one memoized across this
@@ -476,8 +511,10 @@ void LockManager::InvariantViolation(const char* kind,
 }
 
 void LockManager::CheckGrantInvariants(const LockShard& shard,
-                                       const LockQueue& q, uint64_t my_seq,
-                                       SubTxn* t, bool is_write) {
+                                       const LockQueue& q,
+                                       const LockTarget& target,
+                                       uint64_t my_seq, SubTxn* t,
+                                       bool is_write) {
   (void)shard;
   // Independently re-derive the grant decision: every other granted (or
   // earlier-queued, FCFS) entry must pass test-conflict against `t`. A
@@ -485,6 +522,9 @@ void LockManager::CheckGrantInvariants(const LockShard& shard,
   for (const LockEntry& e : q.entries) {
     if (e.acquirer == t) continue;
     if (!e.granted && (e.seq > my_seq || t->compensation())) continue;
+    // Mirror the scan's key-range precheck: a disjoint-interval pair is nil
+    // by key disjointness even where the matrix conflicts.
+    if (KeyIntervalsDisjoint(e, target)) continue;
     ConflictOutcome why = ConflictOutcome::kNoLock;
     SubTxn* b = TestConflict(e, t, is_write, &why);
     if (b != nullptr) {
@@ -656,20 +696,19 @@ inline bool MaskHasShard(uint64_t mask, size_t idx) {
 }
 }  // namespace
 
-std::list<LockEntry>::iterator LockManager::AppendEntry(LockShard& shard,
-                                                        LockQueue& q,
-                                                        SubTxn* t,
-                                                        bool is_write,
-                                                        bool granted,
-                                                        uint64_t seq) {
+std::list<LockEntry>::iterator LockManager::AppendEntry(
+    LockShard& shard, LockQueue& q, const LockTarget& target, SubTxn* t,
+    bool is_write, bool granted, uint64_t seq) {
+  const LockEntry entry{t,       t,   t->method_id(),
+                        is_write,     granted,
+                        /*count=*/1,  seq,
+                        target.key_lo, target.key_hi, target.has_interval};
   if (options_.pool_entries && !shard.free_entries.empty()) {
     q.entries.splice(q.entries.end(), shard.free_entries,
                      shard.free_entries.begin());
-    q.entries.back() =
-        LockEntry{t, t, t->method_id(), is_write, granted, /*count=*/1, seq};
+    q.entries.back() = entry;
   } else {
-    q.entries.push_back(
-        LockEntry{t, t, t->method_id(), is_write, granted, /*count=*/1, seq});
+    q.entries.push_back(entry);
   }
   // Membership grew: any published grant-cache slot on this queue may now
   // owe the new entry FCFS priority — invalidate them all.
@@ -733,6 +772,14 @@ bool LockManager::TryFastPath(SubTxn* t, const LockTarget& target,
     return false;
   }
   if (slot->args_matter && !(*slot->args == t->args())) return false;
+  // The published entry's key-interval annotation must match exactly: an
+  // args-insensitive method can still derive a different interval per
+  // invocation, and foreign scans judge this verdict class by the published
+  // entry's interval. Vacuously true while keyrange_locks is off.
+  if (slot->key_lo != target.key_lo || slot->key_hi != target.key_hi ||
+      slot->has_interval != target.has_interval) {
+    return false;
+  }
   // Queue membership unchanged since publication? Appends bump the epoch
   // under the shard mutex; an acquire load here orders the check after any
   // append we could possibly owe FCFS priority to. A concurrent in-flight
@@ -747,7 +794,8 @@ bool LockManager::TryFastPath(SubTxn* t, const LockTarget& target,
 }
 
 LockEntry* LockManager::FindCoalescible(const LockShard& shard, LockQueue& q,
-                                        SubTxn* t, bool is_write) {
+                                        const LockTarget& target, SubTxn* t,
+                                        bool is_write) {
   (void)shard;  // capability-only parameter (REQUIRES(shard.mu))
   for (LockEntry& e : q.entries) {
     if (!e.granted || e.acquirer == t) continue;
@@ -755,6 +803,14 @@ LockEntry* LockManager::FindCoalescible(const LockShard& shard, LockQueue& q,
     if (a->root() != t->root() || a->parent() != t->parent()) continue;
     if (e.method_id != t->method_id() || e.is_write != is_write ||
         a->type() != t->type() || a->object() != t->object()) {
+      continue;
+    }
+    // Only an entry carrying the identical key-interval annotation may
+    // absorb this request: foreign scans derive disjointness verdicts from
+    // the entry's interval, which must answer for every coalesced
+    // acquisition. Vacuously true while keyrange_locks is off.
+    if (e.key_lo != target.key_lo || e.key_hi != target.key_hi ||
+        e.has_interval != target.has_interval) {
       continue;
     }
     if (a->compensation()) continue;  // keep compensation entries distinct
@@ -782,11 +838,34 @@ void LockManager::PublishSlot(LockQueue& q, const LockTarget& target,
   slot.is_write = is_write;
   slot.args_matter = compat_->ArgsMatter(t->type(), t->method_id());
   slot.args = &t->args();
+  slot.key_lo = target.key_lo;
+  slot.key_hi = target.key_hi;
+  slot.has_interval = target.has_interval;
   t->root()->EnsureGrantCache().Put(target, slot);
 }
 
-Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
+void LockManager::AnnotateKeyInterval(SubTxn* t, LockTarget* target) const {
+  if (!options_.keyrange_locks ||
+      options_.protocol != Protocol::kSemanticONT ||
+      target->space != LockTarget::Space::kObject) {
+    return;
+  }
+  int64_t lo = 0;
+  int64_t hi = 0;
+  if (compat_->KeyInterval(t->type(), t->method_id(), t->args(), &lo, &hi)) {
+    target->key_lo = lo;
+    target->key_hi = hi;
+    target->has_interval = true;
+  }
+}
+
+Status LockManager::Acquire(SubTxn* t, const LockTarget& requested,
                             bool is_write) {
+  // Local annotated copy: the interval is derived per (method, args), not
+  // part of the target's identity, so queue lookup and hashing below see
+  // the same (space, key) the caller named.
+  LockTarget target = requested;
+  AnnotateKeyInterval(t, &target);
   const bool tracing = trace::Active(options_.trace);
   bool cache_miss = false;
   uint32_t idx = 0;
@@ -823,13 +902,13 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
   // and it doubles as the grant-cache publication condition.
   ScanResult scan;
   const uint64_t peek_seq = shard.next_entry_seq;
-  CollectBlockers(shard, q, peek_seq, t, is_write, shard_idx,
+  CollectBlockers(shard, q, target, peek_seq, t, is_write, shard_idx,
                   /*count_stats=*/true, /*memoize=*/false, &scan);
   if (scan.blockers.empty()) {
     const bool semantic_fast = SemanticFastPathApplies(t);
     LockEntry* entry = nullptr;
     if (semantic_fast && options_.coalesce_entries) {
-      entry = FindCoalescible(shard, q, t, is_write);
+      entry = FindCoalescible(shard, q, target, t, is_write);
     }
     if (entry != nullptr) {
       // Identical grant already in the queue: absorb this acquisition into
@@ -840,7 +919,7 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
       counters_.Inc(shard_idx, kCtrCoalescedGrants);
     } else {
       shard.next_entry_seq++;
-      entry = &*AppendEntry(shard, q, t, is_write, /*granted=*/true,
+      entry = &*AppendEntry(shard, q, target, t, is_write, /*granted=*/true,
                             peek_seq);
       counters_.Inc(shard_idx, kCtrGrantedEntries);
     }
@@ -851,7 +930,7 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
     }
     if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
       inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
-      CheckGrantInvariants(shard, q, peek_seq, t, is_write);
+      CheckGrantInvariants(shard, q, target, peek_seq, t, is_write);
       CheckQueueInvariants(shard, q);
       MutexLock g(graph_mu_);
       RecordLockOrder(t, target);
@@ -865,7 +944,7 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
   // Blocked: enter the queue (consuming the peeked seq) and wait.
   shard.next_entry_seq++;
   auto my_it =
-      AppendEntry(shard, q, t, is_write, /*granted=*/false, peek_seq);
+      AppendEntry(shard, q, target, t, is_write, /*granted=*/false, peek_seq);
   const uint64_t my_seq = peek_seq;
   if (tracing) {
     EmitLockEvent(trace::EventKind::kBlock, t, target, shard_idx,
@@ -887,7 +966,7 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
       return Status::Aborted("transaction abort requested while locking " +
                              target.ToString());
     }
-    CollectBlockers(shard, q, my_seq, t, is_write, shard_idx,
+    CollectBlockers(shard, q, target, my_seq, t, is_write, shard_idx,
                     /*count_stats=*/false, options_.memoize_conflicts, &scan);
     if (scan.blockers.empty()) {
       my_it->granted = true;
@@ -895,7 +974,7 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& target,
       t->set_grant_seq(NextSeq());
       if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
         inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
-        CheckGrantInvariants(shard, q, my_seq, t, is_write);
+        CheckGrantInvariants(shard, q, target, my_seq, t, is_write);
         CheckQueueInvariants(shard, q);
         MutexLock g(graph_mu_);
         RecordLockOrder(t, target);

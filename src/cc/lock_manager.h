@@ -180,6 +180,19 @@ struct ProtocolOptions {
   /// written object). Default off for ablation: with the flag off,
   /// RunReadTransaction degrades to the ordinary locking path.
   bool mvcc_reads = false;
+
+  /// Key-range semantic locks on set ADTs (DESIGN.md §5.8). Under
+  /// kSemanticONT, Acquire annotates each request with the closed key
+  /// interval its method touches inside the object (derived from the
+  /// CompatibilityRegistry's declarative method specs and the actual
+  /// arguments), and the conflict scan skips any queue entry whose interval
+  /// is provably disjoint from the requester's — *before* consulting the
+  /// compatibility matrix. Disjoint-key operations on one hot set object
+  /// therefore never conflict, even where the coarse per-object matrix says
+  /// they do. Verdict-preserving when off (entries then carry no intervals
+  /// and the scan degenerates to the matrix path). Default off for
+  /// ablation.
+  bool keyrange_locks = false;
 };
 
 // LockTarget and LockTargetHash live in cc/lock_target.h (included above);
@@ -200,6 +213,15 @@ struct LockEntry {
   /// counted in LockStats::fast_path_hits instead of here.
   uint32_t count;
   uint64_t seq;  ///< FCFS arrival order (per shard; never reused)
+  /// Closed key interval this entry's method touches within the object
+  /// (ProtocolOptions::keyrange_locks; copied from the annotated target at
+  /// append time). Disjoint intervals make the conflict scan skip the pair
+  /// without consulting the matrix. has_interval=false (the default, and
+  /// always with the flag off) means "touches an unknown part of the
+  /// object" and disables the skip for this entry.
+  int64_t key_lo;
+  int64_t key_hi;
+  bool has_interval;
 };
 
 /// \brief Per-target queue of lock entries.
@@ -255,6 +277,10 @@ struct LockStats {
   uint64_t coalesced_grants = 0;
   /// Conflict tests answered from the per-request nil-verdict memo.
   uint64_t memo_hits = 0;
+  /// Queue entries skipped by the key-interval disjointness precheck
+  /// (ProtocolOptions::keyrange_locks) — pairs that never reached the
+  /// compatibility matrix because their key intervals cannot overlap.
+  uint64_t keyrange_skips = 0;
   /// Queue entries that became granted / granted entries removed. At a
   /// quiescent point with every transaction finished these are equal;
   /// mid-run their difference is the number of granted (active + retained)
@@ -454,10 +480,13 @@ class LockManager {
   /// record nil verdicts in out->nil_verdicts — only worth paying for on
   /// the wait loop's re-scans, never on the first scan of an Acquire that
   /// may well grant immediately.
+  /// `target` carries the requester's key-interval annotation (if any) for
+  /// the keyrange_locks disjointness precheck.
   void CollectBlockers(const LockShard& shard, const LockQueue& q,
-                       uint64_t my_seq, SubTxn* t, bool is_write,
-                       uint32_t stripe, bool count_stats, bool memoize,
-                       ScanResult* out) SEMCC_REQUIRES(shard.mu);
+                       const LockTarget& target, uint64_t my_seq, SubTxn* t,
+                       bool is_write, uint32_t stripe, bool count_stats,
+                       bool memoize, ScanResult* out)
+      SEMCC_REQUIRES(shard.mu);
 
   /// Withdraw `t`'s queue entry and wake this shard (abandon paths of
   /// Acquire: abort, deadlock victim, timeout). The caller separately
@@ -488,16 +517,38 @@ class LockManager {
   bool TryFastPath(SubTxn* t, const LockTarget& target, bool is_write,
                    bool* cache_miss, uint32_t* shard_idx);
 
+  /// Stamp `target` with the key interval t's (method, args) touches inside
+  /// the object, per the registry's method specs (keyrange_locks under
+  /// kSemanticONT only; no-op — leaving has_interval false — otherwise or
+  /// when no spec/invalid args make the footprint underivable).
+  void AnnotateKeyInterval(SubTxn* t, LockTarget* target) const;
+
+  /// The keyrange_locks precheck: true iff both sides carry intervals and
+  /// they are provably disjoint (closed-interval test) — the pair then
+  /// commutes by key-disjointness without consulting the matrix.
+  static bool KeyIntervalsDisjoint(const LockEntry& e,
+                                   const LockTarget& target) {
+    return e.has_interval && target.has_interval &&
+           (e.key_hi < target.key_lo || target.key_hi < e.key_lo);
+  }
+
   /// The existing granted entry a repeated identical acquisition may
   /// coalesce onto: same root AND same parent (identical ancestor chain on
   /// both sides of any future test-conflict), same method/mode/type, and
   /// matching args unless the method is argument-insensitive. Null if none.
-  LockEntry* FindCoalescible(const LockShard& shard, LockQueue& q, SubTxn* t,
+  /// `target` additionally constrains the candidate's key interval: only an
+  /// entry carrying the *same* interval annotation may absorb the request
+  /// (an argument-insensitive method can still touch different keys per
+  /// invocation under keyrange_locks).
+  LockEntry* FindCoalescible(const LockShard& shard, LockQueue& q,
+                             const LockTarget& target, SubTxn* t,
                              bool is_write) SEMCC_REQUIRES(shard.mu);
 
   /// Append an entry for `t` (through the shard freelist when pooling is
-  /// on) and bump the queue's append epoch.
+  /// on), copying `target`'s key-interval annotation into it, and bump the
+  /// queue's append epoch.
   std::list<LockEntry>::iterator AppendEntry(LockShard& shard, LockQueue& q,
+                                             const LockTarget& target,
                                              SubTxn* t, bool is_write,
                                              bool granted, uint64_t seq)
       SEMCC_REQUIRES(shard.mu);
@@ -536,7 +587,8 @@ class LockManager {
   /// to be granted: every other granted/earlier entry must pass
   /// test-conflict.
   void CheckGrantInvariants(const LockShard& shard, const LockQueue& q,
-                            uint64_t my_seq, SubTxn* t, bool is_write)
+                            const LockTarget& target, uint64_t my_seq,
+                            SubTxn* t, bool is_write)
       SEMCC_REQUIRES(shard.mu);
 
   /// Queue-local invariants: no waiting entry may belong to a completed
@@ -605,6 +657,7 @@ class LockManager {
     kCtrFastPathMisses,
     kCtrCoalescedGrants,
     kCtrMemoHits,
+    kCtrKeyrangeSkips,
     kCtrGrantedEntries,
     kCtrReleasedEntries,
     kCtrWakeups,

@@ -15,11 +15,26 @@
 
 namespace semcc {
 
-/// \brief What a lock names: an object, a record, or a page.
+/// \brief What a lock names: an object, a record, or a page — optionally
+/// narrowed to a key interval within that object (keyrange_locks).
+///
+/// The interval is an *annotation*, not part of the lock's identity: two
+/// targets naming the same object always share one queue (and one grant-
+/// cache slot family), so FCFS, coalescing, and invalidation stay per-
+/// object. The interval only feeds the conflict scan's disjointness
+/// precheck — entries whose closed intervals [key_lo, key_hi] cannot
+/// overlap the requester's are skipped before the compatibility matrix is
+/// even consulted (DESIGN.md §5.8). operator== and LockTargetHash therefore
+/// deliberately ignore it.
 struct LockTarget {
   enum class Space : uint8_t { kObject = 0, kRecord = 1, kPage = 2 };
   Space space = Space::kObject;
   uint64_t key = 0;
+  /// Closed key interval touched within the object; only meaningful when
+  /// has_interval is set (by LockManager::Acquire under keyrange_locks).
+  int64_t key_lo = 0;
+  int64_t key_hi = 0;
+  bool has_interval = false;
 
   static LockTarget ForObject(Oid oid) { return {Space::kObject, oid}; }
   static LockTarget ForRecord(const Rid& rid) {
@@ -30,7 +45,11 @@ struct LockTarget {
     return {Space::kPage, static_cast<uint64_t>(page)};
   }
 
-  bool operator==(const LockTarget& other) const = default;
+  /// Identity: (space, key) only — the interval annotation is invisible to
+  /// queue lookup and hashing (see class comment).
+  bool operator==(const LockTarget& other) const {
+    return space == other.space && key == other.key;
+  }
   std::string ToString() const;
 };
 

@@ -13,9 +13,9 @@ MethodInterner& MethodInterner::Global() {
 MethodInterner::MethodInterner() {
   // Pre-intern the generic operations at their fixed ids (generic_ids).
   const char* kGenericNames[] = {
-      generic_ops::kGet,    generic_ops::kPut,  generic_ops::kInsert,
+      generic_ops::kGet,    generic_ops::kPut,    generic_ops::kInsert,
       generic_ops::kRemove, generic_ops::kSelect, generic_ops::kScan,
-      generic_ops::kSize};
+      generic_ops::kSize,   generic_ops::kMember, generic_ops::kRangeScan};
   WriterMutexLock guard(mu_);
   for (const char* name : kGenericNames) {
     const MethodId id = static_cast<MethodId>(names_.size());

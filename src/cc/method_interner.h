@@ -39,7 +39,9 @@ inline constexpr MethodId kRemove = 3;
 inline constexpr MethodId kSelect = 4;
 inline constexpr MethodId kScan = 5;
 inline constexpr MethodId kSize = 6;
-inline constexpr MethodId kNumGenericOps = 7;
+inline constexpr MethodId kMember = 7;
+inline constexpr MethodId kRangeScan = 8;
+inline constexpr MethodId kNumGenericOps = 9;
 }  // namespace generic_ids
 
 /// \brief Thread-safe append-only string-to-id table.

@@ -340,6 +340,59 @@ Result<Oid> TxnCtx::SetSelect(Oid set, const Value& key) {
   return member;
 }
 
+Result<bool> TxnCtx::SetMember(Oid set, const Value& key) {
+  auto node_r = BeginAction(set, generic_ops::kMember, {key},
+                            /*is_write=*/false, /*is_leaf=*/true);
+  if (!node_r.ok()) return node_r.status();
+  SubTxn* node = node_r.ValueOrDie();
+  uint64_t observed = 0;
+  Result<Oid> member =
+      snapshot_mode()
+          ? versions_->ReadSetSelect(set, key, root()->snapshot_ts(),
+                                     &observed)
+          : store_->SetSelect(set, key);
+  if (!member.ok() && !member.status().IsNotFound()) {
+    AbortAction(node);
+    return member.status();
+  }
+  if (snapshot_mode()) {
+    node->set_observed_ts(observed);
+    TraceSnapshotRead(node, observed);
+  }
+  CommitAction(node, nullptr, false);
+  return member.ok();
+}
+
+Result<std::vector<std::pair<Value, Oid>>> TxnCtx::SetRangeScan(
+    Oid set, const Value& lo, const Value& hi) {
+  auto node_r = BeginAction(set, generic_ops::kRangeScan, {lo, hi},
+                            /*is_write=*/false, /*is_leaf=*/true);
+  if (!node_r.ok()) return node_r.status();
+  SubTxn* node = node_r.ValueOrDie();
+  uint64_t observed = 0;
+  auto members =
+      snapshot_mode()
+          ? versions_->ReadSetScan(set, root()->snapshot_ts(), &observed)
+          : store_->SetScan(set);
+  if (!members.ok()) {
+    AbortAction(node);
+    return members;
+  }
+  // Filter to [lo, hi] after the physical scan: the store has no ordered
+  // index, so the range semantics (and the narrower lock) live here.
+  std::vector<std::pair<Value, Oid>> in_range;
+  for (auto& [key, oid] : members.ValueOrDie()) {
+    if (key < lo || hi < key) continue;
+    in_range.emplace_back(key, oid);
+  }
+  if (snapshot_mode()) {
+    node->set_observed_ts(observed);
+    TraceSnapshotRead(node, observed);
+  }
+  CommitAction(node, nullptr, false);
+  return in_range;
+}
+
 Result<std::vector<std::pair<Value, Oid>>> TxnCtx::SetScan(Oid set) {
   auto node_r = BeginAction(set, generic_ops::kScan, {}, /*is_write=*/false,
                             /*is_leaf=*/true);

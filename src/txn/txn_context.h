@@ -80,6 +80,15 @@ class TxnCtx {
   Result<Oid> SetSelect(Oid set, const Value& key);
   Result<std::vector<std::pair<Value, Oid>>> SetScan(Oid set);
   Result<size_t> SetSize(Oid set);
+  /// Membership test: Select that locks under the generic Member read mode
+  /// and maps NotFound to false instead of an error.
+  Result<bool> SetMember(Oid set, const Value& key);
+  /// Members with key in the closed range [lo, hi] (Value total order),
+  /// locked under the generic RangeScan mode — with keyrange_locks on, the
+  /// lock carries exactly [lo, hi] instead of the whole key space.
+  Result<std::vector<std::pair<Value, Oid>>> SetRangeScan(Oid set,
+                                                          const Value& lo,
+                                                          const Value& hi);
 
   // --- structure ----------------------------------------------------------
 

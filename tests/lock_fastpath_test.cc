@@ -61,10 +61,12 @@ constexpr TypeId kItemT = 1;  // Ma/Mb commute, Ma/Ma conflict, Mb/Mb commute
 constexpr TypeId kAtomT = 2;  // atomic leaves via generic Get/Put
 constexpr TypeId kFcfsT = 3;  // Fa/Fa commute, Fa/Fb conflict, Fb/Fb conflict
 constexpr TypeId kSetT = 5;   // set object via generic Insert/Remove
+constexpr TypeId kKrngT = 6;  // Wr/Wr matrix-CONFLICT + point key footprint
 constexpr Oid kObjA = 100;
 constexpr Oid kObjB = 200;
 constexpr Oid kObjC = 300;
 constexpr Oid kObjF = 400;
+constexpr Oid kObjK = 500;
 
 struct LockFastPathTest : public ::testing::Test {
   LockFastPathTest() {
@@ -74,6 +76,16 @@ struct LockFastPathTest : public ::testing::Test {
     compat.Define(kFcfsT, "Fa", "Fa", true);
     compat.Define(kFcfsT, "Fa", "Fb", false);
     compat.Define(kFcfsT, "Fb", "Fb", false);
+    // The keyrange escalation shape (§5.8): the matrix says Wr always
+    // conflicts with Wr, but a non-exact footprint says each invocation
+    // only touches the point key args[0] — so with keyrange_locks the lock
+    // manager can prove Wr(1) and Wr(2) independent and skip the cell.
+    compat.Define(kKrngT, "Wr", "Wr", false);
+    MethodSpec wr;
+    wr.reads = KeyRef::Point(0);
+    wr.writes = KeyRef::Point(0);
+    wr.exact = false;
+    compat.DefineMethodSpec(kKrngT, "Wr", wr);
   }
 
   /// All four fast-path mechanisms on, checker off (the lock-free path is
@@ -355,6 +367,152 @@ TEST_F(LockFastPathTest, WarmReacquireAllocatesNothing) {
   lm->ReleaseTree(t1.root());
 }
 
+// --- key-range locks (§5.8) ------------------------------------------------
+
+TEST_F(LockFastPathTest, KeyrangeRelievesDisjointMatrixConflict) {
+  // Two foreign Wr invocations: the matrix cell is CONFLICT, but the key
+  // intervals [1,1] and [2,2] are disjoint, so with keyrange_locks the
+  // second acquisition is granted without a conflict test. Same key still
+  // blocks, and with the flag off the matrix verdict stands unrelieved.
+  ProtocolOptions o = FastOpts();
+  o.keyrange_locks = true;
+  o.wait_timeout = std::chrono::milliseconds(50);
+  auto lm = Make(o);
+  TxnTree ta(TxnTree::NextId(), "A", kDatabaseOid, 0);
+  TxnTree tb(TxnTree::NextId(), "B", kDatabaseOid, 0);
+  TxnTree tc(TxnTree::NextId(), "C", kDatabaseOid, 0);
+  SubTxn* w1 = ta.NewNode(ta.root(), kObjK, kKrngT, "Wr", {Value(1)});
+  SubTxn* w2 = tb.NewNode(tb.root(), kObjK, kKrngT, "Wr", {Value(2)});
+  SubTxn* w1x = tc.NewNode(tc.root(), kObjK, kKrngT, "Wr", {Value(1)});
+  ASSERT_TRUE(lm->Acquire(w1, LockTarget::ForObject(kObjK), true).ok());
+  EXPECT_TRUE(lm->Acquire(w2, LockTarget::ForObject(kObjK), true).ok());
+  EXPECT_GE(lm->stats().keyrange_skips, 1u);
+  EXPECT_GE(lm->stats().commute_grants, 1u);
+  EXPECT_TRUE(
+      lm->Acquire(w1x, LockTarget::ForObject(kObjK), true).IsTimedOut());
+  lm->ReleaseTree(tc.root());
+  lm->ReleaseTree(tb.root());
+  lm->ReleaseTree(ta.root());
+
+  ProtocolOptions off = o;
+  off.keyrange_locks = false;
+  auto lm2 = Make(off);
+  TxnTree td(TxnTree::NextId(), "D", kDatabaseOid, 0);
+  TxnTree te(TxnTree::NextId(), "E", kDatabaseOid, 0);
+  SubTxn* w3 = td.NewNode(td.root(), kObjK, kKrngT, "Wr", {Value(1)});
+  SubTxn* w4 = te.NewNode(te.root(), kObjK, kKrngT, "Wr", {Value(2)});
+  ASSERT_TRUE(lm2->Acquire(w3, LockTarget::ForObject(kObjK), true).ok());
+  EXPECT_TRUE(
+      lm2->Acquire(w4, LockTarget::ForObject(kObjK), true).IsTimedOut());
+  EXPECT_EQ(lm2->stats().keyrange_skips, 0u);
+  lm2->ReleaseTree(te.root());
+  lm2->ReleaseTree(td.root());
+}
+
+TEST_F(LockFastPathTest, KeyrangeFcfsQueuesBehindOverlappingRangeWaiter) {
+  // FCFS (footnote 5) with intervals: D's Insert(7) is disjoint from every
+  // GRANTED lock, but an earlier-queued RangeScan[1,9] waiter overlaps key
+  // 7 — D must queue behind it, not jump the line via the disjointness
+  // precheck.
+  ProtocolOptions o = FastOpts();
+  o.keyrange_locks = true;
+  auto lm = Make(o);
+  const LockTarget target = LockTarget::ForObject(kObjC);
+
+  TxnTree ta(TxnTree::NextId(), "A", kDatabaseOid, 0);
+  SubTxn* a1 = ta.NewNode(ta.root(), kObjC, kSetT, generic_ops::kInsert,
+                          {Value(5)});
+  ASSERT_TRUE(lm->Acquire(a1, target, true).ok());
+
+  TxnTree tb(TxnTree::NextId(), "B", kDatabaseOid, 0);
+  TxnTree tc(TxnTree::NextId(), "C", kDatabaseOid, 0);
+  TxnTree td(TxnTree::NextId(), "D", kDatabaseOid, 0);
+  SubTxn* b1 = tb.NewNode(tb.root(), kObjC, kSetT, generic_ops::kInsert,
+                          {Value(5)});
+  SubTxn* c1 = tc.NewNode(tc.root(), kObjC, kSetT, generic_ops::kRangeScan,
+                          {Value(1), Value(9)});
+  SubTxn* d1 = td.NewNode(td.root(), kObjC, kSetT, generic_ops::kInsert,
+                          {Value(7)});
+
+  Status st_b, st_c, st_d;
+  std::thread thread_b([&]() {
+    st_b = lm->Acquire(b1, target, true);
+    if (st_b.ok()) Complete(lm.get(), b1);
+    Release(lm.get(), &tb, TxnState::kCommitted);
+  });
+  while (lm->NumWaiters() != 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread thread_c([&]() {
+    st_c = lm->Acquire(c1, target, false);
+    if (st_c.ok()) Complete(lm.get(), c1);
+    Release(lm.get(), &tc, TxnState::kCommitted);
+  });
+  while (lm->NumWaiters() != 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread thread_d([&]() { st_d = lm->Acquire(d1, target, true); });
+  while (lm->NumWaiters() != 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // D is genuinely queued: its interval [7,7] passes A's granted [5,5] and
+  // B's waiting [5,5], but C's earlier-queued overlapping [1,9] holds it.
+  EXPECT_EQ(lm->NumWaiters(), 3u);
+
+  // Release the chain: A's commit admits B, B's admits C, C's admits D.
+  Complete(lm.get(), a1);
+  Release(lm.get(), &ta, TxnState::kCommitted);
+  thread_b.join();
+  thread_c.join();
+  thread_d.join();
+  EXPECT_TRUE(st_b.ok()) << st_b.ToString();
+  EXPECT_TRUE(st_c.ok()) << st_c.ToString();
+  EXPECT_TRUE(st_d.ok()) << st_d.ToString();
+  EXPECT_GE(lm->stats().keyrange_skips, 2u);
+  EXPECT_EQ(lm->CheckInvariantsNow(), 0u);
+  lm->ReleaseTree(td.root());
+}
+
+TEST_F(LockFastPathTest, KeyrangeIntervalsGateCoalescingAndGrantCache) {
+  // Wr is argument-INsensitive (conflict cell, no predicates), yet with
+  // keyrange_locks each invocation carries its own interval — so the §5.4
+  // reuse machinery must compare intervals, not just conflict classes:
+  // coalescing may only merge interval-identical entries, and a published
+  // grant-cache slot only serves re-acquires with the identical interval.
+  ProtocolOptions o = FastOpts();
+  o.keyrange_locks = true;
+  o.debug_lock_checks = true;  // mutex path: exercises FindCoalescible
+  auto lm = Make(o);
+  TxnTree t1(TxnTree::NextId(), "T1", kDatabaseOid, 0);
+  const LockTarget target = LockTarget::ForObject(kObjK);
+  SubTxn* w1 = t1.NewNode(t1.root(), kObjK, kKrngT, "Wr", {Value(1)});
+  SubTxn* w2 = t1.NewNode(t1.root(), kObjK, kKrngT, "Wr", {Value(2)});
+  SubTxn* w1b = t1.NewNode(t1.root(), kObjK, kKrngT, "Wr", {Value(1)});
+  ASSERT_TRUE(lm->Acquire(w1, target, true).ok());
+  ASSERT_TRUE(lm->Acquire(w2, target, true).ok());  // interval differs
+  ASSERT_TRUE(lm->Acquire(w1b, target, true).ok()); // merges onto w1's entry
+  auto locks = lm->LocksOn(target);
+  ASSERT_EQ(locks.size(), 2u);
+  EXPECT_EQ(locks[0].count + locks[1].count, 3u);
+  EXPECT_EQ(lm->stats().coalesced_grants, 1u);
+  EXPECT_EQ(lm->CheckInvariantsNow(), 0u);
+  lm->ReleaseTree(t1.root());
+
+  ProtocolOptions fast = FastOpts();
+  fast.keyrange_locks = true;
+  auto lm2 = Make(fast);
+  TxnTree t2(TxnTree::NextId(), "T2", kDatabaseOid, 0);
+  SubTxn* v1 = t2.NewNode(t2.root(), kObjK, kKrngT, "Wr", {Value(1)});
+  SubTxn* v2 = t2.NewNode(t2.root(), kObjK, kKrngT, "Wr", {Value(2)});
+  SubTxn* v2b = t2.NewNode(t2.root(), kObjK, kKrngT, "Wr", {Value(2)});
+  ASSERT_TRUE(lm2->Acquire(v1, target, true).ok());  // publishes [1,1]
+  ASSERT_TRUE(lm2->Acquire(v2, target, true).ok());  // miss: interval [2,2]
+  EXPECT_EQ(lm2->stats().fast_path_hits, 0u);
+  ASSERT_TRUE(lm2->Acquire(v2b, target, true).ok()); // hit: slot now [2,2]
+  EXPECT_EQ(lm2->stats().fast_path_hits, 1u);
+  lm2->ReleaseTree(t2.root());
+}
+
 // --- verdict equivalence across all flag combinations ---------------------
 
 // Runs a fixed single-threaded history touching every verdict family —
@@ -370,6 +528,11 @@ std::vector<int> RunVerdictScript(CompatibilityRegistry* compat, int mask) {
   o.coalesce_entries = (mask & 2) != 0;
   o.memoize_conflicts = (mask & 4) != 0;
   o.pool_entries = (mask & 8) != 0;
+  // Key-range locks must be verdict-preserving on this script: every cell
+  // they skip (disjoint generic set keys) is one the key predicates already
+  // resolve to commute, and overlapping/same-key pairs fall through to the
+  // ordinary conflict test.
+  o.keyrange_locks = (mask & 16) != 0;
   LockManager lm(o, compat);
   std::vector<int> codes;
   auto rec = [&codes](const Status& st) {
@@ -463,7 +626,7 @@ TEST_F(LockFastPathTest, VerdictsIdenticalUnderEveryFlagCombination) {
                        static_cast<int>(StatusCode::kTimedOut)),
             0);
   EXPECT_EQ(baseline.back(), 0);  // no invariant violations
-  for (int mask = 1; mask < 16; ++mask) {
+  for (int mask = 1; mask < 32; ++mask) {
     EXPECT_EQ(RunVerdictScript(&compat, mask), baseline)
         << "verdict divergence with flag mask " << mask;
   }

@@ -37,14 +37,36 @@ void InstallScratchMatrix(CompatibilityRegistry* c) {
                      });
 }
 
-bool HasDiagnostic(const MatrixVerifyReport& report, const std::string& check,
-                   const std::string& detail_substr) {
+constexpr TypeId kSpecType = 78;
+
+/// A registry whose cells are DERIVED from exact footprints (§5.8): a
+/// point-keyed blind insert and a point-keyed read. Every pair involving
+/// the insert compiles to a key-overlap predicate, the read pair to a
+/// static compatible cell — all computed, none hand-written.
+void InstallScratchSpecs(CompatibilityRegistry* c) {
+  MethodSpec ins;
+  ins.writes = KeyRef::Point(0);
+  ins.size_delta = 1;
+  c->DefineMethodSpec(kSpecType, "MvIns", ins);
+  MethodSpec sel;
+  sel.reads = KeyRef::Point(0);
+  c->DefineMethodSpec(kSpecType, "MvSel", sel);
+}
+
+bool HasDiagnosticForType(const MatrixVerifyReport& report, TypeId type,
+                          const std::string& check,
+                          const std::string& detail_substr) {
   return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
                      [&](const MatrixDiagnostic& d) {
-                       return d.check == check && d.type == kScratchType &&
+                       return d.check == check && d.type == type &&
                               d.detail.find(detail_substr) !=
                                   std::string::npos;
                      });
+}
+
+bool HasDiagnostic(const MatrixVerifyReport& report, const std::string& check,
+                   const std::string& detail_substr) {
+  return HasDiagnosticForType(report, kScratchType, check, detail_substr);
 }
 
 TEST(MatrixVerifyTest, WellFormedScratchRegistryPasses) {
@@ -128,6 +150,65 @@ TEST(MatrixVerifyTest, RejectsIncompleteMatrix) {
   const MatrixVerifyReport report = MatrixVerifier(&c).Verify();
   ASSERT_FALSE(report.ok());
   EXPECT_TRUE(HasDiagnostic(report, "matrix-totality", "MvOrphan"))
+      << report.ToString();
+}
+
+TEST(MatrixVerifyTest, WellFormedDerivedSpecsPass) {
+  CompatibilityRegistry c;
+  InstallScratchSpecs(&c);
+  const MatrixVerifyReport report = MatrixVerifier(&c).Verify();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  // The derived cells appear in the dump with their spec lines, so spec
+  // edits show up in the golden table like matrix edits do.
+  const std::string table = MatrixVerifier(&c).DumpTable();
+  for (const char* needle :
+       {"spec MvIns reads=none writes=point(arg0) observes_size=no "
+        "size_delta=1 exact=yes",
+        "spec MvSel reads=point(arg0) writes=none observes_size=no "
+        "size_delta=0 exact=yes",
+        "cell MvIns x MvSel = pred{", "cell MvSel x MvSel = commute"}) {
+    EXPECT_NE(table.find(needle), std::string::npos)
+        << "missing " << needle << " in:\n" << table;
+  }
+}
+
+TEST(MatrixVerifyTest, RejectsCorruptedDerivedCell) {
+  CompatibilityRegistry c;
+  InstallScratchSpecs(&c);
+  // Flip BOTH directions of the derived key-overlap predicate cell to a
+  // static conflict: symmetry still holds, but the published table now
+  // contradicts what the footprint algebra computes from the two exact
+  // specs — the lock manager would block point ops on different keys that
+  // the specs prove independent.
+  ASSERT_TRUE(c.TestOnlyCorruptCell(kSpecType, "MvIns", "MvSel",
+                                    CellKind::kCellConflict));
+  ASSERT_TRUE(c.TestOnlyCorruptCell(kSpecType, "MvSel", "MvIns",
+                                    CellKind::kCellConflict));
+  const MatrixVerifyReport report = MatrixVerifier(&c).Verify();
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnosticForType(report, kSpecType, "spec-derivation",
+                                   "(MvIns, MvSel) derive predicate"))
+      << report.ToString();
+  EXPECT_TRUE(HasDiagnosticForType(report, kSpecType, "spec-derivation",
+                                   "published cell is conflict"))
+      << report.ToString();
+}
+
+TEST(MatrixVerifyTest, RejectsCorruptedSpec) {
+  CompatibilityRegistry c;
+  InstallScratchSpecs(&c);
+  // Swap MvIns's published spec for a keyless no-op footprint WITHOUT
+  // re-deriving: the algebra now derives compatible for every MvIns pair
+  // while the compiled cells still carry the old key-overlap predicates.
+  MethodSpec benign;
+  ASSERT_TRUE(c.TestOnlyCorruptSpec(kSpecType, "MvIns", benign));
+  const MatrixVerifyReport report = MatrixVerifier(&c).Verify();
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnosticForType(report, kSpecType, "spec-derivation",
+                                   "(MvIns, MvSel) derive compatible"))
+      << report.ToString();
+  EXPECT_TRUE(HasDiagnosticForType(report, kSpecType, "spec-derivation",
+                                   "published cell is predicate"))
       << report.ToString();
 }
 
