@@ -2,15 +2,17 @@
 """Doc-lint: ProtocolOptions and the docs must agree in both directions.
 
 Usage: check_doc_flags.py [--header src/cc/lock_manager.h] [--doc README.md]
-                          [--design DESIGN.md]
+                          [--design DESIGN.md] [--experiments EXPERIMENTS.md]
 
 Parses the `struct ProtocolOptions { ... }` block out of the header with a
 small brace-tracking scanner (no compiler needed), then checks:
 
-  1. every field appears in the README flag reference (a new knob cannot
-     land without a README entry), and
-  2. every `ProtocolOptions::x` mention in DESIGN.md names a real field
-     (renaming or deleting a knob cannot leave stale design prose behind).
+  1. every field appears in the README flag reference AND in DESIGN.md AND
+     in EXPERIMENTS.md (a new knob cannot land without user docs, a design
+     rationale, and a recorded experiment or explicit mention), and
+  2. every `ProtocolOptions::x` mention in any of the three docs names a
+     real field (renaming or deleting a knob cannot leave stale prose
+     behind).
 
 Exits non-zero listing each violation — this runs as the CI doc-lint step.
 """
@@ -56,11 +58,11 @@ def protocol_options_fields(header_text):
     return list(dict.fromkeys(fields))  # dedupe #if-branched fields
 
 
-def stale_design_mentions(design_text, fields):
+def stale_mentions(doc_text, fields):
     """`ProtocolOptions::x` mentions that name no real field, with lines."""
     known = set(fields)
     stale = []
-    for lineno, line in enumerate(design_text.splitlines(), 1):
+    for lineno, line in enumerate(doc_text.splitlines(), 1):
         for m in re.finditer(r"ProtocolOptions::([A-Za-z_][A-Za-z0-9_]*)",
                              line):
             if m.group(1) not in known:
@@ -74,28 +76,40 @@ def main():
     ap.add_argument("--header", default=str(repo / "src/cc/lock_manager.h"))
     ap.add_argument("--doc", default=str(repo / "README.md"))
     ap.add_argument("--design", default=str(repo / "DESIGN.md"))
+    ap.add_argument("--experiments", default=str(repo / "EXPERIMENTS.md"))
     args = ap.parse_args()
 
     header_text = pathlib.Path(args.header).read_text()
-    doc_text = pathlib.Path(args.doc).read_text()
     fields = protocol_options_fields(header_text)
 
-    failed = False
-    missing = [f for f in fields
-               if not re.search(rf"\b{re.escape(f)}\b", doc_text)]
-    if missing:
-        print(f"doc-lint: {args.doc} is missing these ProtocolOptions "
-              "fields from the flag reference:")
-        for f in missing:
-            print(f"  {f}")
-        print("(add a row for each to the README flag-reference table)")
-        failed = True
+    hints = {
+        args.doc: "(add a row for each to the README flag-reference table)",
+        args.design: "(describe the mechanism in the relevant DESIGN.md "
+                     "section)",
+        args.experiments: "(record the knob's ablation/experiment, or at "
+                          "least name it, in EXPERIMENTS.md)",
+    }
 
-    design_path = pathlib.Path(args.design)
-    if design_path.is_file():
-        stale = stale_design_mentions(design_path.read_text(), fields)
+    failed = False
+    for doc in (args.doc, args.design, args.experiments):
+        path = pathlib.Path(doc)
+        if not path.is_file():
+            print(f"doc-lint: required doc {doc} is missing")
+            failed = True
+            continue
+        text = path.read_text()
+        missing = [f for f in fields
+                   if not re.search(rf"\b{re.escape(f)}\b", text)]
+        if missing:
+            print(f"doc-lint: {doc} is missing these ProtocolOptions "
+                  "fields:")
+            for f in missing:
+                print(f"  {f}")
+            print(hints[doc])
+            failed = True
+        stale = stale_mentions(text, fields)
         for lineno, name in stale:
-            print(f"doc-lint: {args.design}:{lineno}: "
+            print(f"doc-lint: {doc}:{lineno}: "
                   f"ProtocolOptions::{name} does not name a real field "
                   "(renamed or removed knob? update the prose)")
         failed = failed or bool(stale)
@@ -103,7 +117,7 @@ def main():
     if failed:
         return 1
     print(f"doc-lint: all {len(fields)} ProtocolOptions fields documented "
-          f"in {args.doc}; all DESIGN.md mentions resolve")
+          f"in README, DESIGN, and EXPERIMENTS; all mentions resolve")
     return 0
 
 

@@ -96,6 +96,22 @@ if missing:
   echo "error: BENCH_throughput.json lacks the keyrange ablation rows" >&2
   exit 1
 fi
+# The adaptive phase-shift rows (static pins vs live controller over the
+# A/B/C phase sequence) are the adaptive_mode ablation record.
+if ! python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    labels = {row.get("label", "") for row in json.load(f)}
+required = ["phaseshift-%s-%s" % (cfg, ph)
+            for cfg in ("semantic", "2pl", "prudent", "adaptive")
+            for ph in ("phaseA", "phaseB", "phaseC", "overall")]
+missing = [l for l in required if l not in labels]
+if missing:
+    sys.exit("missing phase-shift rows: " + ", ".join(missing))
+' "$repo_root/BENCH_throughput.json"; then
+  echo "error: BENCH_throughput.json lacks the adaptive phase-shift rows" >&2
+  exit 1
+fi
 "$build_dir/bench/bench_contention" --stats --json="$repo_root/BENCH_contention.json"
 validate_json "$repo_root/BENCH_contention.json"
 # The hot-set sweep rows (one item, insert-share sweep, keyrange off/on per

@@ -1,0 +1,306 @@
+#include "cc/adaptive_controller.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "util/trace.h"
+
+namespace semcc {
+
+const char* CcModeName(CcMode m) {
+  switch (m) {
+    case CcMode::kSemantic:
+      return "semantic";
+    case CcMode::k2PL:
+      return "2pl";
+    case CcMode::kPrudent:
+      return "prudent";
+  }
+  return "?";
+}
+
+AdaptiveController::AdaptiveController(LockManager* lm)
+    : lm_(lm),
+      opts_(lm->options().adaptive),
+      counters_(kSlots, kCtrCount) {
+  const uint8_t initial =
+      (opts_.pin_mode >= 0 && opts_.pin_mode <= 2)
+          ? static_cast<uint8_t>(opts_.pin_mode)
+          : static_cast<uint8_t>(CcMode::kSemantic);
+  for (auto& buf : buffers_) {
+    for (auto& m : buf.modes) m.store(initial, std::memory_order_relaxed);
+  }
+  decided_modes_.fill(initial);
+  current_.store(&buffers_[0], std::memory_order_release);
+  if (opts_.background_thread) {
+    sampler_ = std::thread([this] { BackgroundLoop(); });
+  }
+}
+
+AdaptiveController::~AdaptiveController() { Stop(); }
+
+void AdaptiveController::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (sampler_.joinable()) sampler_.join();
+}
+
+void AdaptiveController::BackgroundLoop() {
+  const auto interval = std::chrono::microseconds(
+      opts_.sample_interval_micros > 0 ? opts_.sample_interval_micros : 50000);
+  // Sleep in 1ms slices so Stop() is honored promptly even with a long
+  // sample interval.
+  const auto slice = std::chrono::milliseconds(1);
+  auto waited = std::chrono::microseconds(0);
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(slice);
+    waited += std::chrono::duration_cast<std::chrono::microseconds>(slice);
+    if (waited < interval) continue;
+    waited = std::chrono::microseconds(0);
+    SampleNow();
+  }
+}
+
+const ModeSnapshot* AdaptiveController::Pin() {
+  for (;;) {
+    ModeSnapshot* s = current_.load(std::memory_order_acquire);
+    s->pins.fetch_add(1, std::memory_order_acq_rel);
+    if (current_.load(std::memory_order_acquire) == s) return s;
+    // A flip slipped between the load and the increment: this pin is on a
+    // buffer that may be (or become) the writable spare. Back out and
+    // retry — the re-check is what makes every surviving pin visible to
+    // DrainPins.
+    s->pins.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void AdaptiveController::Unpin(const ModeSnapshot* snapshot) {
+  const_cast<ModeSnapshot*>(snapshot)->pins.fetch_sub(
+      1, std::memory_order_acq_rel);
+}
+
+void AdaptiveController::RecordVerdict(TypeId type, ConflictOutcome why) {
+  const size_t slot = ModeSnapshot::SlotOf(type);
+  switch (why) {
+    case ConflictOutcome::kCommute:
+      counters_.Inc(slot, kCtrCommute);
+      break;
+    case ConflictOutcome::kCase1Grant:
+      counters_.Inc(slot, kCtrCase1);
+      break;
+    case ConflictOutcome::kCase2Wait:
+      counters_.Inc(slot, kCtrCase2);
+      break;
+    case ConflictOutcome::kRootWait:
+      counters_.Inc(slot, kCtrRootWait);
+      break;
+    default:
+      break;
+  }
+}
+
+void AdaptiveController::RecordShadow(TypeId type, bool commutes) {
+  counters_.Inc(ModeSnapshot::SlotOf(type),
+                commutes ? kCtrShadowCommute : kCtrShadowConflict);
+}
+
+void AdaptiveController::RecordAcquire(TypeId type, bool blocked) {
+  const size_t slot = ModeSnapshot::SlotOf(type);
+  counters_.Inc(slot, kCtrAcquires);
+  if (blocked) counters_.Inc(slot, kCtrBlocked);
+}
+
+void AdaptiveController::RecordBypass(TypeId type) {
+  counters_.Inc(ModeSnapshot::SlotOf(type), kCtrBypasses);
+}
+
+CcMode AdaptiveController::Decide(const Window& w, CcMode current,
+                                  bool hot_shard,
+                                  const AdaptiveOptions& opts) {
+  const uint64_t tests = w.ConflictTests();
+  const uint64_t shadow = w.shadow_commute + w.shadow_conflict;
+  const double commute_share =
+      tests > 0 ? double(w.commute + w.case1) / double(tests) : 0.0;
+  const double blocked_share =
+      w.acquires > 0 ? double(w.blocked) / double(w.acquires) : 0.0;
+  switch (current) {
+    case CcMode::kSemantic:
+      if (tests < opts.min_conflict_samples) return current;
+      // Contended but commutativity still wins: keep the semantics, relax
+      // the queueing. Checked first — demoting a hot commuting type to 2PL
+      // would throw away exactly the grants that relieve the convoy.
+      if (blocked_share > opts.hot_blocked_share &&
+          commute_share >= opts.demote_commute_share && hot_shard) {
+        return CcMode::kPrudent;
+      }
+      if (commute_share < opts.demote_commute_share) return CcMode::k2PL;
+      return current;
+    case CcMode::k2PL:
+      if (shadow < opts.min_conflict_samples) return current;
+      if (double(w.shadow_commute) / double(shadow) >
+          opts.promote_commute_share) {
+        return CcMode::kSemantic;
+      }
+      return current;
+    case CcMode::kPrudent:
+      if (w.acquires < opts.min_conflict_samples) return current;
+      if (tests >= opts.min_conflict_samples &&
+          commute_share < opts.demote_commute_share) {
+        return CcMode::k2PL;
+      }
+      if (blocked_share < opts.cool_blocked_share) return CcMode::kSemantic;
+      return current;
+  }
+  return current;
+}
+
+bool AdaptiveController::DrainPins(ModeSnapshot* buf) {
+  // The spare buffer's pins belong to transactions that pinned it while it
+  // was current — i.e. before the *previous* flip. They finish on their
+  // own; ~2ms covers everything but a long-running straggler, in which
+  // case the flip is deferred to the next epoch rather than stalling the
+  // sampler indefinitely.
+  for (int spin = 0; spin < 40; ++spin) {
+    if (buf->pins.load(std::memory_order_acquire) == 0) return true;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  return buf->pins.load(std::memory_order_acquire) == 0;
+}
+
+uint64_t AdaptiveController::SampleNow() {
+  MutexLock lock(sample_mu_);
+  const uint64_t epoch = ++epoch_;
+  epochs_done_.fetch_add(1, std::memory_order_relaxed);
+
+  // Hot-shard signal from the lock manager's per-shard counter stripes:
+  // any shard whose window-blocked share exceeds the hot threshold.
+  bool hot_shard = false;
+  uint64_t hot = 0;
+  const int shards = lm_->num_shards();
+  for (int s = 0; s < shards; ++s) {
+    const LockStats ss = lm_->shard_stats(static_cast<uint32_t>(s));
+    const uint64_t da = ss.acquires - last_shard_acquires_[s];
+    const uint64_t db = ss.blocked_acquires - last_shard_blocked_[s];
+    last_shard_acquires_[s] = ss.acquires;
+    last_shard_blocked_[s] = ss.blocked_acquires;
+    if (da >= opts_.min_conflict_samples &&
+        double(db) / double(da) > opts_.hot_blocked_share) {
+      ++hot;
+    }
+  }
+  hot_shards_.store(hot, std::memory_order_relaxed);
+  hot_shard = hot > 0;
+
+  // Per-slot window deltas and decisions.
+  std::array<uint8_t, kSlots> next = decided_modes_;
+  bool changed = false;
+  for (size_t slot = 0; slot < kSlots; ++slot) {
+    Window w;
+    uint64_t now[kCtrCount];
+    for (size_t c = 0; c < kCtrCount; ++c) {
+      now[c] = counters_.StripeValue(slot, c);
+    }
+    w.acquires = now[kCtrAcquires] - last_counts_[slot][kCtrAcquires];
+    w.blocked = now[kCtrBlocked] - last_counts_[slot][kCtrBlocked];
+    w.commute = now[kCtrCommute] - last_counts_[slot][kCtrCommute];
+    w.case1 = now[kCtrCase1] - last_counts_[slot][kCtrCase1];
+    w.case2 = now[kCtrCase2] - last_counts_[slot][kCtrCase2];
+    w.root_wait = now[kCtrRootWait] - last_counts_[slot][kCtrRootWait];
+    w.shadow_commute =
+        now[kCtrShadowCommute] - last_counts_[slot][kCtrShadowCommute];
+    w.shadow_conflict =
+        now[kCtrShadowConflict] - last_counts_[slot][kCtrShadowConflict];
+    for (size_t c = 0; c < kCtrCount; ++c) last_counts_[slot][c] = now[c];
+
+    const CcMode cur = static_cast<CcMode>(decided_modes_[slot]);
+    CcMode want = cur;
+    if (opts_.pin_mode >= 0 && opts_.pin_mode <= 2) {
+      want = static_cast<CcMode>(opts_.pin_mode);
+    } else {
+      want = Decide(w, cur, hot_shard, opts_);
+    }
+    ++epochs_in_mode_[slot];
+    if (want != cur) {
+      // Dwell: hold a freshly entered mode for min_dwell_epochs before it
+      // may flip again (hysteresis in time, on top of the threshold gaps).
+      if (epochs_in_mode_[slot] <= opts_.min_dwell_epochs) continue;
+      next[slot] = static_cast<uint8_t>(want);
+      changed = true;
+    }
+  }
+  if (!changed) return epoch;
+
+  // Publish: rewrite the spare buffer once its pins have drained, then
+  // swing `current_`. Deferral (drain stall) keeps the old assignment —
+  // decisions are recomputed from fresh windows next epoch.
+  ModeSnapshot* cur_buf = current_.load(std::memory_order_acquire);
+  ModeSnapshot* spare = (cur_buf == &buffers_[0]) ? &buffers_[1] : &buffers_[0];
+  if (!DrainPins(spare)) {
+    drain_stalls_.fetch_add(1, std::memory_order_relaxed);
+    return epoch;
+  }
+  uint64_t flipped = 0;
+  for (size_t slot = 0; slot < kSlots; ++slot) {
+    spare->modes[slot].store(next[slot], std::memory_order_relaxed);
+    if (next[slot] != decided_modes_[slot]) {
+      ++flipped;
+      epochs_in_mode_[slot] = 0;
+      if (trace::Active(lm_->options().trace)) {
+        trace::Event e{};
+        e.kind = static_cast<uint8_t>(trace::EventKind::kModeFlip);
+        e.txn = epoch;
+        e.other = slot;
+        e.value = next[slot];
+        e.verdict = decided_modes_[slot];  // outgoing mode
+        e.set_method(CcModeName(static_cast<CcMode>(next[slot])));
+        trace::Emit(e);
+      }
+    }
+  }
+  spare->epoch = epoch;
+  decided_modes_ = next;
+  current_.store(spare, std::memory_order_release);
+  flips_.fetch_add(flipped, std::memory_order_relaxed);
+  return epoch;
+}
+
+AdaptiveStats AdaptiveController::stats() const {
+  AdaptiveStats s;
+  s.epochs = epochs_done_.load(std::memory_order_acquire);
+  s.flips = flips_.load(std::memory_order_acquire);
+  s.drain_stalls = drain_stalls_.load(std::memory_order_acquire);
+  s.hot_shards = hot_shards_.load(std::memory_order_acquire);
+  const ModeSnapshot* cur = current_.load(std::memory_order_acquire);
+  for (size_t slot = 0; slot < kSlots; ++slot) {
+    switch (static_cast<CcMode>(cur->modes[slot].load(
+        std::memory_order_relaxed))) {
+      case CcMode::kSemantic:
+        ++s.types_semantic;
+        break;
+      case CcMode::k2PL:
+        ++s.types_2pl;
+        break;
+      case CcMode::kPrudent:
+        ++s.types_prudent;
+        break;
+    }
+  }
+  s.shadow_commute = counters_.Sum(kCtrShadowCommute);
+  s.shadow_conflict = counters_.Sum(kCtrShadowConflict);
+  return s;
+}
+
+std::string AdaptiveStats::ToJson() const {
+  metrics::JsonWriter w;
+  w.Field("epochs", epochs);
+  w.Field("flips", flips);
+  w.Field("drain_stalls", drain_stalls);
+  w.Field("types_semantic", types_semantic);
+  w.Field("types_2pl", types_2pl);
+  w.Field("types_prudent", types_prudent);
+  w.Field("shadow_commute", shadow_commute);
+  w.Field("shadow_conflict", shadow_conflict);
+  w.Field("hot_shards", hot_shards);
+  return w.Close();
+}
+
+}  // namespace semcc

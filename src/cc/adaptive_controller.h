@@ -1,0 +1,205 @@
+// Adaptive concurrency-mode controller (DESIGN.md §5.9).
+//
+// Samples the live verdict breakdown (commute / case1 / case2 / root-wait
+// shares), the blocked-acquire share, and the lock manager's per-shard
+// counter stripes, and switches each object type between CcMode::kSemantic,
+// CcMode::k2PL, and CcMode::kPrudent. Decisions are hysteretic (separate
+// promote/demote thresholds) and dwell-limited (a type must sit
+// AdaptiveOptions::min_dwell_epochs epochs in a mode before flipping again).
+//
+// Verdict safety is provided by *snapshot pinning*, not by stalling the
+// lock table: the current per-type mode assignment lives in an immutable
+// ModeSnapshot; TxnManager pins the snapshot onto each transaction's root
+// before its first action and unpins it after ReleaseTree, and every
+// Acquire reads its mode from the requester's pinned snapshot. A mode flip
+// writes the *spare* snapshot buffer and only after the spare's pin count
+// has drained to zero — i.e. after every transaction that might still read
+// it has finished (the in-flight draining barrier). A transaction therefore
+// observes exactly one mode per type for its whole lifetime, which is what
+// keeps the conflict memo, the grant cache, and the debug invariant checker
+// coherent across flips.
+//
+// Memory-ordering contract (hot path): Pin() acquire-loads `current_`,
+// increments the buffer's pin count, and re-checks `current_` — a pin that
+// survives the re-check is guaranteed to be counted by any later drain
+// wait. Mode bytes inside a snapshot are relaxed atomics: they are written
+// only while the buffer is unpublished and drained, and the release store
+// of `current_` / acquire load in Pin() orders them for readers.
+#ifndef SEMCC_CC_ADAPTIVE_CONTROLLER_H_
+#define SEMCC_CC_ADAPTIVE_CONTROLLER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "cc/lock_manager.h"
+#include "util/metrics.h"
+
+namespace semcc {
+
+/// \brief Immutable published mode assignment: one CcMode per type slot
+/// (types hash into kTypeSlots slots) plus a pin count. Two of these live
+/// inside the controller (double buffer); transactions pin the current one
+/// for their lifetime. Never freed while the controller lives.
+struct ModeSnapshot {
+  static constexpr size_t kTypeSlots = 64;
+
+  /// Controller epoch at which this assignment was published.
+  uint64_t epoch = 0;
+  /// Per-type-slot CcMode values. Relaxed atomics: see the memory-ordering
+  /// contract in the file comment.
+  std::array<std::atomic<uint8_t>, kTypeSlots> modes{};
+  /// Transactions currently pinned to this buffer.
+  std::atomic<uint64_t> pins{0};
+
+  static constexpr size_t SlotOf(TypeId type) {
+    return static_cast<size_t>(type) & (kTypeSlots - 1);
+  }
+  CcMode ModeFor(TypeId type) const {
+    return static_cast<CcMode>(
+        modes[SlotOf(type)].load(std::memory_order_relaxed));
+  }
+};
+
+/// \brief Snapshot of the controller's own counters (plain data).
+struct AdaptiveStats {
+  uint64_t epochs = 0;        ///< sample windows evaluated
+  uint64_t flips = 0;         ///< per-type mode changes published
+  uint64_t drain_stalls = 0;  ///< flips deferred because the spare buffer
+                              ///< still had pinned transactions
+  uint64_t types_semantic = 0;  ///< type slots currently in kSemantic
+  uint64_t types_2pl = 0;       ///< ... in k2PL
+  uint64_t types_prudent = 0;   ///< ... in kPrudent
+  uint64_t shadow_commute = 0;   ///< 2PL-mode conflicts that would commute
+  uint64_t shadow_conflict = 0;  ///< 2PL-mode conflicts that would not
+  uint64_t hot_shards = 0;  ///< shards over hot_blocked_share last window
+
+  std::string ToJson() const;
+};
+
+/// \brief The controller. One per Database (when adaptive_mode is on),
+/// owned by the Database, attached to both the LockManager (verdict feed +
+/// mode dispatch) and the TxnManager (snapshot pinning).
+class AdaptiveController {
+ public:
+  /// `lm` must outlive the controller. Reads lm->options().adaptive for
+  /// thresholds and lm->shard_stats() for the hot-shard signal. Starts the
+  /// background sampling thread iff the options ask for one.
+  explicit AdaptiveController(LockManager* lm);
+  ~AdaptiveController();
+  SEMCC_DISALLOW_COPY_AND_ASSIGN(AdaptiveController);
+
+  // --- transaction lifetime (TxnManager) ---------------------------------
+
+  /// Pin the current snapshot for one transaction. Never blocks; a handful
+  /// of atomic operations. The returned pointer stays valid (and its mode
+  /// bytes immutable) until Unpin.
+  const ModeSnapshot* Pin();
+  void Unpin(const ModeSnapshot* snapshot);
+
+  // --- hot-path verdict feed (LockManager, first-scan only) --------------
+
+  /// Mirror one classified first-scan conflict verdict into the per-type
+  /// window counters. Relaxed striped increment; called under the shard
+  /// mutex, so it must never block (and does not).
+  void RecordVerdict(TypeId type, ConflictOutcome why);
+  /// In k2PL mode the scan still evaluates (cheaply) whether the pair
+  /// would have commuted semantically; this shadow sample is the promote
+  /// signal back to kSemantic.
+  void RecordShadow(TypeId type, bool commutes);
+  /// One Acquire reached the shard (fast-path hits count as unblocked).
+  void RecordAcquire(TypeId type, bool blocked);
+  /// One prudent-mode bypass of an earlier waiting entry.
+  void RecordBypass(TypeId type);
+
+  // --- sampling / decisions ---------------------------------------------
+
+  /// Evaluate one epoch synchronously: diff the window counters, decide a
+  /// mode per type slot, and (if anything changed and the spare buffer has
+  /// drained) publish a new snapshot. Thread-safe against itself and the
+  /// background thread. Returns the epoch number evaluated.
+  uint64_t SampleNow();
+
+  /// Current published mode of `type` (test/diagnostic convenience —
+  /// transactions read their *pinned* snapshot instead).
+  CcMode ModeOf(TypeId type) const {
+    return current_.load(std::memory_order_acquire)->ModeFor(type);
+  }
+
+  AdaptiveStats stats() const;
+
+  /// Stop the background thread (idempotent; also run by the destructor).
+  void Stop();
+
+ private:
+  static constexpr size_t kSlots = ModeSnapshot::kTypeSlots;
+
+  /// Per-slot window counter indices into counters_.
+  enum Counter : size_t {
+    kCtrAcquires = 0,
+    kCtrBlocked,
+    kCtrCommute,
+    kCtrCase1,
+    kCtrCase2,
+    kCtrRootWait,
+    kCtrShadowCommute,
+    kCtrShadowConflict,
+    kCtrBypasses,
+    kCtrCount,
+  };
+
+  /// One slot's counter deltas over the sample window (plain data).
+  struct Window {
+    uint64_t acquires = 0, blocked = 0;
+    uint64_t commute = 0, case1 = 0, case2 = 0, root_wait = 0;
+    uint64_t shadow_commute = 0, shadow_conflict = 0;
+    uint64_t ConflictTests() const {
+      return commute + case1 + case2 + root_wait;
+    }
+  };
+
+  /// Pure decision function (unit-testable): next mode for a slot given
+  /// its window, its current mode, and whether any shard ran hot.
+  static CcMode Decide(const Window& w, CcMode current, bool hot_shard,
+                       const AdaptiveOptions& opts);
+
+  /// Wait (bounded) for `buf`'s pins to drain; false on timeout.
+  static bool DrainPins(ModeSnapshot* buf);
+
+  void BackgroundLoop();
+
+  LockManager* const lm_;
+  const AdaptiveOptions opts_;
+
+  ModeSnapshot buffers_[2];
+  std::atomic<ModeSnapshot*> current_;
+
+  /// Striped per-(type slot) window counters: stripe = type slot.
+  metrics::CounterBank counters_;
+
+  /// Sampling state (guarded by sample_mu_; one sampler at a time).
+  mutable Mutex sample_mu_;
+  uint64_t epoch_ SEMCC_GUARDED_BY(sample_mu_) = 0;
+  std::array<std::array<uint64_t, kCtrCount>, kSlots> last_counts_
+      SEMCC_GUARDED_BY(sample_mu_){};
+  std::array<int, kSlots> epochs_in_mode_ SEMCC_GUARDED_BY(sample_mu_){};
+  std::array<uint8_t, kSlots> decided_modes_ SEMCC_GUARDED_BY(sample_mu_){};
+  uint64_t last_shard_acquires_[LockManager::kMaxShards]
+      SEMCC_GUARDED_BY(sample_mu_) = {};
+  uint64_t last_shard_blocked_[LockManager::kMaxShards]
+      SEMCC_GUARDED_BY(sample_mu_) = {};
+
+  std::atomic<uint64_t> flips_{0};
+  std::atomic<uint64_t> drain_stalls_{0};
+  std::atomic<uint64_t> epochs_done_{0};
+  std::atomic<uint64_t> hot_shards_{0};
+
+  std::atomic<bool> stop_{false};
+  std::thread sampler_;
+};
+
+}  // namespace semcc
+
+#endif  // SEMCC_CC_ADAPTIVE_CONTROLLER_H_

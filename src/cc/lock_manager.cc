@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "cc/adaptive_controller.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -66,7 +67,7 @@ std::string LockStats::ToString() const {
       buf, sizeof(buf),
       "acquires=%llu blocked=%llu commute=%llu case1=%llu case2=%llu "
       "root_waits=%llu retained=%llu deadlocks=%llu timeouts=%llu "
-      "fast_path=%llu coalesced=%llu memo=%llu keyrange=%llu",
+      "fast_path=%llu coalesced=%llu memo=%llu keyrange=%llu prudent=%llu",
       static_cast<unsigned long long>(acquires),
       static_cast<unsigned long long>(blocked_acquires),
       static_cast<unsigned long long>(commute_grants),
@@ -79,7 +80,8 @@ std::string LockStats::ToString() const {
       static_cast<unsigned long long>(fast_path_hits),
       static_cast<unsigned long long>(coalesced_grants),
       static_cast<unsigned long long>(memo_hits),
-      static_cast<unsigned long long>(keyrange_skips));
+      static_cast<unsigned long long>(keyrange_skips),
+      static_cast<unsigned long long>(prudent_bypasses));
   return buf;
 }
 
@@ -99,6 +101,7 @@ std::string LockStats::ToJson() const {
   w.Field("coalesced_grants", coalesced_grants);
   w.Field("memo_hits", memo_hits);
   w.Field("keyrange_skips", keyrange_skips);
+  w.Field("prudent_bypasses", prudent_bypasses);
   w.Field("granted_entries", granted_entries);
   w.Field("released_entries", released_entries);
   w.Field("wakeups", wakeups);
@@ -151,6 +154,7 @@ LockStats LockManager::stats() const {
   s.coalesced_grants = counters_.Sum(kCtrCoalescedGrants);
   s.memo_hits = counters_.Sum(kCtrMemoHits);
   s.keyrange_skips = counters_.Sum(kCtrKeyrangeSkips);
+  s.prudent_bypasses = counters_.Sum(kCtrPrudentBypasses);
   s.granted_entries = counters_.Sum(kCtrGrantedEntries);
   s.released_entries = counters_.Sum(kCtrReleasedEntries);
   s.wakeups = counters_.Sum(kCtrWakeups);
@@ -174,6 +178,7 @@ LockStats LockManager::shard_stats(uint32_t shard) const {
   s.coalesced_grants = counters_.StripeValue(shard, kCtrCoalescedGrants);
   s.memo_hits = counters_.StripeValue(shard, kCtrMemoHits);
   s.keyrange_skips = counters_.StripeValue(shard, kCtrKeyrangeSkips);
+  s.prudent_bypasses = counters_.StripeValue(shard, kCtrPrudentBypasses);
   s.granted_entries = counters_.StripeValue(shard, kCtrGrantedEntries);
   s.released_entries = counters_.StripeValue(shard, kCtrReleasedEntries);
   s.wakeups = counters_.StripeValue(shard, kCtrWakeups);
@@ -200,6 +205,18 @@ void LockManager::EmitLockEvent(trace::EventKind kind, SubTxn* t,
     e.key_lo = target.key_lo;
     e.key_hi = target.key_hi;
     e.flags |= trace::kFlagKeyRange;
+  }
+  // Replay fidelity (tools/trace_replay): the captured type and the first
+  // two integer arguments are enough to re-derive every argument-sensitive
+  // verdict of the order-entry matrix. Non-integer arguments replay as 0.
+  e.type_id = static_cast<uint16_t>(t->type());
+  const Args& args = t->args();
+  e.argc = static_cast<uint8_t>(args.size() < 2 ? args.size() : 2);
+  if (!args.empty() && args[0].type() == Value::Type::kInt) {
+    e.arg0 = args[0].AsInt();
+  }
+  if (args.size() > 1 && args[1].type() == Value::Type::kInt) {
+    e.arg1 = args[1].AsInt();
   }
   e.set_method(t->method());
   trace::Emit(e);
@@ -230,6 +247,7 @@ void LockManager::NotifyShards(const ShardSet& s) {
 // --- test-conflict -----------------------------------------------------
 
 SubTxn* LockManager::TestConflictSemantic(const LockEntry& h, SubTxn* r,
+                                          CcMode mode,
                                           ConflictOutcome* why) const {
   SubTxn* holder = h.acquirer;
   // "if h and r ... belong to the same top-level transaction then return nil"
@@ -238,6 +256,14 @@ SubTxn* LockManager::TestConflictSemantic(const LockEntry& h, SubTxn* r,
   if (holder->SameRootAs(r)) {
     *why = ConflictOutcome::kSameTxn;
     return nullptr;
+  }
+  // Adaptive k2PL mode (DESIGN.md §5.9): the matrix is forced to
+  // conflict-only and the ancestor walk skipped — every foreign pair is a
+  // root wait. Strictly more conservative than the semantic test below, so
+  // a 2PL-mode requester can never be granted where semantics would block.
+  if (mode == CcMode::k2PL) {
+    *why = ConflictOutcome::kRootWait;
+    return holder->root();
   }
   // "if h and r commute ... return nil". Both act on the same object, so the
   // object type is shared and the compatibility spec of that type applies.
@@ -325,11 +351,11 @@ SubTxn* LockManager::TestConflictFlat(const LockEntry& h, SubTxn* r,
 }
 
 SubTxn* LockManager::TestConflict(const LockEntry& h, SubTxn* r,
-                                  bool r_is_write,
+                                  bool r_is_write, CcMode mode,
                                   ConflictOutcome* why) const {
   switch (options_.protocol) {
     case Protocol::kSemanticONT:
-      return TestConflictSemantic(h, r, why);
+      return TestConflictSemantic(h, r, mode, why);
     case Protocol::kClosedNested:
       return TestConflictClosed(h, r, r_is_write, why);
     case Protocol::kFlat2PL:
@@ -341,11 +367,19 @@ SubTxn* LockManager::TestConflict(const LockEntry& h, SubTxn* r,
 
 void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
                                   const LockTarget& target, uint64_t my_seq,
-                                  SubTxn* t, bool is_write, uint32_t stripe,
-                                  bool count_stats, bool memoize,
-                                  ScanResult* out) {
+                                  SubTxn* t, bool is_write, CcMode mode,
+                                  uint32_t stripe, bool count_stats,
+                                  bool memoize, ScanResult* out) {
   (void)shard;  // capability-only parameter (REQUIRES(shard.mu))
   out->Clear();
+  // Prudent mode (DESIGN.md §5.9): bounded FCFS relaxation — this scan may
+  // jump over up to prudent_bypass_limit earlier *waiting* entries instead
+  // of queueing behind them. Granted entries are always fully tested, so
+  // serializability is untouched; only queue fairness is relaxed, which is
+  // what breaks waiter convoys on hot shards.
+  int bypass_budget = (mode == CcMode::kPrudent)
+                          ? options_.adaptive.prudent_bypass_limit
+                          : 0;
   for (const LockEntry& e : q.entries) {
     if (e.acquirer == t) continue;
     // Test against held locks and earlier-queued requests (FCFS, paper
@@ -354,6 +388,12 @@ void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
     // behind foreign waiters (which wait for THIS transaction's completion)
     // would deadlock the rollback itself.
     if (!e.granted && (e.seq > my_seq || t->compensation())) continue;
+    if (!e.granted && bypass_budget > 0) {
+      --bypass_budget;
+      counters_.Inc(stripe, kCtrPrudentBypasses);
+      if (controller_ != nullptr) controller_->RecordBypass(t->type());
+      continue;
+    }
     // Key-range precheck (keyrange_locks): provably disjoint key intervals
     // commute by key disjointness — whatever the coarse per-object matrix
     // would say — so the pair is nil without a conflict test. This is the
@@ -361,11 +401,17 @@ void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
     // only annotated from an (exact or upper-bound) method footprint, never
     // for size-observing methods. Same-tree entries fall through to the
     // ordinary kSameTxn verdict so the commute counters keep meaning
-    // "foreign pair commuted" with the flag on or off.
-    if (KeyIntervalsDisjoint(e, target) && !e.acquirer->SameRootAs(t)) {
+    // "foreign pair commuted" with the flag on or off. Disabled in k2PL
+    // mode, whose contract is conflict-only (no semantic relief of any
+    // kind).
+    if (mode != CcMode::k2PL && KeyIntervalsDisjoint(e, target) &&
+        !e.acquirer->SameRootAs(t)) {
       if (count_stats) {
         counters_.Inc(stripe, kCtrKeyrangeSkips);
         counters_.Inc(stripe, kCtrCommuteGrants);
+        if (controller_ != nullptr) {
+          controller_->RecordVerdict(t->type(), ConflictOutcome::kCommute);
+        }
         if (out->grant_relief != ConflictOutcome::kCase1Grant) {
           out->grant_relief = ConflictOutcome::kCommute;
         }
@@ -385,8 +431,19 @@ void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
       }
     }
     ConflictOutcome why = ConflictOutcome::kNoLock;
-    SubTxn* b = TestConflict(e, t, is_write, &why);
+    SubTxn* b = TestConflict(e, t, is_write, mode, &why);
     if (b == nullptr && memoize) out->nil_verdicts.emplace(&e, e.seq);
+    // Shadow sampling (DESIGN.md §5.9): a k2PL-mode conflict still asks,
+    // once per first scan, whether the pair would have commuted directly —
+    // the controller's only promote-back signal while semantic testing is
+    // switched off. One matrix probe, no ancestor walk.
+    if (mode == CcMode::k2PL && count_stats && controller_ != nullptr &&
+        why == ConflictOutcome::kRootWait) {
+      controller_->RecordShadow(
+          t->type(),
+          compat_->Commute(e.acquirer->type(), e.method_id,
+                           e.acquirer->args(), t->method_id(), t->args()));
+    }
     // Do NOT drop blockers that completed between the conflict test and
     // here: a just-aborted subtransaction must not look like a grant. The
     // wait loop re-derives the verdict from fresh state on every wake-up.
@@ -424,6 +481,7 @@ void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
           default:
             break;
         }
+        if (controller_ != nullptr) controller_->RecordVerdict(t->type(), why);
       }
     } else if (count_stats && (why == ConflictOutcome::kCase1Grant ||
                                why == ConflictOutcome::kCommute)) {
@@ -436,6 +494,7 @@ void LockManager::CollectBlockers(const LockShard& shard, const LockQueue& q,
           out->grant_relief = ConflictOutcome::kCommute;
         }
       }
+      if (controller_ != nullptr) controller_->RecordVerdict(t->type(), why);
     }
   }
 }
@@ -514,7 +573,7 @@ void LockManager::CheckGrantInvariants(const LockShard& shard,
                                        const LockQueue& q,
                                        const LockTarget& target,
                                        uint64_t my_seq, SubTxn* t,
-                                       bool is_write) {
+                                       bool is_write, CcMode mode) {
   (void)shard;
   // Independently re-derive the grant decision: every other granted (or
   // earlier-queued, FCFS) entry must pass test-conflict against `t`. A
@@ -522,11 +581,16 @@ void LockManager::CheckGrantInvariants(const LockShard& shard,
   for (const LockEntry& e : q.entries) {
     if (e.acquirer == t) continue;
     if (!e.granted && (e.seq > my_seq || t->compensation())) continue;
+    // Mirror the scan's mode dispatch: prudent scans may bypass any earlier
+    // *waiting* entry (bounded FCFS relaxation), so waiting entries carry
+    // no grant obligation here; granted entries are checked as always.
+    if (!e.granted && mode == CcMode::kPrudent) continue;
     // Mirror the scan's key-range precheck: a disjoint-interval pair is nil
-    // by key disjointness even where the matrix conflicts.
-    if (KeyIntervalsDisjoint(e, target)) continue;
+    // by key disjointness even where the matrix conflicts (k2PL mode runs
+    // conflict-only and takes no key-range relief).
+    if (mode != CcMode::k2PL && KeyIntervalsDisjoint(e, target)) continue;
     ConflictOutcome why = ConflictOutcome::kNoLock;
-    SubTxn* b = TestConflict(e, t, is_write, &why);
+    SubTxn* b = TestConflict(e, t, is_write, mode, &why);
     if (b != nullptr) {
       inv_stats_.grant_violations.fetch_add(1, std::memory_order_relaxed);
       InvariantViolation(
@@ -859,6 +923,18 @@ void LockManager::AnnotateKeyInterval(SubTxn* t, LockTarget* target) const {
   }
 }
 
+CcMode LockManager::AcquireMode(SubTxn* t) const {
+  if (!SEMCC_PREDICT_FALSE(options_.adaptive_mode)) return CcMode::kSemantic;
+  if (options_.protocol != Protocol::kSemanticONT) return CcMode::kSemantic;
+  // The mode comes from the transaction's pinned snapshot (set by
+  // TxnManager before the first action), never from the controller's live
+  // assignment — the pin is what guarantees one mode per type for the whole
+  // transaction across controller flips.
+  const ModeSnapshot* snap = t->root()->mode_snapshot();
+  if (snap == nullptr) return CcMode::kSemantic;
+  return snap->ModeFor(t->type());
+}
+
 Status LockManager::Acquire(SubTxn* t, const LockTarget& requested,
                             bool is_write) {
   // Local annotated copy: the interval is derived per (method, args), not
@@ -866,18 +942,29 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& requested,
   // the same (space, key) the caller named.
   LockTarget target = requested;
   AnnotateKeyInterval(t, &target);
+  // Latched once per Acquire: every conflict test, the debug checker, and
+  // the fast-path gates below see the same mode.
+  const CcMode mode = AcquireMode(t);
   const bool tracing = trace::Active(options_.trace);
   bool cache_miss = false;
   uint32_t idx = 0;
-  if (TryFastPath(t, target, is_write, &cache_miss, &idx)) {
+  // The grant cache, like coalescing below, publishes and reuses verdicts
+  // derived under full semantic testing — only pure kSemantic requests may
+  // touch it (k2PL derives stricter verdicts, kPrudent non-FCFS ones).
+  if (mode == CcMode::kSemantic &&
+      TryFastPath(t, target, is_write, &cache_miss, &idx)) {
     // Counter attribution is two relaxed fetch_adds on this shard's own
     // stripe; the shard index comes from the slot, not a fresh hash.
     counters_.Inc(idx, kCtrAcquires);
     counters_.Inc(idx, kCtrFastPathHits);
+    if (controller_ != nullptr) {
+      controller_->RecordAcquire(t->type(), /*blocked=*/false);
+    }
     t->set_grant_seq(NextSeq());
     if (tracing) {
       EmitLockEvent(trace::EventKind::kFastPathGrant, t, target, idx,
-                    ConflictOutcome::kNoLock, nullptr, 0, 0);
+                    ConflictOutcome::kNoLock, nullptr, 0,
+                    is_write ? trace::kFlagIsWrite : 0);
     }
     return Status::OK();
   }
@@ -902,10 +989,14 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& requested,
   // and it doubles as the grant-cache publication condition.
   ScanResult scan;
   const uint64_t peek_seq = shard.next_entry_seq;
-  CollectBlockers(shard, q, target, peek_seq, t, is_write, shard_idx,
+  CollectBlockers(shard, q, target, peek_seq, t, is_write, mode, shard_idx,
                   /*count_stats=*/true, /*memoize=*/false, &scan);
+  if (controller_ != nullptr) {
+    controller_->RecordAcquire(t->type(), !scan.blockers.empty());
+  }
   if (scan.blockers.empty()) {
-    const bool semantic_fast = SemanticFastPathApplies(t);
+    const bool semantic_fast =
+        SemanticFastPathApplies(t) && mode == CcMode::kSemantic;
     LockEntry* entry = nullptr;
     if (semantic_fast && options_.coalesce_entries) {
       entry = FindCoalescible(shard, q, target, t, is_write);
@@ -926,11 +1017,12 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& requested,
     t->set_grant_seq(NextSeq());
     if (tracing) {
       EmitLockEvent(trace::EventKind::kGrant, t, target, shard_idx,
-                    scan.grant_relief, nullptr, 0, 0);
+                    scan.grant_relief, nullptr, 0,
+                    is_write ? trace::kFlagIsWrite : 0);
     }
     if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
       inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
-      CheckGrantInvariants(shard, q, target, peek_seq, t, is_write);
+      CheckGrantInvariants(shard, q, target, peek_seq, t, is_write, mode);
       CheckQueueInvariants(shard, q);
       MutexLock g(graph_mu_);
       RecordLockOrder(t, target);
@@ -947,9 +1039,11 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& requested,
       AppendEntry(shard, q, target, t, is_write, /*granted=*/false, peek_seq);
   const uint64_t my_seq = peek_seq;
   if (tracing) {
-    EmitLockEvent(trace::EventKind::kBlock, t, target, shard_idx,
-                  scan.block_why, scan.first_blocker, 0,
-                  scan.blocker_retained ? trace::kFlagBlockerRetained : 0);
+    EmitLockEvent(
+        trace::EventKind::kBlock, t, target, shard_idx, scan.block_why,
+        scan.first_blocker, 0,
+        (scan.blocker_retained ? trace::kFlagBlockerRetained : 0) |
+            (is_write ? trace::kFlagIsWrite : 0));
   }
 
   bool ever_blocked = false;
@@ -966,7 +1060,7 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& requested,
       return Status::Aborted("transaction abort requested while locking " +
                              target.ToString());
     }
-    CollectBlockers(shard, q, target, my_seq, t, is_write, shard_idx,
+    CollectBlockers(shard, q, target, my_seq, t, is_write, mode, shard_idx,
                     /*count_stats=*/false, options_.memoize_conflicts, &scan);
     if (scan.blockers.empty()) {
       my_it->granted = true;
@@ -974,7 +1068,7 @@ Status LockManager::Acquire(SubTxn* t, const LockTarget& requested,
       t->set_grant_seq(NextSeq());
       if (SEMCC_PREDICT_FALSE(options_.debug_lock_checks)) {
         inv_stats_.checks.fetch_add(1, std::memory_order_relaxed);
-        CheckGrantInvariants(shard, q, target, my_seq, t, is_write);
+        CheckGrantInvariants(shard, q, target, my_seq, t, is_write, mode);
         CheckQueueInvariants(shard, q);
         MutexLock g(graph_mu_);
         RecordLockOrder(t, target);

@@ -12,6 +12,9 @@
 //    is additionally treated as an output path that the process dumps
 //    JSON-lines to at exit (convenient for benches:
 //    `SEMCC_TRACE=/tmp/fig5.trace ./bench_fig5_bypass`).
+//  * `SEMCC_TRACE_CAPTURE=<path>` — like a path-valued SEMCC_TRACE but the
+//    exit-time dump uses the compact binary capture format instead of
+//    JSON-lines, replayable with tools/trace_replay.
 //  * `ProtocolOptions::trace` — per-database; the instrumented components
 //    pass it into Active().
 //
@@ -60,6 +63,9 @@ enum class EventKind : uint8_t {
                        ///< `value` = version ts observed
   kWalCheckpoint = 19, ///< log prefix truncated; `txn` = trunc LSN,
                        ///< `other` = records dropped, `value` = bytes freed
+  kModeFlip = 20,      ///< adaptive controller flipped a type slot's mode;
+                       ///< `txn` = epoch, `other` = type slot,
+                       ///< `value` = new CcMode, `verdict` = old CcMode
 };
 
 const char* EventKindName(EventKind k);
@@ -70,6 +76,8 @@ inline constexpr uint8_t kFlagBlockerRetained = 1;  ///< blocking entry was a
 inline constexpr uint8_t kFlagKeyRange = 2;  ///< key_lo/key_hi carry the
                                              ///< request's key interval
                                              ///< (keyrange_locks)
+inline constexpr uint8_t kFlagIsWrite = 4;   ///< requesting method is a
+                                             ///< writer (replay fidelity)
 
 /// \brief One trace event. Plain data; `method` is a truncated copy so the
 /// event stays valid after the SubTxn it describes is destroyed.
@@ -85,8 +93,15 @@ struct Event {
   /// kFlagKeyRange; see ProtocolOptions::keyrange_locks).
   int64_t key_lo = 0;
   int64_t key_hi = 0;
+  /// Replay fidelity (lock events): the requester's object type id and up
+  /// to two integer method arguments, so a captured trace can be replayed
+  /// through the real commutativity matrix (tools/trace_replay).
+  int64_t arg0 = 0;
+  int64_t arg1 = 0;
   uint32_t shard = 0;
   uint16_t depth = 0;
+  uint16_t type_id = 0;      ///< requester's schema TypeId (lock events)
+  uint8_t argc = 0;          ///< how many of arg0/arg1 are meaningful (0-2)
   uint8_t target_space = 0;  ///< LockTarget::Space
   uint8_t kind = 0;          ///< EventKind
   uint8_t verdict = 0;       ///< ConflictOutcome
@@ -135,6 +150,17 @@ std::string ToJsonLines();
 
 /// Write ToJsonLines() to `path`.
 Status WriteJsonLines(const std::string& path);
+
+/// Write all buffered events to `path` in the compact binary capture
+/// format (magic "SMCCTRC1"; layout in DESIGN.md §5.9). Same quiescence
+/// caveat as SnapshotEvents. Enabled automatically at process exit when
+/// `SEMCC_TRACE_CAPTURE=<path>` is set in the environment (which also
+/// turns tracing on, like SEMCC_TRACE).
+Status WriteBinary(const std::string& path);
+
+/// Read a binary capture produced by WriteBinary into `*out` (seq order,
+/// replacing prior contents). Rejects bad magic / version / truncation.
+Status ReadBinary(const std::string& path, std::vector<Event>* out);
 
 /// Drop all buffered events and reset the dropped counters (rings stay
 /// registered). Does not change the enabled state or the seq counter.
